@@ -1,0 +1,206 @@
+package stsk
+
+// One benchmark per table/figure of the paper's evaluation (§4), plus
+// wall-clock goroutine benchmarks of the four solver schemes. The figure
+// benchmarks run the internal/bench experiment drivers at a reduced suite
+// scale so `go test -bench=.` terminates quickly; cmd/stsbench runs the
+// same drivers at full scale. See EXPERIMENTS.md for paper-vs-measured
+// results.
+
+import (
+	"io"
+	"testing"
+
+	"stsk/internal/bench"
+	"stsk/internal/dar"
+	"stsk/internal/order"
+	"stsk/internal/solve"
+)
+
+const benchScale = 4000
+
+func newBenchRunner(b *testing.B) *bench.Runner {
+	b.Helper()
+	r := bench.New(benchScale, io.Discard)
+	r.Repeats = 1
+	return r
+}
+
+func runExperiment(b *testing.B, name string) {
+	r := newBenchRunner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Suite regenerates Table 1 (suite statistics).
+func BenchmarkTable1Suite(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig6SpyPlots regenerates Figure 6 (colouring vs STS-3 structure).
+func BenchmarkFig6SpyPlots(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Parallelism regenerates Figure 7 (packs vs components/pack).
+func BenchmarkFig7Parallelism(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8WorkShare regenerates Figure 8 (% work in 5 largest packs).
+func BenchmarkFig8WorkShare(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Speedup regenerates Figure 9 (parallel speedup vs CSR-LS@1).
+func BenchmarkFig9Speedup(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10RelColor regenerates Figure 10 (STS-3 vs CSR-COL).
+func BenchmarkFig10RelColor(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11RelLS regenerates Figure 11 (CSR-3-LS vs CSR-LS).
+func BenchmarkFig11RelLS(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12CoreSweepColor regenerates Figure 12 (colour pair vs cores).
+func BenchmarkFig12CoreSweepColor(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13CoreSweepLS regenerates Figure 13 (level-set pair vs cores).
+func BenchmarkFig13CoreSweepLS(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14LargestPack regenerates Figure 14 (per-unknown locality).
+func BenchmarkFig14LargestPack(b *testing.B) { runExperiment(b, "fig14") }
+
+// --- Wall-clock goroutine solves (secondary, unpinned signal) ---
+
+func benchSolve(b *testing.B, method Method, workers int) {
+	mat, err := Generate("trimesh", 60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := Build(mat, method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xTrue := make([]float64, plan.N())
+	for i := range xTrue {
+		xTrue[i] = 1
+	}
+	rhs := plan.RHSFor(xTrue)
+	x, err := plan.SolveWith(rhs, SolveOptions{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r := plan.Residual(x, rhs); r > 1e-9 {
+		b.Fatalf("residual %g", r)
+	}
+	b.SetBytes(int64(mat.NNZ()) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.SolveWith(rhs, SolveOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveCSRLS(b *testing.B)  { benchSolve(b, CSRLS, 0) }
+func BenchmarkSolveCSR3LS(b *testing.B) { benchSolve(b, CSR3LS, 0) }
+func BenchmarkSolveCSRCOL(b *testing.B) { benchSolve(b, CSRCOL, 0) }
+func BenchmarkSolveSTS3(b *testing.B)   { benchSolve(b, STS3, 0) }
+
+func BenchmarkSolveSTS3Sequential(b *testing.B) { benchSolve(b, STS3, 1) }
+
+// BenchmarkOrderingPipeline measures the pre-processing cost the paper
+// amortises over repeated solves (§4.1).
+func BenchmarkOrderingPipeline(b *testing.B) {
+	mat, err := Generate("trimesh", 30000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(mat, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedules compares the OpenMP-style loop schedules on STS-3 —
+// the §4.1 schedule-selection ablation.
+func BenchmarkSchedules(b *testing.B) {
+	mat, err := Generate("grid3d", 50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := Build(mat, STS3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := plan.RHSFor(make([]float64, plan.N()))
+	for _, sc := range []struct {
+		name string
+		opt  SolveOptions
+	}{
+		{"static", SolveOptions{Schedule: StaticSchedule}},
+		{"dynamic32", SolveOptions{Schedule: DynamicSchedule, Chunk: 32}},
+		{"guided1", SolveOptions{Schedule: GuidedSchedule, Chunk: 1}},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(rhs, sc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInPackSchedulers compares the §3.3 In-Pack heuristics on a line
+// DAR (the E-NP experiment).
+func BenchmarkInPackSchedulers(b *testing.B) {
+	b.Run("block", func(b *testing.B) {
+		benchDarScheduler(b, func(in *dar.Instance) []int { return in.BlockSchedule() })
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		benchDarScheduler(b, func(in *dar.Instance) []int { return in.DynamicSchedule(nil) })
+	})
+}
+
+func benchDarScheduler(b *testing.B, f func(*dar.Instance) []int) {
+	in := dar.LineInstance(4096, 16, 5, 1, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign := f(in)
+		if _, err := in.Cost(assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation: in-pack DAR reordering on/off (the §3.4 design choice) ---
+
+func BenchmarkAblationInPackRCM(b *testing.B) {
+	mat, err := Generate("trimesh", 40000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, skip := range []bool{false, true} {
+		name := "with-dar-rcm"
+		if skip {
+			name = "without-dar-rcm"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := order.Build(mat.a, order.Options{Method: order.STS3, SkipInPackRCM: skip})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhs := make([]float64, p.S.L.N)
+			x := make([]float64, p.S.L.N)
+			opts := solve.DefaultsFor(true, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := solve.ParallelInto(x, p.S, rhs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

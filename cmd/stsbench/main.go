@@ -1,0 +1,46 @@
+// Command stsbench regenerates the tables and figures of the STS-k paper's
+// evaluation (§4) on the deterministic NUMA cache simulator.
+//
+// Usage:
+//
+//	stsbench -experiment all            # the full evaluation
+//	stsbench -experiment fig9 -scale 20000
+//	stsbench -list
+//
+// Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+// fig13, fig14 (see DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stsk/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (or 'all')")
+		scale      = flag.Int("scale", 20000, "target rows per suite matrix")
+		repeats    = flag.Int("repeats", 2, "cache-simulator warm repeats")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Println(e)
+		}
+		return
+	}
+	r := bench.New(*scale, os.Stdout)
+	r.Repeats = *repeats
+	start := time.Now()
+	if err := r.Run(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "stsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "stsbench: %s done in %v\n", *experiment, time.Since(start).Round(time.Millisecond))
+}

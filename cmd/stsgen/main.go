@@ -1,0 +1,132 @@
+// Command stsgen writes synthetic suite matrices as Matrix Market files,
+// so the reproduction's workloads can be inspected, exchanged with other
+// tools, or replaced by real UF matrices behind the same file interface.
+//
+// Usage:
+//
+//	stsgen -suite D5 -n 100000 -o d5.mtx
+//	stsgen -class roadnet -n 50000 -o road.mtx
+//	stsgen -all -n 20000 -dir ./matrices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "", "paper suite id (G1, D1, S1, D2..D10)")
+		class = flag.String("class", "", "generator class")
+		all   = flag.Bool("all", false, "write the whole 12-matrix suite")
+		n     = flag.Int("n", 20000, "target rows")
+		out   = flag.String("o", "", "output file (default stdout)")
+		dir   = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, spec := range gen.PaperSuite(*n) {
+			m := spec.Build(*n)
+			path := filepath.Join(*dir, fmt.Sprintf("%s_%s.mtx", spec.ID, spec.Name))
+			if err := writeTo(path, m); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "stsgen: %s (n=%d nnz=%d) -> %s\n", spec.ID, m.N, m.NNZ(), path)
+		}
+		return
+	}
+
+	var m *sparse.CSR
+	switch {
+	case *suite != "":
+		spec := gen.BySuiteID(gen.PaperSuite(*n), *suite)
+		if spec == nil {
+			fatal(fmt.Errorf("unknown suite id %q", *suite))
+		}
+		m = spec.Build(*n)
+	case *class != "":
+		m = buildClass(*class, *n)
+		if m == nil {
+			fatal(fmt.Errorf("unknown class %q", *class))
+		}
+	default:
+		fatal(fmt.Errorf("one of -suite, -class, or -all is required"))
+	}
+	if *out == "" {
+		if err := sparse.WriteMatrixMarket(os.Stdout, m); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := writeTo(*out, m); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "stsgen: n=%d nnz=%d -> %s\n", m.N, m.NNZ(), *out)
+}
+
+func buildClass(class string, n int) *sparse.CSR {
+	side2 := isqrt(n)
+	side3 := icbrt(n)
+	switch class {
+	case "grid2d":
+		return gen.Grid2D(side2, side2)
+	case "grid3d":
+		return gen.Grid3D(side3, side3, side3)
+	case "kkt3d":
+		return gen.KKT3D(side3, side3, side3)
+	case "fem3d":
+		s := icbrt(n / 2)
+		return gen.FEM3D(s, s, s, 2)
+	case "rgg":
+		return gen.RGG(n, gen.RGGDegree(n, 14), 21)
+	case "trimesh":
+		return gen.TriMesh(side2, side2, 7)
+	case "quaddual":
+		return gen.QuadDual(isqrt(n/2), isqrt(n/2), 4)
+	case "roadnet":
+		return gen.RoadNet(isqrt(n/7), isqrt(n/7), 3, 5, 3)
+	}
+	return nil
+}
+
+func writeTo(path string, m *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sparse.WriteMatrixMarket(f, m)
+}
+
+func isqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+func icbrt(n int) int {
+	s := 1
+	for (s+1)*(s+1)*(s+1) <= n {
+		s++
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stsgen:", err)
+	os.Exit(1)
+}

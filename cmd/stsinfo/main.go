@@ -1,0 +1,64 @@
+// Command stsinfo prints the Table-1-style statistics and per-method pack
+// analysis (the Figures 7-8 measures) for one matrix — either a synthetic
+// class, a Table 1 suite stand-in, or a Matrix Market file.
+//
+// Usage:
+//
+//	stsinfo -class trimesh -n 50000
+//	stsinfo -suite D5 -n 100000
+//	stsinfo -file matrix.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stsk"
+)
+
+func main() {
+	var (
+		class = flag.String("class", "", "synthetic matrix class (grid2d, grid3d, kkt3d, fem3d, rgg, trimesh, quaddual, roadnet)")
+		suite = flag.String("suite", "", "paper suite id (G1, D1, S1, D2..D10)")
+		file  = flag.String("file", "", "Matrix Market file")
+		n     = flag.Int("n", 20000, "target rows for generated matrices")
+		rps   = flag.Int("rows-per-super", 0, "super-row size for k-level methods (0 = default 80)")
+	)
+	flag.Parse()
+
+	mat, err := loadMatrix(*class, *suite, *file, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("matrix: n=%d nnz=%d nnz/n=%.2f\n\n", mat.N(), mat.NNZ(), mat.RowDensity())
+	fmt.Printf("%-9s %10s %16s %14s %14s\n", "method", "packs", "rows/pack", "largest pack", "top-5 share")
+	for _, m := range stsk.Methods() {
+		p, err := stsk.Build(mat, m, stsk.BuildOptions{RowsPerSuper: *rps})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stsinfo: %v: %v\n", m, err)
+			os.Exit(1)
+		}
+		st := p.Stats()
+		fmt.Printf("%-9v %10d %16.1f %14d %13.1f%%\n",
+			m, st.NumPacks, st.MeanRowsPerPack, st.LargestPackRows, st.WorkShareTop5*100)
+	}
+}
+
+func loadMatrix(class, suite, file string, n int) (*stsk.Matrix, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return stsk.ReadMatrixMarket(f)
+	case suite != "":
+		return stsk.GenerateSuite(suite, n)
+	case class != "":
+		return stsk.Generate(class, n)
+	}
+	return nil, fmt.Errorf("one of -class, -suite, or -file is required")
+}

@@ -1,0 +1,177 @@
+// Preconditioned conjugate gradient — the application that motivates fast
+// sparse triangular solution (paper §1). The symmetric Gauss–Seidel
+// preconditioner M = L D⁻¹ Lᵀ is applied once per iteration as a
+// pack-parallel STS-3 forward solve followed by a backward solve, so the
+// triangular solution dominates each iteration exactly as in a production
+// PCG.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"stsk"
+)
+
+func main() {
+	mat, err := stsk.Generate("grid3d", 30000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := stsk.Build(mat, stsk.STS3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := plan.N()
+	fmt.Printf("PCG on %d unknowns (%d nnz), SGS preconditioner via STS-3 triangular solves\n",
+		n, mat.NNZ())
+
+	// Manufactured problem: A′ xTrue = rhs.
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	rhs := make([]float64, n)
+	plan.ApplySymmetric(rhs, xTrue)
+
+	x, iters, err := pcg(plan, rhs, 1e-10, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range x {
+		if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("SGS-preconditioned CG: %d iterations, max error %.3g\n", iters, maxErr)
+
+	// A stronger preconditioner: incomplete Cholesky IC(0). Both of its
+	// triangular sweeps run pack-parallel on the same STS-3 structure.
+	ic, err := plan.IC0()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, icIters, err := pcgIC(plan, ic, rhs, 1e-10, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IC(0)-preconditioned CG: %d iterations\n", icIters)
+
+	// The same system without preconditioning needs many more iterations —
+	// each saved iteration is two triangular solves the paper makes cheap.
+	_, plain, err := cgUnpreconditioned(plan, rhs, 1e-10, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unpreconditioned CG: %d iterations (%.1fx more than SGS)\n",
+		plain, float64(plain)/float64(iters))
+}
+
+// pcgIC is pcg with the IC(0) preconditioner M = L̂·L̂ᵀ: forward solve on
+// the factor plan, then its pack-parallel backward solve.
+func pcgIC(plan, ic *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	apply := func(r []float64) ([]float64, error) {
+		y, err := ic.Solve(r)
+		if err != nil {
+			return nil, err
+		}
+		return ic.SolveUpper(y)
+	}
+	return pcgWith(plan, apply, b, tol, maxIter)
+}
+
+// pcg solves A′x = b with symmetric Gauss-Seidel preconditioning.
+func pcg(plan *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	return pcgWith(plan, func(r []float64) ([]float64, error) { return applySGS(plan, r) }, b, tol, maxIter)
+}
+
+// pcgWith solves A′x = b with an arbitrary preconditioner application.
+func pcgWith(plan *stsk.Plan, applyM func([]float64) ([]float64, error), b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := len(b)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z, err := applyM(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	bnorm := math.Sqrt(dot(b, b))
+	for it := 1; it <= maxIter; it++ {
+		plan.ApplySymmetric(ap, p)
+		alpha := rz / dot(p, ap)
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		if math.Sqrt(dot(r, r)) <= tol*bnorm {
+			return x, it, nil
+		}
+		if z, err = applyM(r); err != nil {
+			return nil, it, err
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, maxIter, fmt.Errorf("pcg: no convergence in %d iterations", maxIter)
+}
+
+// applySGS computes z = (L D⁻¹ Lᵀ)⁻¹ r: forward solve L y = r (parallel,
+// STS-3), scale by D, backward solve Lᵀ z = D y.
+func applySGS(plan *stsk.Plan, r []float64) ([]float64, error) {
+	y, err := plan.Solve(r)
+	if err != nil {
+		return nil, err
+	}
+	d := plan.Diagonal()
+	dy := make([]float64, len(y))
+	for i := range y {
+		dy[i] = d[i] * y[i]
+	}
+	return plan.SolveUpper(dy)
+}
+
+func cgUnpreconditioned(plan *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := len(b)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), r...)
+	ap := make([]float64, n)
+	rr := dot(r, r)
+	bnorm := math.Sqrt(dot(b, b))
+	for it := 1; it <= maxIter; it++ {
+		plan.ApplySymmetric(ap, p)
+		alpha := rr / dot(p, ap)
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		rrNew := dot(r, r)
+		if math.Sqrt(rrNew) <= tol*bnorm {
+			return x, it, nil
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return x, maxIter, fmt.Errorf("cg: no convergence in %d iterations", maxIter)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}

@@ -1,0 +1,19 @@
+// ordering visualises what the STS-k transformations do to a small
+// triangular matrix (the paper's Figure 6): plain colouring scatters the
+// off-diagonal reuse structure, while STS-3's in-pack DAR reordering
+// band-reduces it so consecutive tasks share solution components.
+package main
+
+import (
+	"log"
+	"os"
+
+	"stsk/internal/bench"
+)
+
+func main() {
+	r := bench.New(1000, os.Stdout)
+	if err := r.Fig6(); err != nil {
+		log.Fatal(err)
+	}
+}

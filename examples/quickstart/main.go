@@ -1,0 +1,48 @@
+// Quickstart: build an STS-3 plan for a triangulated-mesh matrix and solve
+// L′x = b, comparing the four schemes' pack structure along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsk"
+)
+
+func main() {
+	// A Delaunay-class mesh matrix (the paper's D2/D5 class), ~20k rows.
+	mat, err := stsk.Generate("trimesh", 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matrix: n=%d nnz=%d (%.2f nnz/row)\n\n", mat.N(), mat.NNZ(), mat.RowDensity())
+
+	// Build the paper's scheme: colouring packs over super-rows with
+	// in-pack DAR reordering (STS-3), and solve for a manufactured b.
+	plan, err := stsk.Build(mat, stsk.STS3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xTrue := make([]float64, plan.N())
+	for i := range xTrue {
+		xTrue[i] = float64(i%10) + 1
+	}
+	b := plan.RHSFor(xTrue)
+	x, err := plan.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("STS-3 solve: packs=%d residual=%.3g\n\n", plan.NumPacks(), plan.Residual(x, b))
+
+	// Why STS-3: compare the parallel structure of all four schemes.
+	fmt.Printf("%-9s %9s %14s %12s\n", "method", "packs", "rows/pack", "top-5 work")
+	for _, m := range stsk.Methods() {
+		p, err := stsk.Build(mat, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := p.Stats()
+		fmt.Printf("%-9v %9d %14.1f %11.1f%%\n",
+			m, st.NumPacks, st.MeanRowsPerPack, st.WorkShareTop5*100)
+	}
+}

@@ -1,0 +1,145 @@
+package stsk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveUpperParallelCorrect(t *testing.T) {
+	m, err := Generate("trimesh", 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range Methods() {
+		p, err := Build(m, method, BuildOptions{RowsPerSuper: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		xTrue := make([]float64, p.N())
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		// b = L′ᵀ · xTrue via ApplySymmetric minus strictly-lower part is
+		// awkward; instead verify L′ᵀ x = b by residual through the
+		// symmetric operator identity: compute b with a manual transpose
+		// multiply using ApplySymmetric(A′) = L + Lᵀ - D.
+		// Simpler: solve and check the defining equation via SolveUpper of
+		// a manufactured b built from two triangular applications.
+		y, err := p.Solve(p.RHSFor(xTrue)) // L′ y = L′ xTrue ⇒ y = xTrue
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(y, xTrue); d > 1e-9 {
+			t.Fatalf("%v: forward sanity failed (%g)", method, d)
+		}
+		// Round trip: z = (L′ᵀ)⁻¹ (L′ᵀ would require U·xTrue); build U·x
+		// through ApplySymmetric: A′x = Lx + Uᵀ... instead verify
+		// (L′ᵀ)⁻¹ then L′ᵀ-multiply via residual on the SGS identity used
+		// by the cg example: M z = r with M = L D⁻¹ Lᵀ.
+		r := make([]float64, p.N())
+		for i := range r {
+			r[i] = rng.Float64()*2 - 1
+		}
+		yy, err := p.Solve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Diagonal()
+		dy := make([]float64, len(yy))
+		for i := range yy {
+			dy[i] = d[i] * yy[i]
+		}
+		z, err := p.SolveUpper(dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Forward-apply M: u = Lᵀz; u = D⁻¹u; u = L u; compare to r.
+		// Use the plan's own pieces: A′ = L + Lᵀ − D ⇒ Lᵀz = A′z − Lz + Dz.
+		az := make([]float64, p.N())
+		p.ApplySymmetric(az, z)
+		lz := applyLower(p, z)
+		u := make([]float64, p.N())
+		for i := range u {
+			u[i] = (az[i] - lz[i] + d[i]*z[i]) / d[i]
+		}
+		lu := applyLower(p, u)
+		if dd := maxDiff(lu, r); dd > 1e-8 {
+			t.Fatalf("%v: SGS identity residual %g", method, dd)
+		}
+	}
+}
+
+// applyLower computes L′·x through the public API: L′x = (A′x + D x − L′ᵀx)
+// is circular, so rebuild L′ action from Solve: L′(L′⁻¹ v) = v. Instead use
+// RHSFor, which is exactly L′·x.
+func applyLower(p *Plan, x []float64) []float64 {
+	return p.RHSFor(x)
+}
+
+func maxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+func TestIC0FactorPlan(t *testing.T) {
+	m, err := Generate("grid3d", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(m, STS3, BuildOptions{RowsPerSuper: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := p.IC0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.NumPacks() != p.NumPacks() || ic.N() != p.N() {
+		t.Fatal("IC0 plan structure diverged")
+	}
+	// The factor plan must solve its own triangular system exactly.
+	xTrue := make([]float64, ic.N())
+	for i := range xTrue {
+		xTrue[i] = float64(i%5) + 1
+	}
+	b := ic.RHSFor(xTrue)
+	x, err := ic.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ic.Residual(x, b); r > 1e-9 {
+		t.Fatalf("IC0 forward residual %g", r)
+	}
+	// M = L̂L̂ᵀ must reproduce A′ entrywise on the pattern: check via the
+	// preconditioner application being near-identity on smooth vectors.
+	v := make([]float64, ic.N())
+	for i := range v {
+		v[i] = 1
+	}
+	av := make([]float64, ic.N())
+	p.ApplySymmetric(av, v)
+	y, err := ic.Solve(av)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ic.SolveUpper(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := 0.0, 0.0
+	for i := range v {
+		d := z[i] - v[i]
+		num += d * d
+		den += v[i] * v[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 0.8 {
+		t.Fatalf("IC(0) preconditioner application too far from identity: %.3f", rel)
+	}
+}

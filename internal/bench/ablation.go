@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+
+	"stsk/internal/cachesim"
+	"stsk/internal/graph"
+	"stsk/internal/machine"
+	"stsk/internal/metrics"
+	"stsk/internal/order"
+)
+
+// Ablations lists the design-choice experiments beyond the paper's
+// figures. Each isolates one ingredient of STS-k:
+//
+//	ablation-super   super-row size sweep (§3.1 / §4.1 "k ± 1" sensitivity)
+//	ablation-color   greedy-colouring vertex orders (Boost-natural vs others)
+//	ablation-dar     §3.4 in-pack DAR reordering: off / RCM / Sloan
+//	ablation-levels  k=3 vs the §5 k=4 extension
+//	ablation-numa    NUMA vs UMA topology at equal core count
+func Ablations() []string {
+	return []string{
+		"ablation-super", "ablation-color", "ablation-dar",
+		"ablation-chunk", "ablation-levels", "ablation-numa",
+	}
+}
+
+// RunAblation executes one ablation by name on the D5 (delaunay-class)
+// suite matrix.
+func (r *Runner) RunAblation(name string) error {
+	mat, err := r.Matrix("D5")
+	if err != nil {
+		return err
+	}
+	mc := r.Machines[0] // scaled Intel
+	cores := mc.EvalCores
+
+	sim := func(p *order.Plan, topo machine.Topology) (*cachesim.Result, error) {
+		return cachesim.Simulate(p.S, topo, cachesim.Options{Cores: cores, Chunk: 1, Repeats: r.Repeats})
+	}
+
+	switch name {
+	case "ablation-super":
+		fmt.Fprintf(r.Out, "ablation-super: STS-3 vs super-row size (D5, Intel@%d)\n", cores)
+		fmt.Fprintf(r.Out, "%8s %8s %8s %14s %10s\n", "rows", "supers", "packs", "cycles", "hit rate")
+		for _, rps := range []int{10, 20, 40, 80, 160, 320} {
+			p, err := order.Build(mat, order.Options{Method: order.STS3, RowsPerSuper: rps})
+			if err != nil {
+				return err
+			}
+			res, err := sim(p, mc.Topo)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(r.Out, "%8d %8d %8d %14d %9.1f%%\n",
+				rps, p.S.NumSuperRows(), p.NumPacks, res.Cycles, res.HitRate*100)
+		}
+		return nil
+
+	case "ablation-color":
+		fmt.Fprintf(r.Out, "ablation-color: STS-3 vs colouring vertex order (D5, Intel@%d)\n", cores)
+		fmt.Fprintf(r.Out, "%-14s %8s %14s %12s\n", "order", "packs", "cycles", "top-5 work")
+		for _, co := range []graph.ColorOrder{graph.NaturalOrder, graph.LargestFirst, graph.SmallestLast} {
+			p, err := order.Build(mat, order.Options{Method: order.STS3, ColorOrder: co})
+			if err != nil {
+				return err
+			}
+			res, err := sim(p, mc.Topo)
+			if err != nil {
+				return err
+			}
+			st := metrics.Analyze(p.S)
+			fmt.Fprintf(r.Out, "%-14v %8d %14d %11.1f%%\n", co, p.NumPacks, res.Cycles, st.WorkShareTop5*100)
+		}
+		return nil
+
+	case "ablation-dar":
+		fmt.Fprintf(r.Out, "ablation-dar: §3.4 in-pack reordering (D5, Intel@%d)\n", cores)
+		fmt.Fprintf(r.Out, "%-10s %14s %10s %14s %10s\n", "variant", "cycles", "hit rate", "mean DAR span", "max DAR bw")
+		variants := []struct {
+			name string
+			opts order.Options
+		}{
+			{"off", order.Options{Method: order.STS3, SkipInPackRCM: true}},
+			{"rcm", order.Options{Method: order.STS3, InPackOrder: order.InPackRCM}},
+			{"sloan", order.Options{Method: order.STS3, InPackOrder: order.InPackSloan}},
+		}
+		for _, v := range variants {
+			p, err := order.Build(mat, v.opts)
+			if err != nil {
+				return err
+			}
+			res, err := sim(p, mc.Topo)
+			if err != nil {
+				return err
+			}
+			ds := metrics.DARBandwidths(p.S, 8)
+			fmt.Fprintf(r.Out, "%-10s %14d %9.1f%% %14.2f %10d\n",
+				v.name, res.Cycles, res.HitRate*100, metrics.MeanDARSpan(ds), metrics.MaxDARBandwidth(ds))
+		}
+		return nil
+
+	case "ablation-chunk":
+		fmt.Fprintf(r.Out, "ablation-chunk: simulator chunk size (temporal reuse, D5, Intel@%d)\n", cores)
+		fmt.Fprintf(r.Out, "%8s %14s %10s\n", "chunk", "cycles", "hit rate")
+		p, err := order.Build(mat, order.Options{Method: order.STS3})
+		if err != nil {
+			return err
+		}
+		for _, chunk := range []int{1, 2, 4, 8, 16} {
+			res, err := cachesim.Simulate(p.S, mc.Topo, cachesim.Options{Cores: cores, Chunk: chunk, Repeats: r.Repeats})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(r.Out, "%8d %14d %9.1f%%\n", chunk, res.Cycles, res.HitRate*100)
+		}
+		return nil
+
+	case "ablation-levels":
+		fmt.Fprintf(r.Out, "ablation-levels: k=3 vs k=4 (D5, Intel@%d)\n", cores)
+		fmt.Fprintf(r.Out, "%-4s %8s %8s %14s\n", "k", "tasks", "packs", "cycles")
+		for _, lv := range []int{3, 4} {
+			p, err := order.Build(mat, order.Options{Method: order.STS3, Levels: lv})
+			if err != nil {
+				return err
+			}
+			res, err := sim(p, mc.Topo)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(r.Out, "%-4d %8d %8d %14d\n", lv, p.S.NumSuperRows(), p.NumPacks, res.Cycles)
+		}
+		return nil
+
+	case "ablation-numa":
+		fmt.Fprintf(r.Out, "ablation-numa: NUMA vs UMA at %d cores (D5)\n", cores)
+		fmt.Fprintf(r.Out, "%-10s %-9s %14s %12s %12s\n", "machine", "method", "cycles", "remote L3", "remote DRAM")
+		uma := machine.ScaleCaches(machine.UMA(32), 16, l3Divisor(machine.UMA(32), r.Scale))
+		for _, m := range []order.Method{order.CSRCOL, order.STS3} {
+			p, err := order.Build(mat, order.Options{Method: m})
+			if err != nil {
+				return err
+			}
+			for _, tc := range []struct {
+				label string
+				topo  machine.Topology
+			}{{"intel", mc.Topo}, {"uma", uma}} {
+				res, err := sim(p, tc.topo)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(r.Out, "%-10s %-9v %14d %12d %12d\n",
+					tc.label, m, res.Cycles, res.Counts.L3Remote, res.Counts.DRAMRemote)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("bench: unknown ablation %q (have %v)", name, Ablations())
+}

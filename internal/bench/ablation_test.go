@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationsRun(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(1500, &buf)
+	r.Repeats = 1
+	for _, name := range Ablations() {
+		if err := r.RunAblation(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"ablation-super", "ablation-color", "ablation-dar", "ablation-chunk", "ablation-levels", "ablation-numa"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %s section", want)
+		}
+	}
+	if err := r.RunAblation("nope"); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestAblationsViaRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(1200, &buf)
+	r.Repeats = 1
+	if err := r.Run("ablation-levels"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k=3 vs k=4") {
+		t.Fatal("dispatch did not reach the ablation")
+	}
+}
+
+func TestWallclockRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing in -short mode")
+	}
+	var buf bytes.Buffer
+	r := New(1000, &buf)
+	if err := r.Run("wallclock"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wallclock") || !strings.Contains(out, "µs per solve") {
+		t.Fatal("wallclock output malformed")
+	}
+	// All 12 matrices and 4 methods must appear.
+	for _, id := range []string{"G1", "D10"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("wallclock missing %s row", id)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stsk/internal/metrics"
+	"stsk/internal/order"
+)
+
+// testRunner returns a small-scale runner so the full evaluation stays fast.
+func testRunner(t testing.TB) *Runner {
+	t.Helper()
+	var buf bytes.Buffer
+	r := New(900, &buf)
+	r.Repeats = 1
+	return r
+}
+
+func TestTable1(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("table 1 has %d rows, want 12", len(rows))
+	}
+	for _, row := range rows {
+		if row.N <= 0 || row.NNZ <= 0 {
+			t.Fatalf("%s: empty matrix", row.ID)
+		}
+		if row.Dens < row.PaperDens/2.5 || row.Dens > row.PaperDens*1.6 {
+			t.Errorf("%s: density %.2f too far from paper class %.2f", row.ID, row.Dens, row.PaperDens)
+		}
+	}
+}
+
+func TestFig6SpyPlots(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(900, &buf)
+	if err := r.Fig6(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CSR-COL") || !strings.Contains(out, "STS-3") {
+		t.Fatal("figure 6 output missing method sections")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("spy plot has no nonzeros")
+	}
+}
+
+func TestFig7ColoringDominatesLevelSets(t *testing.T) {
+	r := testRunner(t)
+	pts, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12*4 {
+		t.Fatalf("fig7 has %d points, want 48", len(pts))
+	}
+	// Per matrix: colouring must give fewer packs and more components/pack.
+	byKey := make(map[string]Fig7Point)
+	for _, p := range pts {
+		byKey[p.MatID+"|"+p.Method.String()] = p
+	}
+	for _, id := range r.sortedIDs() {
+		ls := byKey[id+"|CSR-LS"]
+		col := byKey[id+"|CSR-COL"]
+		if col.NumPacks >= ls.NumPacks {
+			t.Errorf("%s: CSR-COL packs %d >= CSR-LS packs %d", id, col.NumPacks, ls.NumPacks)
+		}
+		if col.ComponentsPerPack <= ls.ComponentsPerPack {
+			t.Errorf("%s: CSR-COL pack size not larger", id)
+		}
+		// §3.2: level sets on G2 give fewer packs than on G1. At the tiny
+		// test scale the coarsening factor is small, so allow slack; the
+		// strict claim is asserted at full scale by cmd/stsbench runs.
+		ls3 := byKey[id+"|CSR-3-LS"]
+		if float64(ls3.NumPacks) > 1.1*float64(ls.NumPacks) {
+			t.Errorf("%s: CSR-3-LS packs %d > 1.1x CSR-LS packs %d", id, ls3.NumPacks, ls.NumPacks)
+		}
+	}
+}
+
+func TestFig8WorkConcentration(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: colouring-based schemes hold >90% of work in the 5 largest
+	// packs; level-set schemes hold only a few percent (at million-row
+	// scale). At the reduced test scale the >90% bound holds for the
+	// low-degree mesh/road classes; the dense FEM/KKT/RGG classes need
+	// ~10-60 colours whose sizes only skew at full scale, so for those we
+	// assert the ordering (colouring above level sets) instead.
+	lowDegree := map[string]bool{
+		"D2": true, "D3": true, "D4": true, "D5": true,
+		"D6": true, "D7": true, "D8": true, "D9": true, "D10": true,
+	}
+	for _, row := range rows {
+		if lowDegree[row.MatID] {
+			if row.Share[order.STS3] < 0.9 {
+				t.Errorf("%s: STS-3 top-5 share %.2f < 0.9", row.MatID, row.Share[order.STS3])
+			}
+			if row.Share[order.CSRCOL] < 0.9 {
+				t.Errorf("%s: CSR-COL top-5 share %.2f < 0.9", row.MatID, row.Share[order.CSRCOL])
+			}
+		}
+		if row.Share[order.CSRLS] >= row.Share[order.STS3] {
+			t.Errorf("%s: CSR-LS share %.2f not below STS-3 %.2f", row.MatID, row.Share[order.CSRLS], row.Share[order.STS3])
+		}
+	}
+}
+
+func TestFig9HeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	r := testRunner(t)
+	rows, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range r.Machines {
+		sts := geomeanOf(rows, mc.Label, order.STS3)
+		col := geomeanOf(rows, mc.Label, order.CSRCOL)
+		ls3 := geomeanOf(rows, mc.Label, order.CSR3LS)
+		ls := geomeanOf(rows, mc.Label, order.CSRLS)
+		// Headline ordering (Figure 9): STS-3 wins; both colouring and the
+		// k-level LS variant beat the CSR-LS reference.
+		if !(sts > col && sts > ls3 && sts > ls) {
+			t.Errorf("%s: STS-3 %.2f not the best (col %.2f, 3-ls %.2f, ls %.2f)", mc.Label, sts, col, ls3, ls)
+		}
+		if col <= ls {
+			t.Errorf("%s: CSR-COL %.2f not above CSR-LS %.2f", mc.Label, col, ls)
+		}
+		if sts < 1.5 {
+			t.Errorf("%s: STS-3 speedup %.2f implausibly low", mc.Label, sts)
+		}
+	}
+}
+
+func TestFig10Fig11KLevelGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	r := testRunner(t)
+	colRows, err := r.RelativeSpeedup(order.CSRCOL, order.STS3, "fig10", "Relative Speedup (Color)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsRows, err := r.RelativeSpeedup(order.CSRLS, order.CSR3LS, "fig11", "Relative Speedup (LS)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := func(rows []RelRow, label string) float64 {
+		var vals []float64
+		for _, row := range rows {
+			if row.Machine == label {
+				vals = append(vals, row.Ratio)
+			}
+		}
+		return metrics.GeoMean(vals)
+	}
+	for _, mc := range r.Machines {
+		if g := gm(colRows, mc.Label); g <= 1.0 {
+			t.Errorf("%s: k-level gain with colouring %.2f <= 1 (paper: ~2.2)", mc.Label, g)
+		}
+		if g := gm(lsRows, mc.Label); g <= 1.0 {
+			t.Errorf("%s: k-level gain with level sets %.2f <= 1 (paper: ~1.4-1.5)", mc.Label, g)
+		}
+	}
+}
+
+func TestFig12Fig13Sweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("core sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	r := New(700, &buf)
+	r.Repeats = 1
+	// Restrict the sweep to keep the test quick.
+	for i := range r.Machines {
+		r.Machines[i].CoreSweep = []int{1, 4, r.Machines[i].EvalCores}
+	}
+	col, err := r.CoreSweep(order.CSRCOL, order.STS3, "fig12", "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := r.CoreSweep(order.CSRLS, order.CSR3LS, "fig13", "ls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 6 || len(ls) != 6 {
+		t.Fatalf("sweep lengths %d/%d, want 6/6", len(col), len(ls))
+	}
+	// At the evaluation core counts the k-level gain must be >1.
+	for _, pt := range col {
+		if pt.Cores >= 12 && pt.Ratio <= 1 {
+			t.Errorf("fig12 %s@%d: ratio %.2f <= 1", pt.Machine, pt.Cores, pt.Ratio)
+		}
+	}
+}
+
+func TestFig14LocalityGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	r := testRunner(t)
+	rows, err := r.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 24 {
+		t.Fatalf("fig14 rows = %d, want 24", len(rows))
+	}
+	for _, mc := range r.Machines {
+		var vals []float64
+		for _, row := range rows {
+			if row.Machine == mc.Label {
+				vals = append(vals, row.Ratio)
+			}
+		}
+		gm := 1.0
+		for _, v := range vals {
+			gm *= v
+		}
+		if gm <= 1 { // product > 1 iff geomean > 1
+			t.Errorf("%s: largest-pack per-unknown gain <= 1 (paper: 1.75 Intel / 2.12 AMD)", mc.Label)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(700, &buf)
+	r.Repeats = 1
+	if err := r.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output written")
+	}
+}
+
+func TestRowsPerSuperAdaptive(t *testing.T) {
+	if got := rowsPerSuper(1_000_000, 16, 80); got != 80 {
+		t.Fatalf("large matrix rps = %d, want paper value 80", got)
+	}
+	if got := rowsPerSuper(2000, 16, 80); got < 8 || got > 80 {
+		t.Fatalf("small matrix rps = %d out of range", got)
+	}
+	if got := rowsPerSuper(10, 16, 320); got != 8 {
+		t.Fatalf("tiny matrix rps = %d, want floor 8", got)
+	}
+}

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+
+	"stsk/internal/metrics"
+	"stsk/internal/order"
+)
+
+// Table1Row mirrors one row of the paper's Table 1, with both the paper's
+// original matrix and the scaled synthetic stand-in.
+type Table1Row struct {
+	ID, Name, Class string
+	PaperN          int
+	PaperNNZ        int64
+	PaperDens       float64
+	N, NNZ          int
+	Dens            float64
+}
+
+// Table1 prints and returns the suite statistics (experiment E-T1).
+func (r *Runner) Table1() ([]Table1Row, error) {
+	fmt.Fprintf(r.Out, "Table 1: test suite (scale %d)\n", r.Scale)
+	fmt.Fprintf(r.Out, "%-4s %-18s %-9s %12s %14s %8s | %10s %12s %8s\n",
+		"ID", "UF matrix", "class", "paper n", "paper nnz", "nnz/n", "n", "nnz", "nnz/n")
+	rows := make([]Table1Row, 0, len(r.specs))
+	for _, spec := range r.specs {
+		m, err := r.Matrix(spec.ID)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			ID: spec.ID, Name: spec.Name, Class: spec.Class,
+			PaperN: spec.PaperN, PaperNNZ: spec.PaperNNZ, PaperDens: spec.PaperDens,
+			N: m.N, NNZ: m.NNZ(), Dens: m.RowDensity(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(r.Out, "%-4s %-18s %-9s %12d %14d %8.2f | %10d %12d %8.2f\n",
+			row.ID, row.Name, row.Class, row.PaperN, row.PaperNNZ, row.PaperDens,
+			row.N, row.NNZ, row.Dens)
+	}
+	return rows, nil
+}
+
+// Fig7Point is one (method, matrix) point of Figure 7.
+type Fig7Point struct {
+	MatID             string
+	Method            order.Method
+	NumPacks          int
+	ComponentsPerPack float64
+}
+
+// Fig7 prints and returns the degree-of-parallelism scatter (E-F7): the
+// number of packs versus the mean solution components per pack for every
+// method and matrix, plus per-method centroids (geometric means).
+func (r *Runner) Fig7() ([]Fig7Point, error) {
+	mc := r.Machines[0]
+	fmt.Fprintln(r.Out, "Figure 7: degree of parallelism (packs vs mean components/pack)")
+	fmt.Fprintf(r.Out, "%-4s %-9s %10s %18s\n", "mat", "method", "packs", "components/pack")
+	var pts []Fig7Point
+	for _, id := range r.sortedIDs() {
+		for _, m := range methodOrder {
+			p, err := r.Plan(id, m, mc)
+			if err != nil {
+				return nil, err
+			}
+			st := metrics.Analyze(p.S)
+			pts = append(pts, Fig7Point{MatID: id, Method: m, NumPacks: st.NumPacks, ComponentsPerPack: st.MeanRowsPerPack})
+			fmt.Fprintf(r.Out, "%-4s %-9v %10d %18.1f\n", id, m, st.NumPacks, st.MeanRowsPerPack)
+		}
+	}
+	fmt.Fprintln(r.Out, "centroids (geometric means):")
+	for _, m := range methodOrder {
+		var packs, comps []float64
+		for _, pt := range pts {
+			if pt.Method == m {
+				packs = append(packs, float64(pt.NumPacks))
+				comps = append(comps, pt.ComponentsPerPack)
+			}
+		}
+		fmt.Fprintf(r.Out, "  %-9v packs=%8.1f  components/pack=%12.1f\n",
+			m, metrics.GeoMean(packs), metrics.GeoMean(comps))
+	}
+	return pts, nil
+}
+
+// Fig8Row is the top-5-pack work share of one matrix for all methods.
+type Fig8Row struct {
+	MatID string
+	Share map[order.Method]float64 // fraction of nnz in the 5 largest packs
+}
+
+// Fig8 prints and returns the parallel-work concentration measure (E-F8).
+func (r *Runner) Fig8() ([]Fig8Row, error) {
+	mc := r.Machines[0]
+	fmt.Fprintln(r.Out, "Figure 8: % of total work in the 5 largest packs")
+	fmt.Fprintf(r.Out, "%-4s", "mat")
+	for _, m := range methodOrder {
+		fmt.Fprintf(r.Out, " %10v", m)
+	}
+	fmt.Fprintln(r.Out)
+	var rows []Fig8Row
+	for _, id := range r.sortedIDs() {
+		row := Fig8Row{MatID: id, Share: make(map[order.Method]float64)}
+		fmt.Fprintf(r.Out, "%-4s", id)
+		for _, m := range methodOrder {
+			p, err := r.Plan(id, m, mc)
+			if err != nil {
+				return nil, err
+			}
+			st := metrics.Analyze(p.S)
+			row.Share[m] = st.WorkShareTop5
+			fmt.Fprintf(r.Out, " %9.1f%%", st.WorkShareTop5*100)
+		}
+		fmt.Fprintln(r.Out)
+		rows = append(rows, row)
+	}
+	for _, m := range methodOrder {
+		var vals []float64
+		for _, row := range rows {
+			vals = append(vals, row.Share[m])
+		}
+		fmt.Fprintf(r.Out, "mean %v: %.1f%%\n", m, metrics.GeoMean(vals)*100)
+	}
+	return rows, nil
+}
+
+// Fig9Row is the parallel speedup of every method against CSR-LS on one
+// core, for one matrix on one machine.
+type Fig9Row struct {
+	Machine string
+	MatID   string
+	Speedup map[order.Method]float64
+}
+
+// Fig9 prints and returns parallel speedups at the paper's evaluation core
+// counts: T(mat, CSR-LS, 1) / T(mat, method, q) with q=16 (Intel) and
+// q=12 (AMD) (E-F9).
+func (r *Runner) Fig9() ([]Fig9Row, error) {
+	var out []Fig9Row
+	for _, mc := range r.Machines {
+		fmt.Fprintf(r.Out, "Figure 9: parallel speedup vs CSR-LS@1, %d cores (%s)\n", mc.EvalCores, mc.Label)
+		fmt.Fprintf(r.Out, "%-4s", "mat")
+		for _, m := range methodOrder {
+			fmt.Fprintf(r.Out, " %10v", m)
+		}
+		fmt.Fprintln(r.Out)
+		for _, id := range r.sortedIDs() {
+			ref, err := r.Sim(id, order.CSRLS, mc, 1)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig9Row{Machine: mc.Label, MatID: id, Speedup: make(map[order.Method]float64)}
+			fmt.Fprintf(r.Out, "%-4s", id)
+			for _, m := range methodOrder {
+				res, err := r.Sim(id, m, mc, mc.EvalCores)
+				if err != nil {
+					return nil, err
+				}
+				sp := metrics.Speedup(float64(ref.Cycles), float64(res.Cycles))
+				row.Speedup[m] = sp
+				fmt.Fprintf(r.Out, " %10.2f", sp)
+			}
+			fmt.Fprintln(r.Out)
+			out = append(out, row)
+		}
+		for _, m := range methodOrder {
+			fmt.Fprintf(r.Out, "geomean %v: %.2f\n", m, geomeanOf(out, mc.Label, m))
+		}
+	}
+	return out, nil
+}
+
+func geomeanOf(rows []Fig9Row, machineLabel string, m order.Method) float64 {
+	var vals []float64
+	for _, row := range rows {
+		if row.Machine == machineLabel {
+			vals = append(vals, row.Speedup[m])
+		}
+	}
+	return metrics.GeoMean(vals)
+}
+
+// RelRow is a relative-speedup entry for Figures 10 and 11.
+type RelRow struct {
+	Machine string
+	MatID   string
+	Ratio   float64 // T(reference)/T(improved)
+}
+
+// RelativeSpeedup prints and returns T(ref, q)/T(improved, q) per matrix on
+// each machine — Figure 10 (CSR-COL vs STS-3) and Figure 11 (CSR-LS vs
+// CSR-3-LS), the incremental gain from the k-level sub-structuring alone.
+func (r *Runner) RelativeSpeedup(ref, improved order.Method, fig, title string) ([]RelRow, error) {
+	var out []RelRow
+	for _, mc := range r.Machines {
+		fmt.Fprintf(r.Out, "%s (%s): %s, %d cores (%s)\n", fig, title, improved, mc.EvalCores, mc.Label)
+		for _, id := range r.sortedIDs() {
+			a, err := r.Sim(id, ref, mc, mc.EvalCores)
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.Sim(id, improved, mc, mc.EvalCores)
+			if err != nil {
+				return nil, err
+			}
+			ratio := metrics.Speedup(float64(a.Cycles), float64(b.Cycles))
+			out = append(out, RelRow{Machine: mc.Label, MatID: id, Ratio: ratio})
+			fmt.Fprintf(r.Out, "%-4s %v/%v = %.2f\n", id, ref, improved, ratio)
+		}
+		var vals []float64
+		for _, row := range out {
+			if row.Machine == mc.Label {
+				vals = append(vals, row.Ratio)
+			}
+		}
+		fmt.Fprintf(r.Out, "geomean (%s): %.2f\n", mc.Label, metrics.GeoMean(vals))
+	}
+	return out, nil
+}
+
+// SweepPoint is one core count of the Figures 12-13 aggregate sweep.
+type SweepPoint struct {
+	Machine string
+	Cores   int
+	Ratio   float64 // total suite time ratio T(ref,q)/T(improved,q)
+}
+
+// CoreSweep prints and returns the aggregate relative speedup over the
+// whole suite across core counts — Figure 12 (colour pair) and Figure 13
+// (level-set pair).
+func (r *Runner) CoreSweep(ref, improved order.Method, fig, title string) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, mc := range r.Machines {
+		fmt.Fprintf(r.Out, "%s (%s): T(*,%v,q)/T(*,%v,q) (%s)\n", fig, title, ref, improved, mc.Label)
+		for _, cores := range mc.CoreSweep {
+			var tRef, tImp float64
+			for _, id := range r.sortedIDs() {
+				a, err := r.Sim(id, ref, mc, cores)
+				if err != nil {
+					return nil, err
+				}
+				b, err := r.Sim(id, improved, mc, cores)
+				if err != nil {
+					return nil, err
+				}
+				tRef += float64(a.Cycles)
+				tImp += float64(b.Cycles)
+			}
+			ratio := metrics.Speedup(tRef, tImp)
+			out = append(out, SweepPoint{Machine: mc.Label, Cores: cores, Ratio: ratio})
+			fmt.Fprintf(r.Out, "  %2d cores: %.2f\n", cores, ratio)
+		}
+	}
+	return out, nil
+}
+
+// Fig14Row is the per-unknown largest-pack comparison of one matrix.
+type Fig14Row struct {
+	Machine string
+	MatID   string
+	Ratio   float64 // t(CSR-COL)/t(STS-3), per unknown, largest pack
+}
+
+// Fig14 prints and returns the locality isolation experiment (E-F14): the
+// modeled time of the largest pack, scaled by its number of unknowns, for
+// CSR-COL versus STS-3 — synchronisation costs excluded by construction.
+func (r *Runner) Fig14() ([]Fig14Row, error) {
+	var out []Fig14Row
+	for _, mc := range r.Machines {
+		fmt.Fprintf(r.Out, "Figure 14: largest-pack time per unknown, CSR-COL/STS-3, %d cores (%s)\n",
+			mc.EvalCores, mc.Label)
+		for _, id := range r.sortedIDs() {
+			col, err := r.Sim(id, order.CSRCOL, mc, mc.EvalCores)
+			if err != nil {
+				return nil, err
+			}
+			sts, err := r.Sim(id, order.STS3, mc, mc.EvalCores)
+			if err != nil {
+				return nil, err
+			}
+			tCol := largestPackPerUnknown(col.PackCycles, col.PackRows)
+			tSTS := largestPackPerUnknown(sts.PackCycles, sts.PackRows)
+			ratio := metrics.Speedup(tCol, tSTS)
+			out = append(out, Fig14Row{Machine: mc.Label, MatID: id, Ratio: ratio})
+			fmt.Fprintf(r.Out, "%-4s %.2f\n", id, ratio)
+		}
+		var vals []float64
+		for _, row := range out {
+			if row.Machine == mc.Label {
+				vals = append(vals, row.Ratio)
+			}
+		}
+		fmt.Fprintf(r.Out, "geomean (%s): %.2f\n", mc.Label, metrics.GeoMean(vals))
+	}
+	return out, nil
+}
+
+// largestPackPerUnknown returns cycles/unknown for the pack with the most
+// rows.
+func largestPackPerUnknown(cycles []uint64, rows []int) float64 {
+	best := -1
+	for p, r := range rows {
+		if best < 0 || r > rows[best] {
+			best = p
+		}
+	}
+	if best < 0 || rows[best] == 0 {
+		return 0
+	}
+	return float64(cycles[best]) / float64(rows[best])
+}

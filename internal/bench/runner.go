@@ -1,0 +1,262 @@
+// Package bench is the experiment harness of the reproduction: one driver
+// per table/figure of the paper's evaluation (§4), shared by the stsbench
+// command and the repository-root benchmarks. Timing comes from the
+// deterministic NUMA cache simulator (internal/cachesim); see DESIGN.md §1
+// for why wall-clock goroutine timing cannot reproduce pinned-OpenMP
+// results and how the substitution preserves the paper's mechanisms.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"stsk/internal/cachesim"
+	"stsk/internal/gen"
+	"stsk/internal/machine"
+	"stsk/internal/order"
+	"stsk/internal/sparse"
+)
+
+// MachineConfig couples a topology with the paper's evaluation parameters
+// for that machine.
+type MachineConfig struct {
+	Label             string
+	Topo              machine.Topology
+	EvalCores         int   // core count of Figures 9-11 and 14
+	CoreSweep         []int // core counts of Figures 12-13
+	PaperRowsPerSuper int   // §4.1: 80 rows (Intel), 320 rows (AMD)
+}
+
+// DefaultMachines returns the paper's two evaluation machines.
+func DefaultMachines() []MachineConfig {
+	return []MachineConfig{
+		{
+			Label:             "Intel",
+			Topo:              machine.IntelWestmereEX32(),
+			EvalCores:         16,
+			CoreSweep:         []int{1, 2, 4, 8, 16, 24, 32},
+			PaperRowsPerSuper: 80,
+		},
+		{
+			Label:             "AMD",
+			Topo:              machine.AMDMagnyCours24(),
+			EvalCores:         12,
+			CoreSweep:         []int{1, 2, 4, 6, 12, 18, 24},
+			PaperRowsPerSuper: 320,
+		},
+	}
+}
+
+// Runner builds matrices, plans and simulations on demand and memoises
+// them across experiments.
+type Runner struct {
+	Scale    int // target rows per suite matrix
+	Repeats  int // cache-simulator warm repeats
+	Out      io.Writer
+	Machines []MachineConfig
+
+	specs []gen.Spec
+	mats  map[string]*sparse.CSR
+	plans map[string]*order.Plan
+	sims  map[string]*cachesim.Result
+}
+
+// New returns a Runner at the given suite scale writing reports to out.
+// The machine topologies are cache-scaled to the suite scale (see
+// machine.ScaleCaches): the paper's matrices dwarf the real caches, so the
+// reproduction shrinks the caches with the matrices to keep the
+// footprint-to-cache ratios — the driver of every locality effect — in
+// the paper's regime.
+func New(scale int, out io.Writer) *Runner {
+	machines := DefaultMachines()
+	for i := range machines {
+		machines[i].Topo = machine.ScaleCaches(machines[i].Topo, 16, l3Divisor(machines[i].Topo, scale))
+	}
+	return &Runner{
+		Scale:    scale,
+		Repeats:  2,
+		Out:      out,
+		Machines: machines,
+		specs:    gen.PaperSuite(scale),
+		mats:     make(map[string]*sparse.CSR),
+		plans:    make(map[string]*order.Plan),
+		sims:     make(map[string]*cachesim.Result),
+	}
+}
+
+// l3Divisor picks a power-of-two divisor so the scaled L3 holds roughly
+// 4 bytes per matrix row — mirroring the paper's machines, whose L3 held
+// only a small fraction of the solution vector, let alone the matrix.
+func l3Divisor(t machine.Topology, scale int) int {
+	target := scale * 2
+	if target < 1024 {
+		target = 1024
+	}
+	div := 1
+	for t.L3.SizeBytes/(div*2) >= target && div < 4096 {
+		div *= 2
+	}
+	return div
+}
+
+// Specs returns the suite specifications.
+func (r *Runner) Specs() []gen.Spec { return r.specs }
+
+// Matrix returns (building and memoising) the suite matrix with the id.
+func (r *Runner) Matrix(id string) (*sparse.CSR, error) {
+	if m, ok := r.mats[id]; ok {
+		return m, nil
+	}
+	spec := gen.BySuiteID(r.specs, id)
+	if spec == nil {
+		return nil, fmt.Errorf("bench: unknown suite matrix %q", id)
+	}
+	m := spec.Build(r.Scale)
+	r.mats[id] = m
+	return m, nil
+}
+
+// rowsPerSuper adapts the paper's per-machine super-row size to the scaled
+// suite: a super-row should stay near the paper's value but leave at least
+// ~16 super-rows per core so packs can load-balance.
+func rowsPerSuper(n, cores, paperVal int) int {
+	v := n / (cores * 16)
+	if v > paperVal {
+		v = paperVal
+	}
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Plan returns the memoised ordering plan for (matrix, method, machine).
+func (r *Runner) Plan(id string, m order.Method, mc MachineConfig) (*order.Plan, error) {
+	rps := 0
+	if m.UsesSuperRows() {
+		mat, err := r.Matrix(id)
+		if err != nil {
+			return nil, err
+		}
+		rps = rowsPerSuper(mat.N, mc.EvalCores, mc.PaperRowsPerSuper)
+	}
+	key := fmt.Sprintf("%s|%v|%d", id, m, rps)
+	if p, ok := r.plans[key]; ok {
+		return p, nil
+	}
+	mat, err := r.Matrix(id)
+	if err != nil {
+		return nil, err
+	}
+	p, err := order.Build(mat, order.Options{Method: m, RowsPerSuper: rps})
+	if err != nil {
+		return nil, fmt.Errorf("bench: plan %s/%v: %w", id, m, err)
+	}
+	r.plans[key] = p
+	return p, nil
+}
+
+// Sim returns the memoised simulation of (matrix, method, machine, cores).
+func (r *Runner) Sim(id string, m order.Method, mc MachineConfig, cores int) (*cachesim.Result, error) {
+	key := fmt.Sprintf("%s|%v|%s|%d", id, m, mc.Label, cores)
+	if s, ok := r.sims[key]; ok {
+		return s, nil
+	}
+	p, err := r.Plan(id, m, mc)
+	if err != nil {
+		return nil, err
+	}
+	chunk := 1
+	if !m.UsesSuperRows() {
+		chunk = 32 // the paper's schedule(dynamic,32) for row-level schemes
+	}
+	res, err := cachesim.Simulate(p.S, mc.Topo, cachesim.Options{
+		Cores:   cores,
+		Chunk:   chunk,
+		Repeats: r.Repeats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: sim %s/%v on %s: %w", id, m, mc.Label, err)
+	}
+	r.sims[key] = res
+	return res, nil
+}
+
+// Experiments lists the runnable experiment names in paper order.
+func Experiments() []string {
+	return []string{
+		"table1", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14",
+	}
+}
+
+// Run executes one experiment by name ("all" runs the full evaluation).
+func (r *Runner) Run(name string) error {
+	switch name {
+	case "all":
+		for _, e := range Experiments() {
+			if err := r.Run(e); err != nil {
+				return err
+			}
+			fmt.Fprintln(r.Out)
+		}
+		return nil
+	case "table1":
+		_, err := r.Table1()
+		return err
+	case "fig6":
+		return r.Fig6()
+	case "fig7":
+		_, err := r.Fig7()
+		return err
+	case "fig8":
+		_, err := r.Fig8()
+		return err
+	case "fig9":
+		_, err := r.Fig9()
+		return err
+	case "fig10":
+		_, err := r.RelativeSpeedup(order.CSRCOL, order.STS3, "fig10", "Relative Speedup (Color)")
+		return err
+	case "fig11":
+		_, err := r.RelativeSpeedup(order.CSRLS, order.CSR3LS, "fig11", "Relative Speedup (LS)")
+		return err
+	case "fig12":
+		_, err := r.CoreSweep(order.CSRCOL, order.STS3, "fig12", "Relative Speedup - Color")
+		return err
+	case "fig13":
+		_, err := r.CoreSweep(order.CSRLS, order.CSR3LS, "fig13", "Relative Speedup - LS")
+		return err
+	case "fig14":
+		_, err := r.Fig14()
+		return err
+	case "wallclock":
+		return r.Wallclock(10)
+	case "ablations":
+		for _, ab := range Ablations() {
+			if err := r.RunAblation(ab); err != nil {
+				return err
+			}
+			fmt.Fprintln(r.Out)
+		}
+		return nil
+	}
+	for _, ab := range Ablations() {
+		if name == ab {
+			return r.RunAblation(name)
+		}
+	}
+	return fmt.Errorf("bench: unknown experiment %q (have %v and %v)", name, Experiments(), Ablations())
+}
+
+// sortedIDs returns the suite ids in presentation order.
+func (r *Runner) sortedIDs() []string {
+	ids := make([]string, len(r.specs))
+	for i, s := range r.specs {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// methodLabels formats the four schemes in the paper's column order.
+var methodOrder = []order.Method{order.CSRLS, order.CSR3LS, order.CSRCOL, order.STS3}

@@ -1,0 +1,223 @@
+// Package cachesim is the trace-driven NUMA cache-hierarchy simulator that
+// stands in for the paper's pinned-OpenMP hardware measurements (see
+// DESIGN.md §1). It replays the exact memory-access stream of the
+// pack-parallel triangular solver of Algorithm 1 against set-associative
+// LRU caches wired into a machine.Topology, with explicit compact
+// task→core placement and first-touch NUMA page homing, and reports
+// modeled cycles — deterministic, placement-controlled analogues of the
+// paper's execution times.
+package cachesim
+
+import (
+	"fmt"
+
+	"stsk/internal/machine"
+)
+
+// Cache is one set-associative LRU cache. Tags are stored most-recently
+// used first within each set.
+type Cache struct {
+	sets     [][]uint64
+	assoc    int
+	numSets  uint64
+	Hits     uint64
+	Misses   uint64
+	lineMask uint64
+}
+
+// NewCache builds a cache with the given geometry. Addresses are probed in
+// line units, so the spec's line size only participates via the caller.
+func NewCache(spec machine.CacheSpec) *Cache {
+	numSets := spec.SizeBytes / (spec.LineBytes * spec.Assoc)
+	if numSets < 1 {
+		numSets = 1
+	}
+	return &Cache{
+		sets:    make([][]uint64, numSets),
+		assoc:   spec.Assoc,
+		numSets: uint64(numSets),
+	}
+}
+
+// Probe looks the line up, updating LRU state, and inserts it on a miss
+// (evicting the least recently used line if the set is full). It reports
+// whether the access hit.
+func (c *Cache) Probe(line uint64) bool {
+	idx := line % c.numSets
+	set := c.sets[idx]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[idx] = set
+	return false
+}
+
+// Contains reports whether the line is resident without touching LRU
+// state — used to model a remote-socket L3 snoop.
+func (c *Cache) Contains(line uint64) bool {
+	for _, tag := range c.sets[line%c.numSets] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset empties the cache and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.Hits, c.Misses = 0, 0
+}
+
+// AccessCounts aggregates where accesses were served.
+type AccessCounts struct {
+	L1, L2          uint64
+	L3Local         uint64
+	L3Remote        uint64
+	DRAMLocal       uint64
+	DRAMRemote      uint64
+	Total           uint64
+	CyclesFromReads uint64
+}
+
+// Hierarchy is the full machine: private L1/L2 per core, shared L3 per
+// socket, first-touch NUMA homing of cache lines.
+type Hierarchy struct {
+	topo   machine.Topology
+	cores  int
+	l1, l2 []*Cache
+	l3     []*Cache
+	home   map[uint64]uint8
+	Counts AccessCounts
+
+	lineShift uint // log2 of the topology's cache-line size
+}
+
+// NewHierarchy wires caches for the first `cores` cores of the topology
+// under compact placement.
+func NewHierarchy(topo machine.Topology, cores int) (*Hierarchy, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cores < 1 || cores > topo.TotalCores() {
+		return nil, fmt.Errorf("cachesim: %d cores requested, topology %q has %d",
+			cores, topo.Name, topo.TotalCores())
+	}
+	h := &Hierarchy{
+		topo:  topo,
+		cores: cores,
+		l1:    make([]*Cache, cores),
+		l2:    make([]*Cache, cores),
+		home:  make(map[uint64]uint8),
+	}
+	for shift := uint(3); shift <= 12; shift++ {
+		if 1<<shift == topo.L1.LineBytes {
+			h.lineShift = shift
+		}
+	}
+	if h.lineShift == 0 {
+		return nil, fmt.Errorf("cachesim: line size %d is not a power of two in [8,4096]", topo.L1.LineBytes)
+	}
+	for c := 0; c < cores; c++ {
+		h.l1[c] = NewCache(topo.L1)
+		h.l2[c] = NewCache(topo.L2)
+	}
+	sockets := topo.SocketOf(cores-1) + 1
+	h.l3 = make([]*Cache, sockets)
+	for s := range h.l3 {
+		h.l3[s] = NewCache(topo.L3)
+	}
+	return h, nil
+}
+
+// Access charges one random (pointer-chasing) memory access by the given
+// core to the byte address and returns its latency in cycles. Use
+// AccessStream for sequential array traffic.
+func (h *Hierarchy) Access(core int, addr uint64) uint64 {
+	return h.access(core, addr, false)
+}
+
+// AccessStream charges one access belonging to a sequential stream (matrix
+// values, column indices, row pointers, the right-hand side): misses are
+// charged the topology's PrefetchCycle instead of the full latency,
+// modelling a hardware stream prefetcher. Cache contents update exactly as
+// for Access, so stream traffic still causes capacity pressure.
+func (h *Hierarchy) AccessStream(core int, addr uint64) uint64 {
+	return h.access(core, addr, true)
+}
+
+func (h *Hierarchy) access(core int, addr uint64, stream bool) uint64 {
+	line := addr >> h.lineShift
+	h.Counts.Total++
+	if h.l1[core].Probe(line) {
+		h.Counts.L1++
+		lat := uint64(h.topo.L1.LatencyCycle)
+		h.Counts.CyclesFromReads += lat
+		return lat
+	}
+	if h.l2[core].Probe(line) {
+		h.Counts.L2++
+		return h.charge(stream, uint64(h.topo.L2.LatencyCycle))
+	}
+	sock := h.topo.SocketOf(core)
+	if h.l3[sock].Probe(line) {
+		h.Counts.L3Local++
+		return h.charge(stream, uint64(h.topo.L3.LatencyCycle))
+	}
+	// Local L3 missed (line now inserted). Snoop the other sockets, then
+	// fall through to DRAM with first-touch homing.
+	for s := range h.l3 {
+		if s == sock {
+			continue
+		}
+		if h.l3[s].Contains(line) {
+			h.Counts.L3Remote++
+			return h.charge(stream, uint64(h.topo.L3RemoteCycle))
+		}
+	}
+	homeSock, ok := h.home[line]
+	if !ok {
+		homeSock = uint8(sock)
+		h.home[line] = homeSock
+	}
+	if int(homeSock) == sock {
+		h.Counts.DRAMLocal++
+		return h.charge(stream, uint64(h.topo.DRAMLocalCycle))
+	}
+	h.Counts.DRAMRemote++
+	return h.charge(stream, uint64(h.topo.DRAMRemoteCycle))
+}
+
+// charge applies the prefetcher discount to stream misses and accumulates
+// the read-cycle counter.
+func (h *Hierarchy) charge(stream bool, lat uint64) uint64 {
+	if stream && h.topo.PrefetchCycle > 0 && lat > uint64(h.topo.PrefetchCycle) {
+		lat = uint64(h.topo.PrefetchCycle)
+	}
+	h.Counts.CyclesFromReads += lat
+	return lat
+}
+
+// HitRate returns the fraction of accesses served by L1 or L2 or the local
+// L3 — the locality measure the paper's CSR-k analysis optimises.
+func (h *Hierarchy) HitRate() float64 {
+	if h.Counts.Total == 0 {
+		return 0
+	}
+	served := h.Counts.L1 + h.Counts.L2 + h.Counts.L3Local
+	return float64(served) / float64(h.Counts.Total)
+}

@@ -1,0 +1,168 @@
+package cachesim
+
+import (
+	"testing"
+
+	"stsk/internal/machine"
+)
+
+func tinySpec(sizeLines, assoc int) machine.CacheSpec {
+	return machine.CacheSpec{
+		SizeBytes:    sizeLines * 64,
+		LineBytes:    64,
+		Assoc:        assoc,
+		LatencyCycle: 1,
+	}
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := NewCache(tinySpec(8, 2))
+	if c.Probe(42) {
+		t.Fatal("cold cache hit")
+	}
+	if !c.Probe(42) {
+		t.Fatal("line not resident after insert")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct-mapped-per-set with 2 ways and 4 sets: lines 0, 4, 8 share set 0.
+	c := NewCache(tinySpec(8, 2))
+	c.Probe(0)
+	c.Probe(4)
+	c.Probe(8) // evicts 0 (LRU)
+	if c.Contains(0) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Contains(4) || !c.Contains(8) {
+		t.Fatal("wrong line evicted")
+	}
+	// Touch 4, insert 12: should evict 8, not 4.
+	c.Probe(4)
+	c.Probe(12)
+	if !c.Contains(4) || c.Contains(8) {
+		t.Fatal("LRU order not updated on hit")
+	}
+}
+
+func TestCacheContainsDoesNotPromote(t *testing.T) {
+	c := NewCache(tinySpec(8, 2))
+	c.Probe(0)
+	c.Probe(4)
+	// Peek 0 must not promote it: inserting 8 should still evict 0.
+	if !c.Contains(0) {
+		t.Fatal("peek lost line")
+	}
+	c.Probe(8)
+	if c.Contains(0) {
+		t.Fatal("Contains promoted the line")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(tinySpec(4, 2))
+	c.Probe(1)
+	c.Reset()
+	if c.Contains(1) || c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	topo := machine.IntelWestmereEX32()
+	h, err := NewHierarchy(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addr = 12345 * 64
+	// Cold: DRAM local (first touch homes it to socket 0).
+	if lat := h.Access(0, addr); lat != uint64(topo.DRAMLocalCycle) {
+		t.Fatalf("cold access latency %d, want DRAM local %d", lat, topo.DRAMLocalCycle)
+	}
+	// Warm on same core: L1.
+	if lat := h.Access(0, addr); lat != uint64(topo.L1.LatencyCycle) {
+		t.Fatalf("warm access latency %d, want L1 %d", lat, topo.L1.LatencyCycle)
+	}
+	// Another core on the same socket: local L3 hit.
+	if lat := h.Access(1, addr); lat != uint64(topo.L3.LatencyCycle) {
+		t.Fatalf("same-socket access latency %d, want L3 %d", lat, topo.L3.LatencyCycle)
+	}
+	// A core on another socket: remote L3.
+	if lat := h.Access(8, addr); lat != uint64(topo.L3RemoteCycle) {
+		t.Fatalf("cross-socket access latency %d, want remote L3 %d", lat, topo.L3RemoteCycle)
+	}
+}
+
+func TestHierarchyFirstTouchHoming(t *testing.T) {
+	topo := machine.IntelWestmereEX32()
+	h, err := NewHierarchy(topo, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 8 (socket 1) touches a line first: homed to socket 1.
+	const addr = 999 * 64
+	if lat := h.Access(8, addr); lat != uint64(topo.DRAMLocalCycle) {
+		t.Fatalf("first touch latency %d, want local DRAM", lat)
+	}
+	// Evict it by flooding socket 1's L3 and core 8's L1/L2... simpler:
+	// fresh hierarchy, pre-home via a socket-1 access, then access the
+	// line from socket 0 after the L3 copy is gone.
+	h2, _ := NewHierarchy(topo, 16)
+	h2.Access(8, addr)
+	// Flood socket 1's caches so addr is evicted everywhere on socket 1.
+	spec := topo.L3
+	lines := spec.SizeBytes / spec.LineBytes * 2
+	for i := 0; i < lines; i++ {
+		h2.Access(8, uint64(1<<40)+uint64(i)*64)
+	}
+	if lat := h2.Access(0, addr); lat != uint64(topo.DRAMRemoteCycle) {
+		t.Fatalf("remote-homed access latency %d, want remote DRAM %d", lat, topo.DRAMRemoteCycle)
+	}
+}
+
+func TestHierarchyUMANoRemotePenalty(t *testing.T) {
+	topo := machine.UMA(8)
+	h, err := NewHierarchy(topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 64)
+	if lat := h.Access(7, 64); lat != uint64(topo.L3.LatencyCycle) {
+		t.Fatalf("UMA shared L3 latency %d, want %d", lat, topo.L3.LatencyCycle)
+	}
+	if h.Counts.DRAMRemote != 0 {
+		t.Fatal("UMA produced remote DRAM accesses")
+	}
+}
+
+func TestNewHierarchyRejectsBadCores(t *testing.T) {
+	topo := machine.IntelWestmereEX32()
+	if _, err := NewHierarchy(topo, 0); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	if _, err := NewHierarchy(topo, 33); err == nil {
+		t.Fatal("33 cores accepted on a 32-core machine")
+	}
+	bad := topo
+	bad.Sockets = 0
+	if _, err := NewHierarchy(bad, 1); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	topo := machine.UMA(2)
+	h, _ := NewHierarchy(topo, 1)
+	if h.HitRate() != 0 {
+		t.Fatal("empty hierarchy hit rate should be 0")
+	}
+	h.Access(0, 0)  // miss
+	h.Access(0, 0)  // L1 hit
+	h.Access(0, 64) // miss
+	if got := h.HitRate(); got < 0.3 || got > 0.4 {
+		t.Fatalf("hit rate %v, want 1/3", got)
+	}
+}

@@ -1,0 +1,81 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stsk/internal/machine"
+)
+
+// refLRU is an obviously-correct reference model: a slice ordered by
+// recency per set.
+type refLRU struct {
+	sets  map[uint64][]uint64
+	assoc int
+	nsets uint64
+}
+
+func newRefLRU(sizeLines, assoc int) *refLRU {
+	return &refLRU{
+		sets:  make(map[uint64][]uint64),
+		assoc: assoc,
+		nsets: uint64(sizeLines / assoc),
+	}
+}
+
+func (r *refLRU) probe(line uint64) bool {
+	idx := line % r.nsets
+	set := r.sets[idx]
+	for i, tag := range set {
+		if tag == line {
+			set = append(set[:i], set[i+1:]...)
+			r.sets[idx] = append([]uint64{line}, set...)
+			return true
+		}
+	}
+	set = append([]uint64{line}, set...)
+	if len(set) > r.assoc {
+		set = set[:r.assoc]
+	}
+	r.sets[idx] = set
+	return false
+}
+
+func TestCacheMatchesReferenceLRU(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(13))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizeLines := []int{4, 8, 16, 32}[rng.Intn(4)]
+		assoc := []int{1, 2, 4}[rng.Intn(3)]
+		if assoc > sizeLines {
+			assoc = sizeLines
+		}
+		c := NewCache(machine.CacheSpec{
+			SizeBytes: sizeLines * 64, LineBytes: 64, Assoc: assoc, LatencyCycle: 1,
+		})
+		ref := newRefLRU(sizeLines, assoc)
+		for i := 0; i < 400; i++ {
+			line := uint64(rng.Intn(3 * sizeLines))
+			if c.Probe(line) != ref.probe(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitPlusMissEqualsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := NewCache(machine.CacheSpec{SizeBytes: 1024, LineBytes: 64, Assoc: 4, LatencyCycle: 1})
+	n := 500
+	for i := 0; i < n; i++ {
+		c.Probe(uint64(rng.Intn(64)))
+	}
+	if c.Hits+c.Misses != uint64(n) {
+		t.Fatalf("hits %d + misses %d != %d", c.Hits, c.Misses, n)
+	}
+}

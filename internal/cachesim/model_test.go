@@ -1,0 +1,114 @@
+package cachesim
+
+import (
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/machine"
+	"stsk/internal/order"
+)
+
+func TestStreamPrefetchDiscount(t *testing.T) {
+	topo := machine.IntelWestmereEX32()
+	h, err := NewHierarchy(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold stream access: charged PrefetchCycle, not DRAM latency.
+	if lat := h.AccessStream(0, 0); lat != uint64(topo.PrefetchCycle) {
+		t.Fatalf("cold stream access charged %d, want prefetch %d", lat, topo.PrefetchCycle)
+	}
+	// The line is still installed: a warm random access hits L1.
+	if lat := h.Access(0, 0); lat != uint64(topo.L1.LatencyCycle) {
+		t.Fatalf("stream access did not fill the cache (lat %d)", lat)
+	}
+	// A cold random access pays full DRAM latency.
+	if lat := h.Access(0, 1<<20); lat != uint64(topo.DRAMLocalCycle) {
+		t.Fatalf("cold random access charged %d, want %d", lat, topo.DRAMLocalCycle)
+	}
+}
+
+func TestStreamPrefetchDisabled(t *testing.T) {
+	topo := machine.IntelWestmereEX32()
+	topo.PrefetchCycle = 0
+	h, err := NewHierarchy(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := h.AccessStream(0, 0); lat != uint64(topo.DRAMLocalCycle) {
+		t.Fatalf("disabled prefetcher still discounted: %d", lat)
+	}
+}
+
+func TestBandwidthEnvelopeBinds(t *testing.T) {
+	// With an extreme per-line cost the bandwidth bound must dominate the
+	// pack makespan; with 0 it must never.
+	a := gen.TriMesh(24, 24, 3)
+	p, err := order.Build(a, order.Options{Method: order.STS3, RowsPerSuper: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := machine.ScaleCaches(machine.IntelWestmereEX32(), 16, 1024)
+	free.DRAMPerLineCycle = 0
+	bound := free
+	bound.DRAMPerLineCycle = 100000
+	rFree, err := Simulate(p.S, free, Options{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBound, err := Simulate(p.S, bound, Options{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBound.Cycles <= rFree.Cycles {
+		t.Fatalf("bandwidth envelope did not bind: %d <= %d", rBound.Cycles, rFree.Cycles)
+	}
+}
+
+func TestBandwidthEnvelopeMonotoneInCost(t *testing.T) {
+	a := gen.Grid2D(20, 20)
+	p, err := order.Build(a, order.Options{Method: order.CSRCOL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := machine.ScaleCaches(machine.IntelWestmereEX32(), 16, 1024)
+	var prev uint64
+	for _, c := range []int{0, 6, 60, 600} {
+		topo := base
+		topo.DRAMPerLineCycle = c
+		r, err := Simulate(p.S, topo, Options{Cores: 8, Chunk: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles < prev {
+			t.Fatalf("cycles decreased (%d -> %d) as per-line cost rose to %d", prev, r.Cycles, c)
+		}
+		prev = r.Cycles
+	}
+}
+
+func TestSmallLineSizeHierarchy(t *testing.T) {
+	topo := machine.ScaleCachesLine(machine.IntelWestmereEX32(), 16, 256, 8)
+	h, err := NewHierarchy(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-byte lines: entries 0 and 1 live on different lines.
+	h.Access(0, 0)
+	if lat := h.Access(0, 8); lat == uint64(topo.L1.LatencyCycle) {
+		t.Fatal("adjacent 8-byte entries shared a line under lineDiv=8")
+	}
+	if lat := h.Access(0, 0); lat != uint64(topo.L1.LatencyCycle) {
+		t.Fatalf("first entry not cached: %d", lat)
+	}
+}
+
+func TestRejectsWeirdLineSize(t *testing.T) {
+	topo := machine.IntelWestmereEX32()
+	topo.L1.LineBytes = 48
+	topo.L2.LineBytes = 48
+	topo.L3.LineBytes = 48
+	if _, err := NewHierarchy(topo, 1); err == nil {
+		t.Fatal("non-power-of-two line size accepted")
+	}
+}

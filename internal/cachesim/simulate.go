@@ -1,0 +1,181 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"stsk/internal/csrk"
+	"stsk/internal/machine"
+)
+
+// Layout assigns disjoint byte ranges to the solver's arrays so the cache
+// simulator sees a realistic address stream. All elements are modeled as
+// 8 bytes (float64 values; int columns are 8 bytes on amd64).
+type Layout struct {
+	ValBase, ColBase, RowPtrBase, XBase, BBase uint64
+}
+
+// NewLayout spaces the arrays of an n-row, nnz-entry system far apart so
+// they never alias in the simulated address space.
+func NewLayout(n, nnz int) Layout {
+	const gap = 1 << 30 // 1 GiB segments: indices never collide
+	return Layout{
+		ValBase:    0 * gap,
+		ColBase:    1 * gap,
+		RowPtrBase: 2 * gap,
+		XBase:      3 * gap,
+		BBase:      4 * gap,
+	}
+}
+
+// Options configures one simulation run.
+type Options struct {
+	// Cores is the number of active cores (compact placement). Required.
+	Cores int
+	// Chunk is how many consecutive super-rows a core claims at once,
+	// mirroring the solver's dynamic/guided chunking. Defaults to 1.
+	Chunk int
+	// Repeats replays the solve this many times over persistent caches
+	// and reports the last replay — the paper times the average of 10
+	// warm repeats, so Repeats=2 gives a warm-cache measurement.
+	// Defaults to 1 (cold).
+	Repeats int
+}
+
+// Result reports modeled time and locality for one simulated solve.
+type Result struct {
+	Cycles      uint64   // total modeled makespan, including barriers
+	SyncCycles  uint64   // portion spent in inter-pack barriers
+	PackCycles  []uint64 // per-pack makespan, barrier excluded
+	PackRows    []int    // solution components per pack (for Fig 14 scaling)
+	Counts      AccessCounts
+	HitRate     float64 // L1+L2+local-L3 fraction
+	Cores       int
+	NumPacks    int
+	MachineName string
+}
+
+// Simulate replays the pack-parallel solve of the structure on the
+// topology with the given core count and returns modeled cycles.
+//
+// Scheduling follows the dynamic heuristic of §3.3: within a pack, the
+// earliest-available core claims the next chunk of super-rows in pack
+// order, so consecutive DAR-adjacent tasks tend to share a core and its
+// caches. A barrier (SyncBase + SyncPerCore·cores) separates packs.
+func Simulate(s *csrk.Structure, topo machine.Topology, opts Options) (*Result, error) {
+	if opts.Cores < 1 {
+		return nil, fmt.Errorf("cachesim: need at least one core")
+	}
+	if opts.Chunk < 1 {
+		opts.Chunk = 1
+	}
+	if opts.Repeats < 1 {
+		opts.Repeats = 1
+	}
+	h, err := NewHierarchy(topo, opts.Cores)
+	if err != nil {
+		return nil, err
+	}
+	lay := NewLayout(s.L.N, s.L.NNZ())
+	res := &Result{
+		Cores:       opts.Cores,
+		NumPacks:    s.NumPacks(),
+		MachineName: topo.Name,
+		PackRows:    s.PackRowCounts(),
+	}
+	for rep := 0; rep < opts.Repeats; rep++ {
+		res.PackCycles = res.PackCycles[:0]
+		res.Cycles = 0
+		res.SyncCycles = 0
+		replay(s, topo, h, lay, opts, res)
+	}
+	res.Counts = h.Counts
+	res.HitRate = h.HitRate()
+	return res, nil
+}
+
+// replay runs one full solve over the (persistent) hierarchy.
+func replay(s *csrk.Structure, topo machine.Topology, h *Hierarchy, lay Layout, opts Options, res *Result) {
+	avail := make([]uint64, opts.Cores)
+	var now uint64
+	syncCost := uint64(topo.SyncBaseCycle + topo.SyncPerCoreCycle*opts.Cores)
+	sockets := topo.SocketOf(opts.Cores-1) + 1
+	dramLines := make([]uint64, sockets)
+	for p := 0; p < s.NumPacks(); p++ {
+		for c := range avail {
+			avail[c] = now
+		}
+		for sk := range dramLines {
+			dramLines[sk] = 0
+		}
+		lo, hi := s.PackSuperRows(p)
+		for next := lo; next < hi; {
+			end := next + opts.Chunk
+			if end > hi {
+				end = hi
+			}
+			core := 0
+			for c := 1; c < opts.Cores; c++ {
+				if avail[c] < avail[core] {
+					core = c
+				}
+			}
+			sock := topo.SocketOf(core)
+			for sr := next; sr < end; sr++ {
+				d0 := h.Counts.DRAMLocal + h.Counts.DRAMRemote
+				avail[core] += replaySuperRow(s, h, lay, core, sr, topo.ComputeCycle)
+				dramLines[sock] += h.Counts.DRAMLocal + h.Counts.DRAMRemote - d0
+			}
+			next = end
+		}
+		makespan := uint64(0)
+		for _, a := range avail {
+			if a-now > makespan {
+				makespan = a - now
+			}
+		}
+		// Little's-law bandwidth envelope: a socket's memory controller can
+		// deliver one DRAM line per DRAMPerLineCycle, no matter how well
+		// latency overlaps — the pack cannot complete faster than its most
+		// loaded controller (the paper's Figure 8 discussion).
+		if topo.DRAMPerLineCycle > 0 {
+			for _, lines := range dramLines {
+				if bw := lines * uint64(topo.DRAMPerLineCycle); bw > makespan {
+					makespan = bw
+				}
+			}
+		}
+		res.PackCycles = append(res.PackCycles, makespan)
+		now += makespan
+		if p+1 < s.NumPacks() {
+			now += syncCost
+			res.SyncCycles += syncCost
+		}
+	}
+	res.Cycles = now
+}
+
+// replaySuperRow charges the access stream of solving one super-row on one
+// core and returns the modeled duration in cycles: per row, read b[i] and
+// the row's index/value stream, read x[col] per off-diagonal entry, one
+// FMA per entry, and write x[i].
+func replaySuperRow(s *csrk.Structure, h *Hierarchy, lay Layout, core, sr, computeCycle int) uint64 {
+	l := s.L
+	rowLo, rowHi := s.SuperRowRows(sr)
+	var cycles uint64
+	for i := rowLo; i < rowHi; i++ {
+		cycles += h.AccessStream(core, lay.BBase+uint64(i)*8)
+		cycles += h.AccessStream(core, lay.RowPtrBase+uint64(i)*8)
+		lo, hi := l.RowPtr[i], l.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			cycles += h.AccessStream(core, lay.ColBase+uint64(k)*8)
+			cycles += h.AccessStream(core, lay.ValBase+uint64(k)*8)
+			j := l.Col[k]
+			if j != i {
+				cycles += h.Access(core, lay.XBase+uint64(j)*8)
+			}
+			cycles += uint64(computeCycle)
+		}
+		cycles += h.Access(core, lay.XBase+uint64(i)*8) // store of x[i]
+	}
+	return cycles
+}

@@ -1,0 +1,151 @@
+package cachesim
+
+import (
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/machine"
+	"stsk/internal/order"
+)
+
+func simPlan(t testing.TB, m order.Method, scale int) *order.Plan {
+	t.Helper()
+	a := gen.TriMesh(scale, scale, 7)
+	p, err := order.Build(a, order.Options{Method: m, RowsPerSuper: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimulateBasics(t *testing.T) {
+	p := simPlan(t, order.STS3, 20)
+	topo := machine.IntelWestmereEX32()
+	res, err := Simulate(p.S, topo, Options{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("zero modeled cycles")
+	}
+	if res.NumPacks != p.NumPacks {
+		t.Fatalf("packs %d, want %d", res.NumPacks, p.NumPacks)
+	}
+	if len(res.PackCycles) != p.NumPacks || len(res.PackRows) != p.NumPacks {
+		t.Fatal("per-pack series length wrong")
+	}
+	wantSync := uint64(p.NumPacks-1) * uint64(topo.SyncBaseCycle+topo.SyncPerCoreCycle*8)
+	if res.SyncCycles != wantSync {
+		t.Fatalf("sync cycles %d, want %d", res.SyncCycles, wantSync)
+	}
+	var sum uint64
+	for _, pc := range res.PackCycles {
+		sum += pc
+	}
+	if sum+res.SyncCycles != res.Cycles {
+		t.Fatalf("pack cycles %d + sync %d != total %d", sum, res.SyncCycles, res.Cycles)
+	}
+	if res.HitRate <= 0 || res.HitRate >= 1 {
+		t.Fatalf("implausible hit rate %v", res.HitRate)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := simPlan(t, order.CSRCOL, 16)
+	topo := machine.AMDMagnyCours24()
+	a, err := Simulate(p.S, topo, Options{Cores: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p.S, topo, Options{Cores: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Counts != b.Counts {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestSimulateMoreCoresNotSlowerOnBigPacks(t *testing.T) {
+	// Colouring yields a few huge packs; adding cores must cut the modeled
+	// pack time even though barriers grow slightly.
+	p := simPlan(t, order.STS3, 28)
+	topo := machine.IntelWestmereEX32()
+	r1, err := Simulate(p.S, topo, Options{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Simulate(p.S, topo, Options{Cores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Cycles >= r1.Cycles {
+		t.Fatalf("16 cores (%d cycles) not faster than 1 core (%d cycles)", r16.Cycles, r1.Cycles)
+	}
+}
+
+func TestSimulateWarmRepeatsFasterOrEqual(t *testing.T) {
+	p := simPlan(t, order.STS3, 16)
+	topo := machine.UMA(8)
+	cold, err := Simulate(p.S, topo, Options{Cores: 4, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Simulate(p.S, topo, Options{Cores: 4, Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cycles > cold.Cycles {
+		t.Fatalf("warm replay (%d) slower than cold (%d)", warm.Cycles, cold.Cycles)
+	}
+}
+
+func TestSimulateSTS3BeatsCSRLS(t *testing.T) {
+	// The headline shape (Figure 9): STS-3 clearly beats the CSR-LS
+	// reference at a NUMA-relevant core count.
+	topo := machine.IntelWestmereEX32()
+	sts := simPlan(t, order.STS3, 36)
+	ls := simPlan(t, order.CSRLS, 36)
+	rSTS, err := Simulate(sts.S, topo, Options{Cores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLS, err := Simulate(ls.S, topo, Options{Cores: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSTS.Cycles >= rLS.Cycles {
+		t.Fatalf("STS-3 (%d cycles) not faster than CSR-LS (%d cycles) at 16 cores",
+			rSTS.Cycles, rLS.Cycles)
+	}
+}
+
+func TestSimulateLocalityOrdering(t *testing.T) {
+	// STS-3's sub-structuring must yield a hit rate at least as good as
+	// row-level colouring on a mesh (the §4.4 locality claim).
+	topo := machine.IntelWestmereEX32()
+	sts := simPlan(t, order.STS3, 32)
+	col := simPlan(t, order.CSRCOL, 32)
+	rSTS, err := Simulate(sts.S, topo, Options{Cores: 16, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCOL, err := Simulate(col.S, topo, Options{Cores: 16, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSTS.HitRate < rCOL.HitRate {
+		t.Fatalf("STS-3 hit rate %.4f below CSR-COL %.4f", rSTS.HitRate, rCOL.HitRate)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p := simPlan(t, order.STS3, 8)
+	topo := machine.IntelWestmereEX32()
+	if _, err := Simulate(p.S, topo, Options{Cores: 0}); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	if _, err := Simulate(p.S, topo, Options{Cores: 100}); err == nil {
+		t.Fatal("too many cores accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package csrk implements the k-level compressed-sparse-row substructure
+// of STS-k (paper §3.4, Algorithm 1). A Structure wraps a permuted
+// lower-triangular matrix with two extra index arrays:
+//
+//	PackPtr  ("index3"): pack p owns super-rows PackPtr[p]   : PackPtr[p+1]
+//	SuperPtr ("index2"): super-row s owns rows  SuperPtr[s]  : SuperPtr[s+1]
+//	L.RowPtr ("index1"): row i owns entries     RowPtr[i]    : RowPtr[i+1]
+//
+// Packs are processed one after another (they carry dependencies);
+// super-rows within a pack are mutually independent and solved in
+// parallel; rows within a super-row are solved sequentially by one core,
+// which is where spatial locality is harvested.
+//
+// Row-level methods (CSR-LS, CSR-COL, i.e. k=2) use the same Structure
+// with singleton super-rows, so one solver kernel serves all four schemes.
+package csrk
+
+import (
+	"fmt"
+
+	"stsk/internal/sparse"
+)
+
+// Structure is the k-level substructure over a lower-triangular matrix.
+type Structure struct {
+	L        *sparse.CSR // permuted lower-triangular matrix with diagonal last in each row
+	SuperPtr []int       // len NumSuperRows+1; rows of super-row s
+	PackPtr  []int       // len NumPacks+1; super-rows of pack p
+}
+
+// NumPacks returns the number of packs (independent sets).
+func (s *Structure) NumPacks() int { return len(s.PackPtr) - 1 }
+
+// NumSuperRows returns the number of super-rows.
+func (s *Structure) NumSuperRows() int { return len(s.SuperPtr) - 1 }
+
+// PackSuperRows returns the half-open super-row range of pack p.
+func (s *Structure) PackSuperRows(p int) (lo, hi int) {
+	return s.PackPtr[p], s.PackPtr[p+1]
+}
+
+// SuperRowRows returns the half-open row range of super-row sr.
+func (s *Structure) SuperRowRows(sr int) (lo, hi int) {
+	return s.SuperPtr[sr], s.SuperPtr[sr+1]
+}
+
+// PackRows returns the half-open row range covered by pack p (super-rows
+// within a pack are contiguous by construction).
+func (s *Structure) PackRows(p int) (lo, hi int) {
+	return s.SuperPtr[s.PackPtr[p]], s.SuperPtr[s.PackPtr[p+1]]
+}
+
+// PackRowCounts returns the number of rows (solution components) per pack.
+func (s *Structure) PackRowCounts() []int {
+	out := make([]int, s.NumPacks())
+	for p := range out {
+		lo, hi := s.PackRows(p)
+		out[p] = hi - lo
+	}
+	return out
+}
+
+// PackNNZ returns the number of stored entries per pack — the work measure
+// the paper uses (one fused multiply-add per entry).
+func (s *Structure) PackNNZ() []int64 {
+	out := make([]int64, s.NumPacks())
+	for p := range out {
+		lo, hi := s.PackRows(p)
+		out[p] = int64(s.L.RowPtr[hi] - s.L.RowPtr[lo])
+	}
+	return out
+}
+
+// Build assembles a Structure from a permuted lower-triangular matrix and
+// the nested boundaries. superPtr and packPtr must be monotone with
+// superPtr spanning [0, L.N] and packPtr spanning [0, len(superPtr)-1].
+func Build(l *sparse.CSR, superPtr, packPtr []int) (*Structure, error) {
+	s := &Structure{L: l, SuperPtr: superPtr, PackPtr: packPtr}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Flat returns a Structure with a single pack holding a single super-row
+// that spans every row — the degenerate layout for sequential solution.
+// Rows within a super-row are always processed in order by one worker, so
+// a Flat structure is valid for any lower-triangular system regardless of
+// its dependency pattern.
+func Flat(l *sparse.CSR) *Structure {
+	return &Structure{L: l, SuperPtr: []int{0, l.N}, PackPtr: []int{0, 1}}
+}
+
+// Validate checks the nesting invariants and that the matrix is a solvable
+// triangular system whose packs are truly independent sets: no entry of L
+// may connect two rows inside the same pack (other than within one
+// super-row, where rows are solved sequentially in order).
+func (s *Structure) Validate() error {
+	l := s.L
+	if l == nil {
+		return fmt.Errorf("csrk: nil matrix")
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if !l.IsLowerTriangular() {
+		return fmt.Errorf("csrk: matrix not lower triangular")
+	}
+	if err := checkPtr(s.SuperPtr, l.N, "SuperPtr"); err != nil {
+		return err
+	}
+	if err := checkPtr(s.PackPtr, len(s.SuperPtr)-1, "PackPtr"); err != nil {
+		return err
+	}
+	// Per-row diagonal: solvers divide by the last entry of each row.
+	for i := 0; i < l.N; i++ {
+		lo, hi := l.RowPtr[i], l.RowPtr[i+1]
+		if lo == hi || l.Col[hi-1] != i {
+			return fmt.Errorf("csrk: row %d lacks a trailing diagonal entry", i)
+		}
+		if l.Val[hi-1] == 0 {
+			return fmt.Errorf("csrk: zero diagonal at row %d", i)
+		}
+	}
+	// Independence: a row may reference rows of earlier packs, or earlier
+	// rows of its own super-row, but never another super-row of its pack.
+	superOf := make([]int, l.N)
+	for sr := 0; sr < s.NumSuperRows(); sr++ {
+		lo, hi := s.SuperRowRows(sr)
+		for i := lo; i < hi; i++ {
+			superOf[i] = sr
+		}
+	}
+	for p := 0; p < s.NumPacks(); p++ {
+		rowLo, rowHi := s.PackRows(p)
+		for i := rowLo; i < rowHi; i++ {
+			cols, _ := l.Row(i)
+			for _, j := range cols {
+				if j == i {
+					continue
+				}
+				if j >= rowLo && superOf[j] != superOf[i] {
+					return fmt.Errorf("csrk: pack %d not independent: row %d depends on row %d in super-row %d",
+						p, i, j, superOf[j])
+				}
+				if j > i {
+					return fmt.Errorf("csrk: forward dependency %d -> %d", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkPtr(ptr []int, span int, name string) error {
+	if len(ptr) < 2 {
+		return fmt.Errorf("csrk: %s too short (%d)", name, len(ptr))
+	}
+	if ptr[0] != 0 || ptr[len(ptr)-1] != span {
+		return fmt.Errorf("csrk: %s must span [0,%d], got [%d,%d]", name, span, ptr[0], ptr[len(ptr)-1])
+	}
+	for i := 1; i < len(ptr); i++ {
+		if ptr[i] <= ptr[i-1] {
+			return fmt.Errorf("csrk: %s not strictly increasing at %d", name, i)
+		}
+	}
+	return nil
+}

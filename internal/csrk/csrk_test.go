@@ -1,0 +1,149 @@
+package csrk
+
+import (
+	"strings"
+	"testing"
+
+	"stsk/internal/sparse"
+)
+
+// lowerFromDense builds a lower-triangular CSR from dense rows.
+func lowerFromDense(d [][]float64) *sparse.CSR {
+	n := len(d)
+	coo := sparse.NewCOO(n, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if d[i][j] != 0 {
+				coo.Add(i, j, d[i][j])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// diag4 is a 4x4 diagonal system: any grouping is valid.
+func diag4() *sparse.CSR {
+	return lowerFromDense([][]float64{
+		{1, 0, 0, 0},
+		{0, 2, 0, 0},
+		{0, 0, 3, 0},
+		{0, 0, 0, 4},
+	})
+}
+
+func TestBuildAndAccessors(t *testing.T) {
+	l := diag4()
+	s, err := Build(l, []int{0, 2, 4}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPacks() != 2 || s.NumSuperRows() != 2 {
+		t.Fatalf("packs=%d supers=%d, want 2, 2", s.NumPacks(), s.NumSuperRows())
+	}
+	if lo, hi := s.PackSuperRows(1); lo != 1 || hi != 2 {
+		t.Fatalf("PackSuperRows(1) = %d,%d", lo, hi)
+	}
+	if lo, hi := s.SuperRowRows(0); lo != 0 || hi != 2 {
+		t.Fatalf("SuperRowRows(0) = %d,%d", lo, hi)
+	}
+	if lo, hi := s.PackRows(1); lo != 2 || hi != 4 {
+		t.Fatalf("PackRows(1) = %d,%d", lo, hi)
+	}
+	counts := s.PackRowCounts()
+	if len(counts) != 2 || counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("PackRowCounts = %v", counts)
+	}
+	nnz := s.PackNNZ()
+	if nnz[0] != 2 || nnz[1] != 2 {
+		t.Fatalf("PackNNZ = %v", nnz)
+	}
+}
+
+func TestFlat(t *testing.T) {
+	l := diag4()
+	s := Flat(l)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPacks() != 1 || s.NumSuperRows() != 1 {
+		t.Fatalf("flat: packs=%d supers=%d", s.NumPacks(), s.NumSuperRows())
+	}
+	if lo, hi := s.PackRows(0); lo != 0 || hi != 4 {
+		t.Fatalf("flat PackRows = %d,%d", lo, hi)
+	}
+}
+
+func TestValidateRejectsDependentPack(t *testing.T) {
+	// Row 1 depends on row 0; both in the same pack as separate super-rows.
+	l := lowerFromDense([][]float64{
+		{1, 0},
+		{5, 2},
+	})
+	_, err := Build(l, []int{0, 1, 2}, []int{0, 2})
+	if err == nil {
+		t.Fatal("dependent rows in one pack accepted")
+	}
+	if !strings.Contains(err.Error(), "independent") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// Same rows inside one super-row: fine, solved sequentially.
+	if _, err := Build(l, []int{0, 2}, []int{0, 1}); err != nil {
+		t.Fatalf("intra-super-row dependency rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadStructure(t *testing.T) {
+	l := diag4()
+	cases := []struct {
+		name     string
+		superPtr []int
+		packPtr  []int
+	}{
+		{"super not spanning", []int{0, 2}, []int{0, 1}},
+		{"pack not spanning", []int{0, 2, 4}, []int{0, 1}},
+		{"super not increasing", []int{0, 2, 2, 4}, []int{0, 3}},
+		{"short super", []int{0}, []int{0, 1}},
+		{"pack start", []int{0, 4}, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Build(l, tc.superPtr, tc.packPtr); err == nil {
+				t.Fatal("invalid structure accepted")
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBadMatrix(t *testing.T) {
+	// Upper-triangular entry.
+	upper := &sparse.CSR{N: 2, RowPtr: []int{0, 2, 3}, Col: []int{0, 1, 1}, Val: []float64{1, 7, 1}}
+	if _, err := Build(upper, []int{0, 1, 2}, []int{0, 2}); err == nil {
+		t.Fatal("non-lower-triangular matrix accepted")
+	}
+	// Zero diagonal.
+	zd := lowerFromDense([][]float64{{1, 0}, {1, 0}})
+	zd = sparse.EnsureDiagonal(zd)
+	if _, err := Build(zd, []int{0, 1, 2}, []int{0, 2}); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+	if _, err := Build(nil, []int{0}, []int{0}); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+}
+
+func TestValidateAllowsCrossPackDeps(t *testing.T) {
+	// Row 2,3 depend on rows 0,1 of the earlier pack.
+	l := lowerFromDense([][]float64{
+		{1, 0, 0, 0},
+		{0, 2, 0, 0},
+		{7, 0, 3, 0},
+		{0, 7, 0, 4},
+	})
+	s, err := Build(l, []int{0, 1, 2, 3, 4}, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPacks() != 2 {
+		t.Fatalf("packs = %d", s.NumPacks())
+	}
+}

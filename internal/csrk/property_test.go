@@ -1,0 +1,96 @@
+package csrk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stsk/internal/sparse"
+)
+
+// randomDiagonalStructure builds a valid Structure over a diagonal matrix
+// with random nested boundaries — diagonal systems make every grouping
+// legal, so the generator explores the boundary space freely.
+func randomDiagonalStructure(rng *rand.Rand, maxN int) *Structure {
+	n := 1 + rng.Intn(maxN)
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1+rng.Float64())
+	}
+	l := coo.ToCSR()
+	superPtr := randomBoundaries(rng, n)
+	packPtr := randomBoundaries(rng, len(superPtr)-1)
+	return &Structure{L: l, SuperPtr: superPtr, PackPtr: packPtr}
+}
+
+func randomBoundaries(rng *rand.Rand, span int) []int {
+	out := []int{0}
+	for out[len(out)-1] < span {
+		step := 1 + rng.Intn(3)
+		next := out[len(out)-1] + step
+		if next > span {
+			next = span
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+func TestStructureInvariantsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(19))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomDiagonalStructure(rng, 50)
+		if s.Validate() != nil {
+			return false
+		}
+		// Row counts and nnz partitions must tile the matrix exactly.
+		rows, nnz := 0, int64(0)
+		for _, c := range s.PackRowCounts() {
+			if c <= 0 {
+				return false
+			}
+			rows += c
+		}
+		for _, z := range s.PackNNZ() {
+			if z <= 0 {
+				return false
+			}
+			nnz += z
+		}
+		if rows != s.L.N || nnz != int64(s.L.NNZ()) {
+			return false
+		}
+		// Pack row ranges must be contiguous and ordered.
+		prev := 0
+		for p := 0; p < s.NumPacks(); p++ {
+			lo, hi := s.PackRows(p)
+			if lo != prev || hi <= lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == s.L.N
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperRowRangesTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		s := randomDiagonalStructure(rng, 40)
+		prev := 0
+		for sr := 0; sr < s.NumSuperRows(); sr++ {
+			lo, hi := s.SuperRowRows(sr)
+			if lo != prev || hi <= lo {
+				t.Fatalf("trial %d: super-row %d range [%d,%d) after %d", trial, sr, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if prev != s.L.N {
+			t.Fatalf("trial %d: super-rows cover %d of %d rows", trial, prev, s.L.N)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package dar
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossPackInstance models the paper's §5 extension: DAR graphs that span
+// more than one pack. Packs execute in sequence on the one-level platform
+// of Definition 1, but each processor's cache persists across packs, so
+// the assignment of a pack's tasks should account for which inputs earlier
+// packs already left in each cache.
+type CrossPackInstance struct {
+	Packs [][]Task // Packs[p] are the tasks of pack p, executed after p-1
+	Q     int
+	W     float64 // memory -> cache copy cost per new datum
+	R     float64 // cache read cost per task input
+	E     float64 // execution cost per task
+}
+
+// Validate checks instance sanity.
+func (in *CrossPackInstance) Validate() error {
+	if in.Q < 1 {
+		return fmt.Errorf("dar: need at least one processor, got %d", in.Q)
+	}
+	if len(in.Packs) == 0 {
+		return fmt.Errorf("dar: no packs")
+	}
+	for p, tasks := range in.Packs {
+		if len(tasks) == 0 {
+			return fmt.Errorf("dar: pack %d empty", p)
+		}
+	}
+	if in.W < 0 || in.R < 0 || in.E < 0 {
+		return fmt.Errorf("dar: negative costs")
+	}
+	return nil
+}
+
+// Cost evaluates a cross-pack schedule: assign[p][t] is the processor of
+// task t of pack p. Per pack, the makespan is Equation (1) except that a
+// datum already resident in the processor's cache from an earlier pack
+// costs no W copy; total time is the sum of pack makespans (packs are
+// separated by barriers).
+func (in *CrossPackInstance) Cost(assign [][]int) (float64, error) {
+	if len(assign) != len(in.Packs) {
+		return 0, fmt.Errorf("dar: %d pack assignments for %d packs", len(assign), len(in.Packs))
+	}
+	cached := make([]map[int]struct{}, in.Q)
+	for i := range cached {
+		cached[i] = make(map[int]struct{})
+	}
+	total := 0.0
+	for p, tasks := range in.Packs {
+		if len(assign[p]) != len(tasks) {
+			return 0, fmt.Errorf("dar: pack %d assignment length %d, want %d", p, len(assign[p]), len(tasks))
+		}
+		copies := make([]float64, in.Q)
+		execs := make([]float64, in.Q)
+		reads := make([]float64, in.Q)
+		for t, task := range tasks {
+			proc := assign[p][t]
+			if proc < 0 || proc >= in.Q {
+				return 0, fmt.Errorf("dar: pack %d task %d on processor %d of %d", p, t, proc, in.Q)
+			}
+			for _, x := range task.Inputs {
+				if _, ok := cached[proc][x]; !ok {
+					cached[proc][x] = struct{}{}
+					copies[proc] += in.W
+				}
+			}
+			reads[proc] += in.R * float64(len(task.Inputs))
+			execs[proc] += in.E
+		}
+		worst := 0.0
+		for q := 0; q < in.Q; q++ {
+			if c := copies[q] + execs[q] + reads[q]; c > worst {
+				worst = c
+			}
+		}
+		total += worst
+	}
+	return total, nil
+}
+
+// IndependentSchedule assigns each pack separately with the §3.3 block
+// heuristic, ignoring cross-pack cache state — the paper's baseline.
+func (in *CrossPackInstance) IndependentSchedule() [][]int {
+	out := make([][]int, len(in.Packs))
+	for p, tasks := range in.Packs {
+		single := &Instance{Tasks: tasks, Q: in.Q, W: in.W, R: in.R, E: in.E}
+		out[p] = single.BlockSchedule()
+	}
+	return out
+}
+
+// AffinitySchedule assigns each pack with cross-pack awareness: tasks are
+// taken in order and placed on the processor whose cache holds the most of
+// the task's inputs (from earlier packs and earlier tasks), among
+// processors that still have capacity ⌈n/q⌉ this pack; ties go to the
+// least-loaded, then lowest-numbered processor. With cold caches this
+// degenerates to the §3.3 block schedule (contiguous runs per processor);
+// with warm caches tasks follow their data. This is the natural heuristic
+// for the §5 spanning-DAR problem.
+func (in *CrossPackInstance) AffinitySchedule() [][]int {
+	cached := make([]map[int]struct{}, in.Q)
+	for i := range cached {
+		cached[i] = make(map[int]struct{})
+	}
+	out := make([][]int, len(in.Packs))
+	for p, tasks := range in.Packs {
+		capacity := (len(tasks) + in.Q - 1) / in.Q
+		count := make([]int, in.Q)
+		load := make([]float64, in.Q)
+		out[p] = make([]int, len(tasks))
+		for t, task := range tasks {
+			best := -1
+			bestCachedCnt := -1
+			bestLoad := math.Inf(1)
+			for q := 0; q < in.Q; q++ {
+				if count[q] >= capacity {
+					continue
+				}
+				cachedCnt := 0
+				for _, x := range task.Inputs {
+					if _, ok := cached[q][x]; ok {
+						cachedCnt++
+					}
+				}
+				if cachedCnt > bestCachedCnt ||
+					(cachedCnt == bestCachedCnt && load[q] < bestLoad) {
+					best, bestCachedCnt, bestLoad = q, cachedCnt, load[q]
+				}
+			}
+			out[p][t] = best
+			count[best]++
+			newCopies := 0.0
+			for _, x := range task.Inputs {
+				if _, ok := cached[best][x]; !ok {
+					cached[best][x] = struct{}{}
+					newCopies++
+				}
+			}
+			load[best] += in.W*newCopies + in.R*float64(len(task.Inputs)) + in.E
+		}
+	}
+	return out
+}
+
+// ChainedPacksInstance builds a two-pack spanning-DAR benchmark: pack 0 is
+// the §3.3 line (task i reads {x_i, x_{i+1}}), and pack 1's task i reads
+// the same pair — so an affinity-aware schedule that repeats pack 0's
+// placement pays no new copies in pack 1, while a placement-blind schedule
+// generally does.
+func ChainedPacksInstance(n, q int, w, r, e float64, offsetSecondPack int) *CrossPackInstance {
+	mk := func(shift int) []Task {
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{Inputs: []int{i + shift, i + 1 + shift}}
+		}
+		return tasks
+	}
+	return &CrossPackInstance{
+		Packs: [][]Task{mk(0), mk(offsetSecondPack)},
+		Q:     q,
+		W:     w, R: r, E: e,
+	}
+}

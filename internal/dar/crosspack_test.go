@@ -1,0 +1,123 @@
+package dar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCrossPackValidate(t *testing.T) {
+	bad := []*CrossPackInstance{
+		{Packs: [][]Task{{{}}}, Q: 0},
+		{Packs: nil, Q: 1},
+		{Packs: [][]Task{{}}, Q: 1},
+		{Packs: [][]Task{{{}}}, Q: 1, W: -1},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	good := ChainedPacksInstance(8, 2, 1, 0, 0, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossPackCostReuse(t *testing.T) {
+	// One processor, two identical packs: the second pack re-reads cached
+	// data, paying no W.
+	in := ChainedPacksInstance(4, 1, 10, 1, 2, 0)
+	assign := [][]int{{0, 0, 0, 0}, {0, 0, 0, 0}}
+	c, err := in.Cost(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pack 0: 5 distinct data · 10 + 4 tasks · 2 + 8 reads · 1 = 66.
+	// Pack 1: 0 new data + 8 + 8 = 16.
+	if c != 82 {
+		t.Fatalf("cost = %v, want 82", c)
+	}
+}
+
+func TestCrossPackCostErrors(t *testing.T) {
+	in := ChainedPacksInstance(3, 2, 1, 0, 0, 0)
+	if _, err := in.Cost([][]int{{0, 0, 0}}); err == nil {
+		t.Fatal("missing pack assignment accepted")
+	}
+	if _, err := in.Cost([][]int{{0, 0}, {0, 0, 0}}); err == nil {
+		t.Fatal("short pack assignment accepted")
+	}
+	if _, err := in.Cost([][]int{{0, 0, 5}, {0, 0, 0}}); err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+}
+
+func TestAffinityBeatsIndependentOnChainedPacks(t *testing.T) {
+	// Pack 1 reuses pack 0's data exactly: affinity-aware placement must
+	// cost no more, and strictly less when copies dominate.
+	in := ChainedPacksInstance(32, 4, 20, 0.1, 1, 0)
+	indep := in.IndependentSchedule()
+	aff := in.AffinitySchedule()
+	ci, err := in.Cost(indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := in.Cost(aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca > ci {
+		t.Fatalf("affinity schedule (%v) worse than independent (%v)", ca, ci)
+	}
+	// On this instance the block schedule happens to repeat its placement,
+	// so also test a shifted second pack where reuse is partial. The
+	// affinity heuristic may trade a little balance for reuse there, so
+	// allow modest slack.
+	shifted := ChainedPacksInstance(32, 4, 20, 0.1, 1, 8)
+	ci2, _ := shifted.Cost(shifted.IndependentSchedule())
+	ca2, _ := shifted.Cost(shifted.AffinitySchedule())
+	if ca2 > 1.15*ci2 {
+		t.Fatalf("shifted: affinity (%v) much worse than independent (%v)", ca2, ci2)
+	}
+}
+
+func TestAffinityScheduleRandomizedNeverWorseMuch(t *testing.T) {
+	// Affinity scheduling is a heuristic: it may lose slightly on load
+	// balance, but across random instances it must win on average and
+	// never catastrophically lose.
+	rng := rand.New(rand.NewSource(61))
+	sumIndep, sumAff := 0.0, 0.0
+	for trial := 0; trial < 30; trial++ {
+		nPacks := 2 + rng.Intn(3)
+		packs := make([][]Task, nPacks)
+		for p := range packs {
+			n := 4 + rng.Intn(20)
+			packs[p] = make([]Task, n)
+			for t := range packs[p] {
+				k := 1 + rng.Intn(3)
+				in := make([]int, k)
+				for j := range in {
+					in[j] = rng.Intn(40)
+				}
+				packs[p][t] = Task{Inputs: in}
+			}
+		}
+		in := &CrossPackInstance{Packs: packs, Q: 1 + rng.Intn(4), W: 5, R: 0.5, E: 1}
+		ci, err := in.Cost(in.IndependentSchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, err := in.Cost(in.AffinitySchedule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumIndep += ci
+		sumAff += ca
+		if ca > 1.5*ci {
+			t.Fatalf("trial %d: affinity %v catastrophically worse than independent %v", trial, ca, ci)
+		}
+	}
+	if sumAff > sumIndep {
+		t.Fatalf("affinity scheduling lost on aggregate: %v vs %v", sumAff, sumIndep)
+	}
+}

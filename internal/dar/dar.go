@@ -1,0 +1,358 @@
+// Package dar implements the Data Affinity and Reuse model of paper §3.3:
+// the DAR graph of a pack, the One-level platform cost model
+// (Definitions 1–2), the In-Pack affinity-aware assignment problem shown
+// NP-complete by Theorem 1, exact and heuristic schedulers, and the
+// 3-Partition reduction used as a test oracle.
+package dar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Task is one unit of work in a pack: solving the unknowns of one
+// super-row. Inputs lists the data items (solution components from earlier
+// packs) the task reads.
+type Task struct {
+	Inputs []int
+}
+
+// Instance is an In-Pack scheduling instance on the one-level platform of
+// Definition 1: q processors, each with a private unbounded cache; copying
+// a datum from memory to a cache costs W, each read from cache costs R,
+// and each task takes E to execute.
+type Instance struct {
+	Tasks []Task
+	Q     int     // processors
+	W     float64 // memory -> cache copy cost per distinct datum
+	R     float64 // cache read cost per task input
+	E     float64 // execution cost per task
+}
+
+// Validate checks instance sanity.
+func (in *Instance) Validate() error {
+	if in.Q < 1 {
+		return fmt.Errorf("dar: need at least one processor, got %d", in.Q)
+	}
+	if len(in.Tasks) == 0 {
+		return fmt.Errorf("dar: no tasks")
+	}
+	if in.W < 0 || in.R < 0 || in.E < 0 {
+		return fmt.Errorf("dar: negative costs")
+	}
+	return nil
+}
+
+// Cost evaluates Equation (1) for an assignment mapping task index ->
+// processor: the makespan is the max over processors of
+//
+//	W·|∪ inputs| + E·|tasks| + R·Σ|inputs|.
+func (in *Instance) Cost(assign []int) (float64, error) {
+	if len(assign) != len(in.Tasks) {
+		return 0, fmt.Errorf("dar: assignment length %d, want %d", len(assign), len(in.Tasks))
+	}
+	union := make([]map[int]struct{}, in.Q)
+	reads := make([]int, in.Q)
+	count := make([]int, in.Q)
+	for t, p := range assign {
+		if p < 0 || p >= in.Q {
+			return 0, fmt.Errorf("dar: task %d assigned to processor %d of %d", t, p, in.Q)
+		}
+		if union[p] == nil {
+			union[p] = make(map[int]struct{})
+		}
+		for _, x := range in.Tasks[t].Inputs {
+			union[p][x] = struct{}{}
+		}
+		reads[p] += len(in.Tasks[t].Inputs)
+		count[p]++
+	}
+	worst := 0.0
+	for p := 0; p < in.Q; p++ {
+		c := in.W*float64(len(union[p])) + in.E*float64(count[p]) + in.R*float64(reads[p])
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// ExactSchedule finds a minimum-makespan assignment by exhaustive search
+// with processor-symmetry breaking (task t may only open processor t').
+// It is exponential and intended for instances with at most ~12 tasks;
+// larger instances return an error so callers fail fast instead of hanging.
+func (in *Instance) ExactSchedule() ([]int, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(in.Tasks)
+	if n > 14 {
+		return nil, 0, fmt.Errorf("dar: exact schedule limited to 14 tasks, got %d", n)
+	}
+	assign := make([]int, n)
+	best := make([]int, n)
+	bestCost := math.Inf(1)
+	var rec func(t, used int)
+	rec = func(t, used int) {
+		if t == n {
+			c, _ := in.Cost(assign)
+			if c < bestCost {
+				bestCost = c
+				copy(best, assign)
+			}
+			return
+		}
+		limit := used + 1
+		if limit > in.Q {
+			limit = in.Q
+		}
+		for p := 0; p < limit; p++ {
+			assign[t] = p
+			nu := used
+			if p == used {
+				nu++
+			}
+			rec(t+1, nu)
+		}
+	}
+	rec(0, 0)
+	return best, bestCost, nil
+}
+
+// BlockSchedule assigns contiguous blocks of ⌈n/q⌉ tasks to processors in
+// task order — the static algorithm of §3.3, optimal when the DAR is a
+// line graph (consecutive tasks share one input).
+func (in *Instance) BlockSchedule() []int {
+	n := len(in.Tasks)
+	m := (n + in.Q - 1) / in.Q
+	assign := make([]int, n)
+	for t := range assign {
+		p := t / m
+		if p >= in.Q {
+			p = in.Q - 1
+		}
+		assign[t] = p
+	}
+	return assign
+}
+
+// LineOptimalCost returns the §3.3 lower bound for a line DAR with n = m·q
+// tasks of two inputs each: w·(m+1) + e·m + r·(2m).
+func LineOptimalCost(in *Instance) float64 {
+	m := (len(in.Tasks) + in.Q - 1) / in.Q
+	return in.W*float64(m+1) + in.E*float64(m) + in.R*float64(2*m)
+}
+
+// DynamicSchedule simulates the paper's dynamic heuristic on processors
+// with the given relative speeds (len Q; 1.0 = nominal): processors take
+// the next unassigned task as they become free, so consecutive tasks tend
+// to run on the same processor and share cached inputs. With nil speeds
+// all processors run at speed 1 and the result degenerates toward round
+// robin in task order.
+func (in *Instance) DynamicSchedule(speeds []float64) []int {
+	if speeds == nil {
+		speeds = make([]float64, in.Q)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+	}
+	type procState struct {
+		id   int
+		free float64
+	}
+	procs := make([]procState, in.Q)
+	for i := range procs {
+		procs[i] = procState{id: i}
+	}
+	cached := make([]map[int]struct{}, in.Q)
+	for i := range cached {
+		cached[i] = make(map[int]struct{})
+	}
+	assign := make([]int, len(in.Tasks))
+	for t := range in.Tasks {
+		// Earliest-free processor takes the task (ties to lowest id).
+		best := 0
+		for p := 1; p < in.Q; p++ {
+			if procs[p].free < procs[best].free {
+				best = p
+			}
+		}
+		assign[t] = best
+		// Charge W for new data, R per read, E to execute, scaled by speed.
+		w := 0
+		for _, x := range in.Tasks[t].Inputs {
+			if _, ok := cached[best][x]; !ok {
+				cached[best][x] = struct{}{}
+				w++
+			}
+		}
+		dur := in.W*float64(w) + in.R*float64(len(in.Tasks[t].Inputs)) + in.E
+		procs[best].free += dur / speeds[best]
+	}
+	return assign
+}
+
+// Graph is a DAR graph: tasks are vertices, and two tasks are adjacent
+// when their input sets intersect (they reuse a common solution component
+// from an earlier pack).
+type Graph struct {
+	N   int
+	adj [][]int
+}
+
+// BuildGraph constructs the DAR graph of the tasks. For every shared
+// datum, the referencing tasks form a clique; maxClique caps how many
+// pairwise edges a single datum may contribute (0 = no cap). When capped,
+// the referencing tasks are chained in a path instead, which preserves
+// connectivity (what RCM needs) without quadratic blow-up on popular data.
+func BuildGraph(tasks []Task, maxClique int) *Graph {
+	users := make(map[int][]int)
+	for t, task := range tasks {
+		for _, x := range task.Inputs {
+			users[x] = append(users[x], t)
+		}
+	}
+	adjSet := make([]map[int]struct{}, len(tasks))
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if adjSet[a] == nil {
+			adjSet[a] = make(map[int]struct{})
+		}
+		if adjSet[b] == nil {
+			adjSet[b] = make(map[int]struct{})
+		}
+		adjSet[a][b] = struct{}{}
+		adjSet[b][a] = struct{}{}
+	}
+	for _, ts := range users {
+		if maxClique > 0 && len(ts) > maxClique {
+			sort.Ints(ts)
+			for i := 1; i < len(ts); i++ {
+				addEdge(ts[i-1], ts[i])
+			}
+			continue
+		}
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				addEdge(ts[i], ts[j])
+			}
+		}
+	}
+	g := &Graph{N: len(tasks), adj: make([][]int, len(tasks))}
+	for v := range g.adj {
+		if adjSet[v] == nil {
+			continue
+		}
+		lst := make([]int, 0, len(adjSet[v]))
+		for u := range adjSet[v] {
+			lst = append(lst, u)
+		}
+		sort.Ints(lst)
+		g.adj[v] = lst
+	}
+	return g
+}
+
+// Neighbors returns the sorted adjacency of task v.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of task v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// IsLine reports whether the graph is a disjoint union of simple paths
+// (every vertex has degree ≤ 2 and no cycles) — the easy case of §3.3.
+func (g *Graph) IsLine() bool {
+	for v := 0; v < g.N; v++ {
+		if len(g.adj[v]) > 2 {
+			return false
+		}
+	}
+	// No cycles: every component must have edges = vertices - 1 (or 0).
+	seen := make([]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		if seen[v] {
+			continue
+		}
+		verts, edges := 0, 0
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			verts++
+			edges += len(g.adj[u])
+			for _, w := range g.adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		if edges/2 >= verts && verts > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// LineInstance builds the §3.3 line-DAR instance: n tasks where task i has
+// inputs {x_i, x_{i+1}}, so consecutive tasks share exactly one datum
+// (Figure 5).
+func LineInstance(n, q int, w, r, e float64) *Instance {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Inputs: []int{i, i + 1}}
+	}
+	return &Instance{Tasks: tasks, Q: q, W: w, R: r, E: e}
+}
+
+// ThreePartitionInstance builds the Theorem 1 reduction from a 3-Partition
+// instance (integers a_1..a_3n summing to n·B): for each a_i a ring of a_i
+// tasks over a_i data items (task j of component i reads x_{A_i+j} and
+// x_{A_i+(j mod a_i)+1}), with q = n processors, r = e = 0, and target
+// makespan w·B.
+func ThreePartitionInstance(a []int, b int, w float64) (*Instance, float64, error) {
+	if len(a)%3 != 0 {
+		return nil, 0, fmt.Errorf("dar: 3-partition needs 3n integers, got %d", len(a))
+	}
+	n := len(a) / 3
+	sum := 0
+	for _, ai := range a {
+		if 4*ai <= b || 2*ai >= b {
+			return nil, 0, fmt.Errorf("dar: integer %d violates B/4 < a < B/2 for B=%d", ai, b)
+		}
+		sum += ai
+	}
+	if sum != n*b {
+		return nil, 0, fmt.Errorf("dar: integers sum to %d, want n·B = %d", sum, n*b)
+	}
+	var tasks []Task
+	base := 0
+	for _, ai := range a {
+		for j := 0; j < ai; j++ {
+			tasks = append(tasks, Task{Inputs: []int{base + j, base + (j+1)%ai}})
+		}
+		base += ai
+	}
+	inst := &Instance{Tasks: tasks, Q: n, W: w, R: 0, E: 0}
+	return inst, w * float64(b), nil
+}
+
+// ComponentAssignment maps every task of each ring to the processor given
+// by groups: groups[i] is the processor for 3-partition component i. It is
+// the certificate construction of Theorem 1's forward direction.
+func ComponentAssignment(a []int, groups []int) ([]int, error) {
+	if len(groups) != len(a) {
+		return nil, fmt.Errorf("dar: %d groups for %d components", len(groups), len(a))
+	}
+	var assign []int
+	for i, ai := range a {
+		for j := 0; j < ai; j++ {
+			assign = append(assign, groups[i])
+		}
+	}
+	return assign, nil
+}

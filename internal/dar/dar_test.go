@@ -1,0 +1,253 @@
+package dar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCostEquation(t *testing.T) {
+	// Two tasks on one processor: union of inputs, sum of reads.
+	in := &Instance{
+		Tasks: []Task{{Inputs: []int{0, 1}}, {Inputs: []int{1, 2}}},
+		Q:     2, W: 10, R: 1, E: 100,
+	}
+	c, err := in.Cost([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*3 + 100*2 + 1*4.0 // |{0,1,2}|=3, 2 tasks, 4 reads
+	if c != want {
+		t.Fatalf("Cost = %v, want %v", c, want)
+	}
+	c, err = in.Cost([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 10*2 + 100*1 + 1*2.0 // each proc: 2 data, 1 task, 2 reads
+	if c != want {
+		t.Fatalf("split Cost = %v, want %v", c, want)
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	in := LineInstance(3, 2, 1, 0, 0)
+	if _, err := in.Cost([]int{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := in.Cost([]int{0, 2, 0}); err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Instance{
+		{Tasks: []Task{{}}, Q: 0},
+		{Tasks: nil, Q: 1},
+		{Tasks: []Task{{}}, Q: 1, W: -1},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d: invalid instance accepted", i)
+		}
+	}
+}
+
+func TestBlockScheduleOptimalOnLine(t *testing.T) {
+	// §3.3: on a line DAR with n = m·q, block assignment achieves
+	// w(m+1) + e·m + 2r·m, and the exact schedule can do no better.
+	in := LineInstance(8, 2, 5, 1, 3)
+	block := in.BlockSchedule()
+	blockCost, err := in.Cost(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := LineOptimalCost(in); blockCost != want {
+		t.Fatalf("block cost %v, want line-optimal %v", blockCost, want)
+	}
+	_, exactCost, err := in.ExactSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactCost < blockCost-1e-9 {
+		t.Fatalf("exact %v beats block %v on a line — contradicts §3.3 optimality", exactCost, blockCost)
+	}
+}
+
+func TestExactBeatsOrMatchesHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			k := 1 + rng.Intn(3)
+			in := make([]int, k)
+			for j := range in {
+				in[j] = rng.Intn(n)
+			}
+			tasks[i] = Task{Inputs: in}
+		}
+		in := &Instance{Tasks: tasks, Q: 1 + rng.Intn(3), W: float64(1 + rng.Intn(5)), R: rng.Float64(), E: rng.Float64() * 3}
+		_, exact, err := in.ExactSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, assign := range map[string][]int{
+			"block":   in.BlockSchedule(),
+			"dynamic": in.DynamicSchedule(nil),
+		} {
+			c, err := in.Cost(assign)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if c < exact-1e-9 {
+				t.Fatalf("trial %d: %s cost %v beats exact %v", trial, name, c, exact)
+			}
+		}
+	}
+}
+
+func TestExactScheduleRefusesLarge(t *testing.T) {
+	in := LineInstance(20, 2, 1, 0, 0)
+	if _, _, err := in.ExactSchedule(); err == nil {
+		t.Fatal("exact schedule accepted 20 tasks")
+	}
+}
+
+func TestDynamicScheduleConsecutiveSharing(t *testing.T) {
+	// With a single processor everything lands there.
+	in := LineInstance(6, 1, 1, 1, 1)
+	assign := in.DynamicSchedule(nil)
+	for _, p := range assign {
+		if p != 0 {
+			t.Fatal("single processor must take all tasks")
+		}
+	}
+	// With a much faster processor 0, it should take most tasks.
+	in = LineInstance(12, 2, 1, 1, 1)
+	assign = in.DynamicSchedule([]float64{10, 1})
+	c0 := 0
+	for _, p := range assign {
+		if p == 0 {
+			c0++
+		}
+	}
+	if c0 <= 6 {
+		t.Fatalf("fast processor took only %d of 12 tasks", c0)
+	}
+}
+
+func TestBuildGraphCliqueAndPath(t *testing.T) {
+	tasks := []Task{
+		{Inputs: []int{7}},
+		{Inputs: []int{7}},
+		{Inputs: []int{7}},
+		{Inputs: []int{9}},
+	}
+	full := BuildGraph(tasks, 0)
+	if full.Degree(0) != 2 || full.Degree(1) != 2 || full.Degree(2) != 2 {
+		t.Fatalf("clique degrees: %d %d %d, want 2 2 2", full.Degree(0), full.Degree(1), full.Degree(2))
+	}
+	if full.Degree(3) != 0 {
+		t.Fatal("task with unique input must be isolated")
+	}
+	capped := BuildGraph(tasks, 2)
+	if capped.Degree(1) != 2 || capped.Degree(0) != 1 || capped.Degree(2) != 1 {
+		t.Fatalf("capped degrees: %d %d %d, want path 1 2 1", capped.Degree(0), capped.Degree(1), capped.Degree(2))
+	}
+}
+
+func TestIsLine(t *testing.T) {
+	line := BuildGraph(LineInstance(5, 1, 1, 1, 1).Tasks, 0)
+	if !line.IsLine() {
+		t.Fatal("line instance DAR should be a line")
+	}
+	// A ring (3-partition component) is not a line.
+	ringTasks := []Task{
+		{Inputs: []int{0, 1}},
+		{Inputs: []int{1, 2}},
+		{Inputs: []int{2, 0}},
+	}
+	ring := BuildGraph(ringTasks, 0)
+	if ring.IsLine() {
+		t.Fatal("3-cycle reported as line")
+	}
+	star := BuildGraph([]Task{
+		{Inputs: []int{0}}, {Inputs: []int{0}}, {Inputs: []int{0}}, {Inputs: []int{0}},
+	}, 0)
+	if star.IsLine() {
+		t.Fatal("K4 clique reported as line")
+	}
+}
+
+func TestThreePartitionReduction(t *testing.T) {
+	// Solvable instance: a = (2,2,3, 2,3,3) ... need B/4 < a_i < B/2.
+	// Take B=7, n=2, integers {2,2,3} and {2,2,3}: 2 > 7/4? No (1.75<2 ok), 2 < 3.5 ok.
+	a := []int{2, 2, 3, 2, 2, 3}
+	b := 7
+	inst, target, err := ThreePartitionInstance(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Tasks) != 14 || inst.Q != 2 {
+		t.Fatalf("instance has %d tasks on %d procs, want 14 on 2", len(inst.Tasks), inst.Q)
+	}
+	if target != 21 {
+		t.Fatalf("target = %v, want w·B = 21", target)
+	}
+	// Certificate: components {0,1,2} on proc 0 and {3,4,5} on proc 1.
+	assign, err := ComponentAssignment(a, []int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := inst.Cost(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != target {
+		t.Fatalf("certificate cost %v, want exactly target %v", c, target)
+	}
+	// Splitting one ring across processors must cost strictly more in
+	// total copies: the max side still pays for shared boundary data.
+	badAssign := append([]int(nil), assign...)
+	badAssign[0] = 1 // move one task of the first ring to proc 1
+	bad, err := inst.Cost(badAssign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad <= target {
+		t.Fatalf("splitting a ring gave cost %v <= target %v; reduction logic broken", bad, target)
+	}
+}
+
+func TestThreePartitionValidation(t *testing.T) {
+	if _, _, err := ThreePartitionInstance([]int{2, 2}, 7, 1); err == nil {
+		t.Fatal("accepted non-multiple-of-3 integers")
+	}
+	if _, _, err := ThreePartitionInstance([]int{1, 2, 3}, 7, 1); err == nil {
+		t.Fatal("accepted a_i outside (B/4, B/2)")
+	}
+	if _, _, err := ThreePartitionInstance([]int{2, 2, 2}, 7, 1); err == nil {
+		t.Fatal("accepted sum != n·B")
+	}
+	if _, err := ComponentAssignment([]int{2, 2, 3}, []int{0}); err == nil {
+		t.Fatal("accepted short group list")
+	}
+}
+
+func TestExactScheduleTrivial(t *testing.T) {
+	in := &Instance{Tasks: []Task{{Inputs: []int{0}}}, Q: 3, W: 2, R: 1, E: 5}
+	assign, cost, err := in.ExactSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 1 || assign[0] != 0 {
+		t.Fatalf("assign = %v", assign)
+	}
+	if want := 2 + 5 + 1.0; cost != want {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+	if math.IsInf(cost, 1) {
+		t.Fatal("no assignment found")
+	}
+}

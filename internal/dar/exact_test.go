@@ -1,0 +1,77 @@
+package dar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates every assignment without symmetry breaking — the
+// oracle for ExactSchedule's pruned search.
+func bruteForce(in *Instance) float64 {
+	n := len(in.Tasks)
+	assign := make([]int, n)
+	best := math.Inf(1)
+	var rec func(t int)
+	rec = func(t int) {
+		if t == n {
+			c, _ := in.Cost(assign)
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for p := 0; p < in.Q; p++ {
+			assign[t] = p
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestExactScheduleMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			k := 1 + rng.Intn(3)
+			inp := make([]int, k)
+			for j := range inp {
+				inp[j] = rng.Intn(2 * n)
+			}
+			tasks[i] = Task{Inputs: inp}
+		}
+		in := &Instance{
+			Tasks: tasks,
+			Q:     1 + rng.Intn(3),
+			W:     float64(rng.Intn(6)),
+			R:     rng.Float64() * 2,
+			E:     rng.Float64() * 4,
+		}
+		_, pruned, err := in.ExactSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := bruteForce(in)
+		if math.Abs(pruned-oracle) > 1e-9 {
+			t.Fatalf("trial %d: pruned exact %v != brute force %v", trial, pruned, oracle)
+		}
+	}
+}
+
+func TestExactScheduleAssignmentAchievesCost(t *testing.T) {
+	in := LineInstance(6, 3, 4, 0.5, 1)
+	assign, cost, err := in.ExactSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := in.Cost(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != cost {
+		t.Fatalf("returned assignment costs %v, reported %v", c, cost)
+	}
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"stsk/internal/sparse"
+)
+
+// fingerprint folds a matrix's structure and values into a cheap hash.
+func fingerprint(m *sparse.CSR) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(m.N))
+	for _, p := range m.RowPtr {
+		mix(uint64(p))
+	}
+	for k, c := range m.Col {
+		mix(uint64(c))
+		mix(uint64(int64(m.Val[k] * 1024)))
+	}
+	return h
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	builders := map[string]func() *sparse.CSR{
+		"grid2d":   func() *sparse.CSR { return Grid2D(13, 11) },
+		"grid3d":   func() *sparse.CSR { return Grid3D(5, 6, 7) },
+		"kkt3d":    func() *sparse.CSR { return KKT3D(6, 6, 6) },
+		"fem3d":    func() *sparse.CSR { return FEM3D(5, 5, 5, 2) },
+		"rgg":      func() *sparse.CSR { return RGG(900, RGGDegree(900, 12), 3) },
+		"trimesh":  func() *sparse.CSR { return TriMesh(17, 17, 9) },
+		"quaddual": func() *sparse.CSR { return QuadDual(12, 12, 5) },
+		"roadnet":  func() *sparse.CSR { return RoadNet(9, 9, 3, 7, 2) },
+	}
+	for name, build := range builders {
+		a, b := build(), build()
+		if fingerprint(a) != fingerprint(b) {
+			t.Errorf("%s: two builds differ", name)
+		}
+	}
+}
+
+func TestSuiteDeterministicAcrossCalls(t *testing.T) {
+	s1 := PaperSuite(1200)
+	s2 := PaperSuite(1200)
+	for i := range s1 {
+		a := s1[i].Build(1200)
+		b := s2[i].Build(1200)
+		if fingerprint(a) != fingerprint(b) {
+			t.Errorf("%s: suite build not deterministic", s1[i].ID)
+		}
+	}
+}
+
+func TestQuadDualSeedsDiffer(t *testing.T) {
+	a := QuadDual(14, 14, 1)
+	b := QuadDual(14, 14, 2)
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("different seeds produced identical duals")
+	}
+}
+
+func TestHugebubblesInstancesDiffer(t *testing.T) {
+	// D6, D7, D8 are three different hugebubbles instances; their
+	// stand-ins must not be byte-identical.
+	specs := PaperSuite(2000)
+	d6 := BySuiteID(specs, "D6").Build(2000)
+	d7 := BySuiteID(specs, "D7").Build(2000)
+	if d6.N == d7.N && fingerprint(d6) == fingerprint(d7) {
+		t.Fatal("D6 and D7 are identical")
+	}
+}

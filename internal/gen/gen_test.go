@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"testing"
+
+	"stsk/internal/sparse"
+)
+
+func checkWellFormed(t *testing.T, m *sparse.CSR, name string) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: invalid CSR: %v", name, err)
+	}
+	if !m.IsStructurallySymmetric() {
+		t.Fatalf("%s: not structurally symmetric", name)
+	}
+	if !m.HasFullNonzeroDiagonal() {
+		t.Fatalf("%s: missing or zero diagonal", name)
+	}
+	// SPD-by-dominance: the lower triangle solves exactly.
+	l := m.Lower()
+	xTrue := sparse.Ones(l.N)
+	b := sparse.RHSForSolution(l, xTrue)
+	x, err := sparse.ForwardSubstitution(l, b)
+	if err != nil {
+		t.Fatalf("%s: forward substitution: %v", name, err)
+	}
+	if d := sparse.MaxAbsDiff(x, xTrue); d > 1e-10 {
+		t.Fatalf("%s: solve error %g", name, d)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	m := Grid2D(10, 8)
+	checkWellFormed(t, m, "grid2d")
+	if m.N != 80 {
+		t.Fatalf("n = %d, want 80", m.N)
+	}
+	if d := m.RowDensity(); d < 4 || d > 5 {
+		t.Fatalf("grid2d density %.2f outside [4,5]", d)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	m := Grid3D(6, 5, 4)
+	checkWellFormed(t, m, "grid3d")
+	if m.N != 120 {
+		t.Fatalf("n = %d, want 120", m.N)
+	}
+	if d := m.RowDensity(); d < 5.5 || d > 7 {
+		t.Fatalf("grid3d density %.2f outside [5.5,7]", d)
+	}
+}
+
+func TestKKT3DDensity(t *testing.T) {
+	m := KKT3D(12, 12, 12)
+	checkWellFormed(t, m, "kkt3d")
+	if d := m.RowDensity(); d < 20 || d > 27 {
+		t.Fatalf("kkt3d density %.2f outside [20,27] (paper class: 27.01)", d)
+	}
+}
+
+func TestFEM3DDensity(t *testing.T) {
+	m := FEM3D(8, 8, 8, 2)
+	checkWellFormed(t, m, "fem3d")
+	if m.N != 1024 {
+		t.Fatalf("n = %d, want 1024", m.N)
+	}
+	if d := m.RowDensity(); d < 35 || d > 55 {
+		t.Fatalf("fem3d density %.2f outside [35,55] (paper class: 44.63)", d)
+	}
+}
+
+func TestRGG(t *testing.T) {
+	m := RGG(3000, RGGDegree(3000, 14), 1)
+	checkWellFormed(t, m, "rgg")
+	if d := m.RowDensity(); d < 10 || d > 20 {
+		t.Fatalf("rgg density %.2f outside [10,20] (paper class: 14.82)", d)
+	}
+	// Deterministic for a fixed seed.
+	m2 := RGG(3000, RGGDegree(3000, 14), 1)
+	if m.NNZ() != m2.NNZ() {
+		t.Fatal("RGG not deterministic for fixed seed")
+	}
+	m3 := RGG(3000, RGGDegree(3000, 14), 2)
+	if m.NNZ() == m3.NNZ() {
+		t.Log("warning: different seeds gave identical nnz (possible but unlikely)")
+	}
+}
+
+func TestTriMesh(t *testing.T) {
+	m := TriMesh(40, 40, 7)
+	checkWellFormed(t, m, "trimesh")
+	if d := m.RowDensity(); d < 6 || d > 7.2 {
+		t.Fatalf("trimesh density %.2f outside [6,7.2] (paper class: 7.00)", d)
+	}
+}
+
+func TestQuadDual(t *testing.T) {
+	m := QuadDual(30, 30, 1)
+	checkWellFormed(t, m, "quaddual")
+	if m.N != 1800 {
+		t.Fatalf("n = %d, want 1800", m.N)
+	}
+	if d := m.RowDensity(); d < 3.5 || d > 4.01 {
+		t.Fatalf("quaddual density %.2f outside [3.5,4.01] (paper class: 4.00)", d)
+	}
+	// Max degree is 3 (plus diagonal): no row may exceed 4 entries.
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i+1]-m.RowPtr[i] > 4 {
+			t.Fatalf("row %d has %d entries, dual graph degree must be <=3", i, m.RowPtr[i+1]-m.RowPtr[i])
+		}
+	}
+}
+
+func TestRoadNet(t *testing.T) {
+	m := RoadNet(20, 20, 3, 5, 3)
+	checkWellFormed(t, m, "roadnet")
+	if d := m.RowDensity(); d < 2.5 || d > 3.6 {
+		t.Fatalf("roadnet density %.2f outside [2.5,3.6] (paper class: 3.1-3.4)", d)
+	}
+}
+
+func TestPaperSuiteBuildsAndMatchesClasses(t *testing.T) {
+	specs := PaperSuite(1500)
+	if len(specs) != 12 {
+		t.Fatalf("suite has %d entries, want 12", len(specs))
+	}
+	wantIDs := []string{"G1", "D1", "S1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "D10"}
+	for i, s := range specs {
+		if s.ID != wantIDs[i] {
+			t.Fatalf("suite[%d].ID = %s, want %s", i, s.ID, wantIDs[i])
+		}
+		m := s.Build(1500)
+		checkWellFormed(t, m, s.ID)
+		// Density should be within a factor ~2 of the paper matrix's class;
+		// small scales pull density down via boundary effects.
+		d := m.RowDensity()
+		if d < s.PaperDens/2.5 || d > s.PaperDens*1.6 {
+			t.Errorf("%s (%s): density %.2f too far from paper %.2f", s.ID, s.Name, d, s.PaperDens)
+		}
+		if m.N < 400 {
+			t.Errorf("%s: suspiciously small n=%d at scale 1500", s.ID, m.N)
+		}
+	}
+}
+
+func TestBySuiteID(t *testing.T) {
+	specs := PaperSuite(100)
+	if s := BySuiteID(specs, "S1"); s == nil || s.Name != "nlpkkt160" {
+		t.Fatalf("BySuiteID(S1) = %+v", s)
+	}
+	if s := BySuiteID(specs, "nope"); s != nil {
+		t.Fatal("BySuiteID should return nil for unknown id")
+	}
+}
+
+func TestSuiteScaleMonotone(t *testing.T) {
+	specs := PaperSuite(0) // clamped to minimum
+	small := specs[3].Build(200)
+	big := specs[3].Build(5000)
+	if big.N <= small.N {
+		t.Fatalf("scale did not grow matrix: %d vs %d", small.N, big.N)
+	}
+}

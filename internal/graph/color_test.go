@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+func TestGreedyColorPath(t *testing.T) {
+	g := pathGraph(10)
+	for _, ord := range []ColorOrder{NaturalOrder, LargestFirst, SmallestLast} {
+		colors, nc := g.GreedyColor(ord)
+		if err := g.VerifyColoring(colors); err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		if nc != 2 {
+			t.Fatalf("%v: path coloured with %d colours, want 2", ord, nc)
+		}
+	}
+}
+
+func TestGreedyColorCompleteGraph(t *testing.T) {
+	n := 6
+	coo := sparse.NewCOO(n, n*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			coo.AddSym(i, j, 1)
+		}
+	}
+	g := FromMatrix(coo.ToCSR())
+	colors, nc := g.GreedyColor(NaturalOrder)
+	if err := g.VerifyColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	if nc != n {
+		t.Fatalf("K%d coloured with %d colours, want %d", n, nc, n)
+	}
+}
+
+func TestGreedyColorIsolatedVertices(t *testing.T) {
+	coo := sparse.NewCOO(5, 5)
+	for i := 0; i < 5; i++ {
+		coo.Add(i, i, 1)
+	}
+	g := FromMatrix(coo.ToCSR())
+	colors, nc := g.GreedyColor(SmallestLast)
+	if err := g.VerifyColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	if nc != 1 {
+		t.Fatalf("edgeless graph coloured with %d colours, want 1", nc)
+	}
+}
+
+func TestGreedyColorValidProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(31))}
+	for _, ord := range []ColorOrder{NaturalOrder, LargestFirst, SmallestLast} {
+		ord := ord
+		f := func(seed int64) bool {
+			g := randomGraph(rand.New(rand.NewSource(seed)), 50)
+			colors, nc := g.GreedyColor(ord)
+			if g.VerifyColoring(colors) != nil {
+				return false
+			}
+			// Colour count cannot exceed max degree + 1 (greedy bound).
+			maxDeg := 0
+			for v := 0; v < g.N; v++ {
+				if g.Degree(v) > maxDeg {
+					maxDeg = g.Degree(v)
+				}
+			}
+			return nc <= maxDeg+1
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+	}
+}
+
+func TestColoringOnMeshClasses(t *testing.T) {
+	// Planar-style meshes should colour with few colours; this is what
+	// makes colouring packs large (paper Figures 7-8).
+	cases := []struct {
+		name string
+		m    *sparse.CSR
+		max  int
+	}{
+		{"grid2d", gen.Grid2D(20, 20), 4},
+		{"trimesh", gen.TriMesh(20, 20, 3), 6},
+		{"quaddual", gen.QuadDual(14, 14, 1), 4},
+	}
+	for _, tc := range cases {
+		g := FromMatrix(tc.m)
+		colors, nc := g.GreedyColor(SmallestLast)
+		if err := g.VerifyColoring(colors); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if nc > tc.max {
+			t.Errorf("%s: %d colours, want <= %d", tc.name, nc, tc.max)
+		}
+	}
+}
+
+func TestVerifyColoringCatchesBadInput(t *testing.T) {
+	g := pathGraph(3)
+	if err := g.VerifyColoring([]int{0, 0, 1}); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if err := g.VerifyColoring([]int{0, 1}); err == nil {
+		t.Fatal("short colour array accepted")
+	}
+	if err := g.VerifyColoring([]int{0, -1, 0}); err == nil {
+		t.Fatal("uncoloured vertex accepted")
+	}
+}
+
+func TestColorOrderString(t *testing.T) {
+	if NaturalOrder.String() != "natural" || LargestFirst.String() != "largest-first" || SmallestLast.String() != "smallest-last" {
+		t.Fatal("ColorOrder.String wrong")
+	}
+	if ColorOrder(99).String() == "" {
+		t.Fatal("unknown order should still format")
+	}
+}

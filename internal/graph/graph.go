@@ -1,0 +1,193 @@
+// Package graph provides the graph-algorithm substrate of the STS-k
+// reproduction: compact undirected adjacency built from symmetric sparse
+// matrices, breadth-first search, connected components, pseudo-peripheral
+// vertices, (Reverse) Cuthill–McKee ordering, greedy colouring, the level
+// sets used by level-set triangular solution, and the graph coarsening that
+// produces CSR-k super-rows.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"stsk/internal/sparse"
+)
+
+// Graph is a compact undirected graph: the neighbours of v are
+// Adj[Ptr[v]:Ptr[v+1]], sorted ascending, with no self loops.
+type Graph struct {
+	N   int
+	Ptr []int
+	Adj []int
+}
+
+// FromMatrix builds the graph G(A) of a structurally symmetric matrix:
+// one vertex per row, an edge {i,j} for every off-diagonal entry.
+// The caller is responsible for symmetrising first (sparse.SymmetrizePattern)
+// if the matrix is triangular.
+func FromMatrix(m *sparse.CSR) *Graph {
+	g := &Graph{N: m.N, Ptr: make([]int, m.N+1)}
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		cnt := 0
+		for _, j := range cols {
+			if j != i {
+				cnt++
+			}
+		}
+		g.Ptr[i+1] = g.Ptr[i] + cnt
+	}
+	g.Adj = make([]int, g.Ptr[m.N])
+	pos := append([]int(nil), g.Ptr[:m.N]...)
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if j != i {
+				g.Adj[pos[i]] = j
+				pos[i]++
+			}
+		}
+	}
+	return g
+}
+
+// Neighbors returns the sorted neighbour list of v as a sub-slice of the
+// graph storage; the caller must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.Adj[g.Ptr[v]:g.Ptr[v+1]] }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return g.Ptr[v+1] - g.Ptr[v] }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// MaxDegreeVertex returns the vertex with the largest degree (smallest
+// index on ties), or -1 for an empty graph.
+func (g *Graph) MaxDegreeVertex() int {
+	best, bestDeg := -1, -1
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// Validate checks the structural invariants: sorted neighbour lists, no
+// self loops, and symmetric adjacency.
+func (g *Graph) Validate() error {
+	if len(g.Ptr) != g.N+1 {
+		return fmt.Errorf("graph: Ptr length %d, want %d", len(g.Ptr), g.N+1)
+	}
+	for v := 0; v < g.N; v++ {
+		prev := -1
+		for _, u := range g.Neighbors(v) {
+			if u < 0 || u >= g.N {
+				return fmt.Errorf("graph: vertex %d has neighbour %d out of range", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if u <= prev {
+				return fmt.Errorf("graph: neighbours of %d not strictly sorted", v)
+			}
+			prev = u
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: edge (%d,%d) missing its reverse", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	adj := g.Neighbors(u)
+	k := sort.SearchInts(adj, v)
+	return k < len(adj) && adj[k] == v
+}
+
+// BFS traverses the component containing src in breadth-first order and
+// calls visit(v, dist) for each reached vertex. The visit order within a
+// level follows ascending neighbour order.
+func (g *Graph) BFS(src int, visit func(v, dist int)) {
+	seen := make([]bool, g.N)
+	queue := make([]int, 0, g.N)
+	dist := make([]int, g.N)
+	seen[src] = true
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		visit(v, dist[v])
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+}
+
+// Components labels each vertex with a component id in [0, count) and
+// returns the labels and the component count. Component ids are assigned
+// in order of their smallest vertex.
+func (g *Graph) Components() (comp []int, count int) {
+	comp = make([]int, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := 0; v < g.N; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		g.BFS(v, func(u, _ int) { comp[u] = count })
+		count++
+	}
+	return comp, count
+}
+
+// eccentricityInfo is the result of one BFS sweep used by the
+// pseudo-peripheral search.
+type eccentricityInfo struct {
+	far      int // a vertex at maximum distance, with minimum degree among those
+	height   int // the maximum distance reached
+	lastSize int // number of vertices in the last level
+}
+
+func (g *Graph) sweep(src int) eccentricityInfo {
+	info := eccentricityInfo{far: src}
+	farDeg := g.Degree(src)
+	g.BFS(src, func(v, d int) {
+		switch {
+		case d > info.height:
+			info.height = d
+			info.lastSize = 1
+			info.far, farDeg = v, g.Degree(v)
+		case d == info.height:
+			info.lastSize++
+			if dg := g.Degree(v); dg < farDeg {
+				info.far, farDeg = v, dg
+			}
+		}
+	})
+	return info
+}
+
+// PseudoPeripheral returns a pseudo-peripheral vertex of the component
+// containing start, using the George–Liu iteration: repeatedly BFS and jump
+// to a minimum-degree vertex of the deepest level until the eccentricity
+// estimate stops growing.
+func (g *Graph) PseudoPeripheral(start int) int {
+	cur := start
+	info := g.sweep(cur)
+	for {
+		next := g.sweep(info.far)
+		if next.height <= info.height {
+			return info.far
+		}
+		cur = info.far
+		info = next
+		_ = cur
+	}
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+// pathGraph returns the path 0-1-2-...-n-1.
+func pathGraph(n int) *Graph {
+	coo := sparse.NewCOO(n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+		if i+1 < n {
+			coo.AddSym(i, i+1, 1)
+		}
+	}
+	return FromMatrix(coo.ToCSR())
+}
+
+// randomGraph returns a random symmetric graph with n in [1, maxN].
+func randomGraph(rng *rand.Rand, maxN int) *Graph {
+	n := 1 + rng.Intn(maxN)
+	coo := sparse.NewCOO(n, 4*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for e := 0; e < rng.Intn(4*n); e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			coo.AddSym(i, j, 1)
+		}
+	}
+	return FromMatrix(coo.ToCSR())
+}
+
+func TestFromMatrixDropsDiagonal(t *testing.T) {
+	g := pathGraph(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatalf("degrees wrong: %d, %d", g.Degree(0), g.Degree(1))
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("self loop retained")
+	}
+}
+
+func TestBFSOrderAndDistances(t *testing.T) {
+	g := pathGraph(5)
+	var order []int
+	var dists []int
+	g.BFS(2, func(v, d int) {
+		order = append(order, v)
+		dists = append(dists, d)
+	})
+	if len(order) != 5 {
+		t.Fatalf("BFS visited %d vertices, want 5", len(order))
+	}
+	if order[0] != 2 || dists[0] != 0 {
+		t.Fatal("BFS must start at source with distance 0")
+	}
+	wantDist := map[int]int{0: 2, 1: 1, 2: 0, 3: 1, 4: 2}
+	for k, v := range order {
+		if dists[k] != wantDist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dists[k], wantDist[v])
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	coo := sparse.NewCOO(6, 12)
+	for i := 0; i < 6; i++ {
+		coo.Add(i, i, 1)
+	}
+	coo.AddSym(0, 1, 1)
+	coo.AddSym(2, 3, 1)
+	coo.AddSym(3, 4, 1)
+	g := FromMatrix(coo.ToCSR())
+	comp, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[3] != comp[4] {
+		t.Fatalf("component labels wrong: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[2] == comp[5] {
+		t.Fatalf("distinct components merged: %v", comp)
+	}
+}
+
+func TestPseudoPeripheralOnPath(t *testing.T) {
+	g := pathGraph(9)
+	pp := g.PseudoPeripheral(4)
+	if pp != 0 && pp != 8 {
+		t.Fatalf("pseudo-peripheral of a path = %d, want an endpoint", pp)
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledBand(t *testing.T) {
+	// Build a banded graph, shuffle it, and check RCM recovers a small
+	// bandwidth (within a small factor of the original band).
+	rng := rand.New(rand.NewSource(17))
+	n, band := 200, 3
+	coo := sparse.NewCOO(n, 2*band*n)
+	shuffle := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		coo.Add(shuffle[i], shuffle[i], 1)
+		for d := 1; d <= band; d++ {
+			if i+d < n {
+				coo.AddSym(shuffle[i], shuffle[i+d], 1)
+			}
+		}
+	}
+	g := FromMatrix(coo.ToCSR())
+	before := g.Bandwidth(nil)
+	perm := g.RCM()
+	if err := sparse.CheckPermutation(perm); err != nil {
+		t.Fatalf("RCM produced invalid permutation: %v", err)
+	}
+	after := g.Bandwidth(perm)
+	if after > 4*band {
+		t.Fatalf("RCM bandwidth %d, want <= %d (before shuffle-undo: %d)", after, 4*band, before)
+	}
+	if after >= before/4 {
+		t.Logf("note: shuffled bandwidth %d, RCM bandwidth %d", before, after)
+	}
+}
+
+func TestRCMIsPermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 60)
+		perm := g.RCM()
+		if err := sparse.CheckPermutation(perm); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBFSOrderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 50)
+		perm := g.BFSOrder(g.MaxDegreeVertex())
+		if err := sparse.CheckPermutation(perm); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Seed must map to 0 within its component ordering.
+		if g.N > 0 && perm[g.MaxDegreeVertex()] != 0 {
+			t.Fatalf("trial %d: seed not numbered first", trial)
+		}
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	coo := sparse.NewCOO(4, 8)
+	for i := 0; i < 4; i++ {
+		coo.Add(i, i, 1)
+	}
+	coo.AddSym(1, 0, 1)
+	coo.AddSym(1, 2, 1)
+	coo.AddSym(1, 3, 1)
+	g := FromMatrix(coo.ToCSR())
+	if v := g.MaxDegreeVertex(); v != 1 {
+		t.Fatalf("MaxDegreeVertex = %d, want 1", v)
+	}
+	empty := &Graph{N: 0, Ptr: []int{0}}
+	if v := empty.MaxDegreeVertex(); v != -1 {
+		t.Fatalf("MaxDegreeVertex on empty = %d, want -1", v)
+	}
+}
+
+func TestGraphFromGenerators(t *testing.T) {
+	m := gen.Grid2D(15, 15)
+	g := FromMatrix(m)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, count := g.Components()
+	if count != 1 {
+		t.Fatalf("grid should be connected, got %d components", count)
+	}
+}

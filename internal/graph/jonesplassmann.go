@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// JonesPlassmannColor colours the graph with the Jones–Plassmann parallel
+// algorithm: every vertex draws a random priority, and in each round the
+// uncoloured vertices that are local maxima among their uncoloured
+// neighbours take the smallest colour unused by their neighbourhood.
+// The expected round count is O(log n / log log n) on bounded-degree
+// graphs, so the colouring step of the STS-k pre-processing — which the
+// paper amortises but still pays once (§4.1) — itself parallelises.
+//
+// The result is a valid colouring with a deterministic outcome for a
+// fixed seed; the colour count is comparable to sequential greedy.
+func (g *Graph) JonesPlassmannColor(seed int64, workers int) (colors []int, numColors int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prio := make([]float64, g.N)
+	for i := range prio {
+		prio[i] = rng.Float64()
+	}
+	colors = make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	remaining := make([]int, g.N)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	newColors := make([]int, g.N)
+	for len(remaining) > 0 {
+		// Round: decide in parallel, commit after a barrier so every
+		// decision reads the previous round's colours only.
+		for _, v := range remaining {
+			newColors[v] = -1
+		}
+		var wg sync.WaitGroup
+		chunk := (len(remaining) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(remaining) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(remaining) {
+				hi = len(remaining)
+			}
+			wg.Add(1)
+			go func(verts []int) {
+				defer wg.Done()
+				var used []bool
+				for _, v := range verts {
+					if !isLocalMax(g, v, prio, colors) {
+						continue
+					}
+					deg := g.Degree(v)
+					if cap(used) < deg+1 {
+						used = make([]bool, deg+1)
+					}
+					used = used[:deg+1]
+					for i := range used {
+						used[i] = false
+					}
+					for _, u := range g.Neighbors(v) {
+						if c := colors[u]; c >= 0 && c < len(used) {
+							used[c] = true
+						}
+					}
+					c := 0
+					for c < len(used) && used[c] {
+						c++
+					}
+					newColors[v] = c
+				}
+			}(remaining[lo:hi])
+		}
+		wg.Wait()
+		next := remaining[:0]
+		for _, v := range remaining {
+			if newColors[v] >= 0 {
+				colors[v] = newColors[v]
+				if newColors[v]+1 > numColors {
+					numColors = newColors[v] + 1
+				}
+			} else {
+				next = append(next, v)
+			}
+		}
+		remaining = next
+	}
+	return colors, numColors
+}
+
+// isLocalMax reports whether v's priority dominates all its uncoloured
+// neighbours (ties broken by index so the algorithm always progresses).
+func isLocalMax(g *Graph, v int, prio []float64, colors []int) bool {
+	pv := prio[v]
+	for _, u := range g.Neighbors(v) {
+		if colors[u] >= 0 {
+			continue
+		}
+		if prio[u] > pv || (prio[u] == pv && u > v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsk/internal/gen"
+)
+
+func TestJonesPlassmannValidColoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 80)
+		colors, nc := g.JonesPlassmannColor(int64(trial), 4)
+		if err := g.VerifyColoring(colors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		maxDeg := 0
+		for v := 0; v < g.N; v++ {
+			if d := g.Degree(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if nc > maxDeg+1 {
+			t.Fatalf("trial %d: %d colours exceed Δ+1 = %d", trial, nc, maxDeg+1)
+		}
+	}
+}
+
+func TestJonesPlassmannDeterministicPerSeed(t *testing.T) {
+	g := FromMatrix(gen.TriMesh(18, 18, 3))
+	c1, n1 := g.JonesPlassmannColor(7, 3)
+	c2, n2 := g.JonesPlassmannColor(7, 8) // worker count must not matter
+	if n1 != n2 {
+		t.Fatalf("colour counts differ across worker counts: %d vs %d", n1, n2)
+	}
+	for v := range c1 {
+		if c1[v] != c2[v] {
+			t.Fatalf("vertex %d coloured %d vs %d", v, c1[v], c2[v])
+		}
+	}
+}
+
+func TestJonesPlassmannComparableToGreedy(t *testing.T) {
+	for _, m := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"trimesh", FromMatrix(gen.TriMesh(22, 22, 5))},
+		{"grid3d", FromMatrix(gen.Grid3D(7, 7, 7))},
+		{"quaddual", FromMatrix(gen.QuadDual(14, 14, 2))},
+	} {
+		_, greedy := m.g.GreedyColor(NaturalOrder)
+		_, jp := m.g.JonesPlassmannColor(3, 4)
+		if jp > 2*greedy+2 {
+			t.Errorf("%s: JP used %d colours, greedy %d", m.name, jp, greedy)
+		}
+	}
+}
+
+func TestJonesPlassmannEdgeCases(t *testing.T) {
+	// Edgeless graph: one colour, one round.
+	g := FromMatrix(gen.Grid2D(1, 5)) // path 1x5? Grid2D(1,5) is a path
+	colors, nc := g.JonesPlassmannColor(1, 2)
+	if err := g.VerifyColoring(colors); err != nil {
+		t.Fatal(err)
+	}
+	if nc < 1 || nc > 2 {
+		t.Fatalf("path coloured with %d colours", nc)
+	}
+	single := pathGraph(1)
+	_, nc = single.JonesPlassmannColor(1, 4)
+	if nc != 1 {
+		t.Fatalf("singleton coloured with %d colours", nc)
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+func TestSloanIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng, 60)
+		perm := g.Sloan()
+		if err := sparse.CheckPermutation(perm); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSloanReducesBandwidthOnShuffledBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, band := 150, 3
+	coo := sparse.NewCOO(n, 2*band*n)
+	shuffle := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		coo.Add(shuffle[i], shuffle[i], 1)
+		for d := 1; d <= band; d++ {
+			if i+d < n {
+				coo.AddSym(shuffle[i], shuffle[i+d], 1)
+			}
+		}
+	}
+	g := FromMatrix(coo.ToCSR())
+	before := g.Bandwidth(nil)
+	perm := g.Sloan()
+	after := g.Bandwidth(perm)
+	if after >= before {
+		t.Fatalf("Sloan bandwidth %d not below shuffled %d", after, before)
+	}
+	if after > 8*band {
+		t.Fatalf("Sloan bandwidth %d far from band %d", after, band)
+	}
+}
+
+func TestSloanComparableToRCMOnMesh(t *testing.T) {
+	m := gen.TriMesh(20, 20, 3)
+	g := FromMatrix(m)
+	rcm := g.Bandwidth(g.RCM())
+	sloan := g.Bandwidth(g.Sloan())
+	// Sloan optimises profile, not bandwidth, so allow slack — but it must
+	// stay in the same regime as RCM on a regular mesh.
+	if sloan > 4*rcm {
+		t.Fatalf("Sloan bandwidth %d vastly worse than RCM %d", sloan, rcm)
+	}
+}
+
+func TestSloanDisconnected(t *testing.T) {
+	coo := sparse.NewCOO(7, 8)
+	for i := 0; i < 7; i++ {
+		coo.Add(i, i, 1)
+	}
+	coo.AddSym(0, 1, 1)
+	coo.AddSym(3, 4, 1)
+	coo.AddSym(4, 5, 1)
+	g := FromMatrix(coo.ToCSR())
+	perm := g.Sloan()
+	if err := sparse.CheckPermutation(perm); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package machine describes the NUMA multicore topologies of the paper's
+// evaluation (§4.1) for the trace-driven cache simulator.
+//
+// Go's runtime offers neither thread pinning nor NUMA-aware allocation, so
+// the reproduction cannot re-run the paper's pinned-OpenMP measurements on
+// real silicon. Instead, these topology descriptions — cache geometry and
+// the latency numbers the paper cites from Molka et al. [PACT'09] — drive
+// a deterministic simulation (internal/cachesim) in which task→core
+// placement is explicit, exactly what KMP_AFFINITY=compact gave the
+// authors.
+package machine
+
+import "fmt"
+
+// CacheSpec is the geometry and hit latency of one cache level.
+type CacheSpec struct {
+	SizeBytes    int
+	LineBytes    int
+	Assoc        int
+	LatencyCycle int // hit latency in cycles
+}
+
+// Topology is a NUMA multicore: identical sockets (NUMA domains), each
+// with private per-core L1/L2 and one shared L3, over a NUMA memory.
+type Topology struct {
+	Name           string
+	Sockets        int // NUMA domains
+	CoresPerSocket int
+
+	L1 CacheSpec // private per core
+	L2 CacheSpec // private per core
+	L3 CacheSpec // shared per socket; LatencyCycle is the local-bank latency
+
+	// L3RemoteCycle is the latency of hitting a cache line in another
+	// socket's L3 (the upper end of the paper's 38–170 cycle L3 range).
+	L3RemoteCycle int
+	// DRAMLocalCycle / DRAMRemoteCycle are memory latencies for the local
+	// and a remote NUMA domain (paper: 175–290 cycles on the Intel node).
+	DRAMLocalCycle  int
+	DRAMRemoteCycle int
+
+	// ComputeCycle is the cost of one fused multiply-add (one nonzero).
+	ComputeCycle int
+
+	// PrefetchCycle is the charged latency of a cache miss on a sequential
+	// stream (the matrix value/index arrays and b): hardware prefetchers
+	// hide stream latency almost completely, which is why sparse
+	// triangular solution is bound by the latency of the irregular x
+	// accesses — the paper's premise. 0 disables the prefetcher and
+	// charges full miss latency on streams.
+	PrefetchCycle int
+
+	// DRAMPerLineCycle is the memory-controller occupancy per cache line
+	// fetched from DRAM, per socket: a pack cannot finish faster than
+	// (lines fetched by the socket's cores) × DRAMPerLineCycle, the
+	// Little's-law bandwidth envelope the paper invokes for Figure 8.
+	// 0 disables the bandwidth bound.
+	DRAMPerLineCycle int
+
+	// SyncBaseCycle and SyncPerCoreCycle model the barrier between packs:
+	// cost = SyncBaseCycle + SyncPerCoreCycle·(active cores). Wolf et al.
+	// [VECPAR'10] identify this synchronisation as the dominant overhead,
+	// which is why pack counts matter (Figures 7–8).
+	SyncBaseCycle    int
+	SyncPerCoreCycle int
+}
+
+// TotalCores returns the number of cores in the machine.
+func (t *Topology) TotalCores() int { return t.Sockets * t.CoresPerSocket }
+
+// SocketOf returns the NUMA domain of a core under compact placement
+// (cores fill socket 0 first, matching KMP_AFFINITY=compact).
+func (t *Topology) SocketOf(core int) int { return core / t.CoresPerSocket }
+
+// Validate checks that the topology is internally consistent.
+func (t *Topology) Validate() error {
+	if t.Sockets < 1 || t.CoresPerSocket < 1 {
+		return fmt.Errorf("machine: %s: empty topology", t.Name)
+	}
+	for _, c := range []CacheSpec{t.L1, t.L2, t.L3} {
+		if c.LineBytes <= 0 || c.Assoc <= 0 || c.SizeBytes <= 0 {
+			return fmt.Errorf("machine: %s: malformed cache spec %+v", t.Name, c)
+		}
+		if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+			return fmt.Errorf("machine: %s: cache size %d not divisible into %d-way sets of %dB lines",
+				t.Name, c.SizeBytes, c.Assoc, c.LineBytes)
+		}
+	}
+	if t.L1.LatencyCycle > t.L2.LatencyCycle || t.L2.LatencyCycle > t.L3.LatencyCycle {
+		return fmt.Errorf("machine: %s: latencies must grow down the hierarchy", t.Name)
+	}
+	if t.L3.LatencyCycle > t.L3RemoteCycle || t.L3RemoteCycle > t.DRAMRemoteCycle {
+		return fmt.Errorf("machine: %s: remote latencies must dominate local", t.Name)
+	}
+	if t.DRAMLocalCycle > t.DRAMRemoteCycle {
+		return fmt.Errorf("machine: %s: local DRAM slower than remote", t.Name)
+	}
+	return nil
+}
+
+// IntelWestmereEX32 is the paper's Intel node: 4 × Xeon E7-8837
+// (Westmere-EX), 8 cores per socket; 64 KiB L1 at 4 cycles and 256 KiB L2
+// at 10 cycles private per core; 24 MiB L3 shared per socket with
+// NUMA-banked latency 38–170 cycles; DRAM at 175–290 cycles (§4.1, citing
+// Molka et al.).
+func IntelWestmereEX32() Topology {
+	return Topology{
+		Name:           "intel-westmere-ex-32",
+		Sockets:        4,
+		CoresPerSocket: 8,
+		L1:             CacheSpec{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:             CacheSpec{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 10},
+		L3:             CacheSpec{SizeBytes: 24 << 20, LineBytes: 64, Assoc: 24, LatencyCycle: 38},
+		L3RemoteCycle:  170,
+		DRAMLocalCycle: 175, DRAMRemoteCycle: 290,
+		ComputeCycle:     1,
+		PrefetchCycle:    4,
+		DRAMPerLineCycle: 6,
+		SyncBaseCycle:    600,
+		SyncPerCoreCycle: 120,
+	}
+}
+
+// AMDMagnyCours24 is the paper's AMD node: 2 × twelve-core Magny-Cours
+// packages. Each package carries two six-core dies, so the machine has
+// 4 NUMA domains of 6 cores; 64 KiB L1 and 512 KiB L2 private per core,
+// 6 MiB L3 shared per die (§4.1).
+func AMDMagnyCours24() Topology {
+	return Topology{
+		Name:           "amd-magny-cours-24",
+		Sockets:        4, // NUMA dies
+		CoresPerSocket: 6,
+		L1:             CacheSpec{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, LatencyCycle: 3},
+		L2:             CacheSpec{SizeBytes: 512 << 10, LineBytes: 64, Assoc: 16, LatencyCycle: 12},
+		L3:             CacheSpec{SizeBytes: 6 << 20, LineBytes: 64, Assoc: 48, LatencyCycle: 40},
+		L3RemoteCycle:  180,
+		DRAMLocalCycle: 190, DRAMRemoteCycle: 310,
+		ComputeCycle:     1,
+		PrefetchCycle:    5,
+		DRAMPerLineCycle: 8,
+		SyncBaseCycle:    700,
+		SyncPerCoreCycle: 140,
+	}
+}
+
+// UMA returns a uniform-memory reference machine: one NUMA domain, every
+// latency flat. Useful for isolating NUMA effects in ablations.
+func UMA(cores int) Topology {
+	return Topology{
+		Name:           fmt.Sprintf("uma-%d", cores),
+		Sockets:        1,
+		CoresPerSocket: cores,
+		L1:             CacheSpec{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 4},
+		L2:             CacheSpec{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyCycle: 10},
+		L3:             CacheSpec{SizeBytes: 24 << 20, LineBytes: 64, Assoc: 24, LatencyCycle: 40},
+		L3RemoteCycle:  40,
+		DRAMLocalCycle: 200, DRAMRemoteCycle: 200,
+		ComputeCycle:     1,
+		PrefetchCycle:    4,
+		DRAMPerLineCycle: 6,
+		SyncBaseCycle:    600,
+		SyncPerCoreCycle: 120,
+	}
+}
+
+// ScaleCaches returns a copy of the topology with private caches (L1, L2)
+// divided by privDiv and the shared L3 divided by l3Div, latencies
+// unchanged.
+//
+// The paper's matrices are 50-1000× larger than the evaluation machines'
+// L3 caches; a container-scale reproduction shrinks the matrices, so the
+// caches must shrink with them to keep the footprint-to-cache ratios — and
+// with them the locality effects that separate the schemes — in the
+// paper's regime. Divisors are clamped so every cache keeps at least one
+// set and the hierarchy stays nested (L3 ≥ 2·L2).
+func ScaleCaches(t Topology, privDiv, l3Div int) Topology {
+	return ScaleCachesLine(t, privDiv, l3Div, 1)
+}
+
+// ScaleCachesLine is ScaleCaches with an additional divisor for the cache
+// line size (floored at 8 bytes, one matrix entry): at reproduction scale
+// the RCM bandwidth of the scaled matrices shrinks with √n, so a full 64-
+// byte line spans an unrealistically large fraction of the band and hands
+// row-level schemes spatial sharing the paper's matrices do not have.
+func ScaleCachesLine(t Topology, privDiv, l3Div, lineDiv int) Topology {
+	out := t
+	out.L1 = scaleSpec(t.L1, privDiv)
+	out.L2 = scaleSpec(t.L2, privDiv)
+	out.L3 = scaleSpec(t.L3, l3Div)
+	if lineDiv > 1 {
+		for _, c := range []*CacheSpec{&out.L1, &out.L2, &out.L3} {
+			c.LineBytes /= lineDiv
+			if c.LineBytes < 8 {
+				c.LineBytes = 8
+			}
+			unit := c.LineBytes * c.Assoc
+			if c.SizeBytes < unit {
+				c.SizeBytes = unit
+			}
+			if rem := c.SizeBytes % unit; rem != 0 {
+				c.SizeBytes -= rem
+			}
+		}
+	}
+	if out.L3.SizeBytes < 2*out.L2.SizeBytes {
+		out.L3.SizeBytes = 2 * out.L2.SizeBytes
+		// Keep the set count integral.
+		unit := out.L3.LineBytes * out.L3.Assoc
+		if rem := out.L3.SizeBytes % unit; rem != 0 {
+			out.L3.SizeBytes += unit - rem
+		}
+	}
+	out.Name = fmt.Sprintf("%s/c%d-%d-l%d", t.Name, privDiv, l3Div, lineDiv)
+	return out
+}
+
+func scaleSpec(c CacheSpec, div int) CacheSpec {
+	if div < 1 {
+		div = 1
+	}
+	c.SizeBytes /= div
+	min := c.LineBytes * c.Assoc // one full set
+	if c.SizeBytes < min {
+		c.SizeBytes = min
+	}
+	if rem := c.SizeBytes % min; rem != 0 {
+		c.SizeBytes -= rem
+	}
+	return c
+}
+
+// Known lists the built-in topologies by name.
+func Known() map[string]Topology {
+	return map[string]Topology{
+		"intel": IntelWestmereEX32(),
+		"amd":   AMDMagnyCours24(),
+		"uma":   UMA(32),
+	}
+}

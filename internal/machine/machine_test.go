@@ -1,0 +1,86 @@
+package machine
+
+import "testing"
+
+func TestBuiltinTopologiesValid(t *testing.T) {
+	for name, topo := range Known() {
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestIntelShape(t *testing.T) {
+	topo := IntelWestmereEX32()
+	if topo.TotalCores() != 32 {
+		t.Fatalf("intel cores = %d, want 32", topo.TotalCores())
+	}
+	if topo.Sockets != 4 || topo.CoresPerSocket != 8 {
+		t.Fatalf("intel sockets/cores = %d/%d", topo.Sockets, topo.CoresPerSocket)
+	}
+	// Paper latencies (§4.1): L1 4cy, L2 10cy, L3 38-170cy, DRAM 175-290cy.
+	if topo.L1.LatencyCycle != 4 || topo.L2.LatencyCycle != 10 {
+		t.Fatal("intel private cache latencies diverge from the paper")
+	}
+	if topo.L3.LatencyCycle != 38 || topo.L3RemoteCycle != 170 {
+		t.Fatal("intel L3 latency band diverges from the paper")
+	}
+	if topo.DRAMLocalCycle != 175 || topo.DRAMRemoteCycle != 290 {
+		t.Fatal("intel DRAM latency band diverges from the paper")
+	}
+}
+
+func TestAMDShape(t *testing.T) {
+	topo := AMDMagnyCours24()
+	if topo.TotalCores() != 24 {
+		t.Fatalf("amd cores = %d, want 24", topo.TotalCores())
+	}
+	if topo.CoresPerSocket != 6 {
+		t.Fatalf("amd NUMA domain size = %d, want 6 (L3 shared among 6 cores)", topo.CoresPerSocket)
+	}
+	if topo.L2.SizeBytes != 512<<10 || topo.L3.SizeBytes != 6<<20 {
+		t.Fatal("amd cache sizes diverge from the paper")
+	}
+}
+
+func TestSocketOfCompact(t *testing.T) {
+	topo := IntelWestmereEX32()
+	if topo.SocketOf(0) != 0 || topo.SocketOf(7) != 0 {
+		t.Fatal("first 8 cores must share socket 0 under compact placement")
+	}
+	if topo.SocketOf(8) != 1 || topo.SocketOf(31) != 3 {
+		t.Fatal("compact placement mapping wrong")
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	base := IntelWestmereEX32()
+	mutations := []func(*Topology){
+		func(t *Topology) { t.Sockets = 0 },
+		func(t *Topology) { t.L1.SizeBytes = 0 },
+		func(t *Topology) { t.L1.SizeBytes = 100 }, // not divisible into sets
+		func(t *Topology) { t.L1.LatencyCycle = 99 },
+		func(t *Topology) { t.L3RemoteCycle = 1 },
+		func(t *Topology) { t.DRAMLocalCycle = 1000 },
+	}
+	for i, mut := range mutations {
+		topo := base
+		mut(&topo)
+		if err := topo.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestUMAFlat(t *testing.T) {
+	topo := UMA(16)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.DRAMLocalCycle != topo.DRAMRemoteCycle {
+		t.Fatal("UMA must have flat DRAM latency")
+	}
+	if topo.Sockets != 1 {
+		t.Fatal("UMA must be a single domain")
+	}
+}

@@ -1,0 +1,67 @@
+package machine
+
+import "testing"
+
+func TestScaleCachesShrinksAndValidates(t *testing.T) {
+	for _, base := range []Topology{IntelWestmereEX32(), AMDMagnyCours24(), UMA(16)} {
+		for _, div := range []int{2, 16, 512, 100000} {
+			s := ScaleCaches(base, 16, div)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s /%d: %v", base.Name, div, err)
+			}
+			if s.L1.SizeBytes > base.L1.SizeBytes || s.L3.SizeBytes > base.L3.SizeBytes {
+				t.Fatalf("%s /%d: scaling grew a cache", base.Name, div)
+			}
+			if s.L3.SizeBytes < 2*s.L2.SizeBytes {
+				t.Fatalf("%s /%d: hierarchy nesting broken (L3 %d < 2*L2 %d)",
+					base.Name, div, s.L3.SizeBytes, s.L2.SizeBytes)
+			}
+			// Latencies and NUMA structure untouched.
+			if s.L1.LatencyCycle != base.L1.LatencyCycle || s.DRAMRemoteCycle != base.DRAMRemoteCycle {
+				t.Fatalf("%s: scaling changed latencies", base.Name)
+			}
+			if s.Sockets != base.Sockets {
+				t.Fatalf("%s: scaling changed sockets", base.Name)
+			}
+		}
+	}
+}
+
+func TestScaleCachesFloorsAtOneSet(t *testing.T) {
+	s := ScaleCaches(IntelWestmereEX32(), 1<<30, 1<<30)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.L1.SizeBytes < s.L1.LineBytes*s.L1.Assoc {
+		t.Fatal("L1 smaller than one set")
+	}
+}
+
+func TestScaleCachesLine(t *testing.T) {
+	s := ScaleCachesLine(IntelWestmereEX32(), 16, 256, 8)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.L1.LineBytes != 8 || s.L3.LineBytes != 8 {
+		t.Fatalf("line sizes = %d/%d, want 8", s.L1.LineBytes, s.L3.LineBytes)
+	}
+	// Floor: dividing further stays at 8 bytes (one matrix entry).
+	s = ScaleCachesLine(IntelWestmereEX32(), 16, 256, 1024)
+	if s.L1.LineBytes != 8 {
+		t.Fatalf("line floor broken: %d", s.L1.LineBytes)
+	}
+	// lineDiv 1 behaves exactly like ScaleCaches.
+	a := ScaleCachesLine(IntelWestmereEX32(), 16, 256, 1)
+	b := ScaleCaches(IntelWestmereEX32(), 16, 256)
+	if a.L1 != b.L1 || a.L2 != b.L2 || a.L3 != b.L3 {
+		t.Fatal("lineDiv=1 diverges from ScaleCaches")
+	}
+}
+
+func TestScaledNamesDistinct(t *testing.T) {
+	a := ScaleCaches(IntelWestmereEX32(), 16, 256)
+	b := ScaleCaches(IntelWestmereEX32(), 16, 512)
+	if a.Name == b.Name {
+		t.Fatal("scaled topologies share a name")
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"stsk/internal/csrk"
+	"stsk/internal/dar"
+)
+
+// DARStats quantifies §3.4's structural claim: after the in-pack RCM the
+// data-affinity-and-reuse graph of each pack should be band-reduced —
+// tasks that share reused solution components sit next to each other in
+// task order, approaching the line graph of Figure 5.
+type DARStats struct {
+	Pack       int
+	Tasks      int
+	Edges      int
+	Bandwidth  int     // max |i-j| over DAR edges in the pack's task order
+	MeanSpan   float64 // mean |i-j| over DAR edges
+	IsLineLike bool    // every task has DAR degree <= 2
+}
+
+// DARBandwidths reconstructs each pack's DAR graph from the structure and
+// returns its statistics in pack order. maxClique caps the pairwise edges
+// contributed by one shared component (0 = exact DAR).
+func DARBandwidths(s *csrk.Structure, maxClique int) []DARStats {
+	l := s.L
+	superOf := make([]int, l.N)
+	for sr := 0; sr < s.NumSuperRows(); sr++ {
+		lo, hi := s.SuperRowRows(sr)
+		for i := lo; i < hi; i++ {
+			superOf[i] = sr
+		}
+	}
+	out := make([]DARStats, 0, s.NumPacks())
+	for p := 0; p < s.NumPacks(); p++ {
+		srLo, srHi := s.PackSuperRows(p)
+		rowLo, _ := s.PackRows(p)
+		nTasks := srHi - srLo
+		tasks := make([]dar.Task, nTasks)
+		seen := make(map[int]struct{})
+		for sr := srLo; sr < srHi; sr++ {
+			clear(seen)
+			var inputs []int
+			lo, hi := s.SuperRowRows(sr)
+			for i := lo; i < hi; i++ {
+				cols, _ := l.Row(i)
+				for _, j := range cols {
+					if j >= rowLo {
+						continue // own pack (own super-row): not a reuse source
+					}
+					src := superOf[j]
+					if _, ok := seen[src]; !ok {
+						seen[src] = struct{}{}
+						inputs = append(inputs, src)
+					}
+				}
+			}
+			tasks[sr-srLo] = dar.Task{Inputs: inputs}
+		}
+		g := dar.BuildGraph(tasks, maxClique)
+		st := DARStats{Pack: p, Tasks: nTasks, IsLineLike: true}
+		sumSpan := 0
+		for v := 0; v < g.N; v++ {
+			if g.Degree(v) > 2 {
+				st.IsLineLike = false
+			}
+			for _, u := range g.Neighbors(v) {
+				if u <= v {
+					continue
+				}
+				st.Edges++
+				span := u - v
+				sumSpan += span
+				if span > st.Bandwidth {
+					st.Bandwidth = span
+				}
+			}
+		}
+		if st.Edges > 0 {
+			st.MeanSpan = float64(sumSpan) / float64(st.Edges)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// MaxDARBandwidth returns the largest per-pack DAR bandwidth — the single
+// number the §3.4 reordering minimises.
+func MaxDARBandwidth(stats []DARStats) int {
+	worst := 0
+	for _, st := range stats {
+		if st.Bandwidth > worst {
+			worst = st.Bandwidth
+		}
+	}
+	return worst
+}
+
+// MeanDARSpan returns the edge-weighted mean span across packs.
+func MeanDARSpan(stats []DARStats) float64 {
+	sum, edges := 0.0, 0
+	for _, st := range stats {
+		sum += st.MeanSpan * float64(st.Edges)
+		edges += st.Edges
+	}
+	if edges == 0 {
+		return 0
+	}
+	return sum / float64(edges)
+}

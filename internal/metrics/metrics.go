@@ -1,0 +1,110 @@
+// Package metrics computes the parallelism and performance measures the
+// paper reports: pack counts and mean pack sizes (Figure 7), the share of
+// total work in the largest packs (Figure 8), speedups and their geometric
+// means (Figures 9–14).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"stsk/internal/csrk"
+)
+
+// PackStats summarises the pack structure of a plan.
+type PackStats struct {
+	NumPacks         int
+	Rows             int
+	NNZ              int64
+	MeanRowsPerPack  float64
+	MedianRows       float64
+	LargestPackRows  int
+	LargestPackIndex int
+	// WorkShareTop5 is the fraction of total nonzeros (fused multiply-adds)
+	// contained in the 5 largest packs — Figure 8's measure.
+	WorkShareTop5 float64
+}
+
+// Analyze computes PackStats for a structure.
+func Analyze(s *csrk.Structure) PackStats {
+	rows := s.PackRowCounts()
+	nnz := s.PackNNZ()
+	st := PackStats{NumPacks: s.NumPacks(), Rows: s.L.N}
+	var total int64
+	for _, z := range nnz {
+		total += z
+	}
+	st.NNZ = total
+	if st.NumPacks == 0 {
+		return st
+	}
+	st.MeanRowsPerPack = float64(st.Rows) / float64(st.NumPacks)
+	sortedRows := append([]int(nil), rows...)
+	sort.Ints(sortedRows)
+	if n := len(sortedRows); n%2 == 1 {
+		st.MedianRows = float64(sortedRows[n/2])
+	} else {
+		st.MedianRows = float64(sortedRows[n/2-1]+sortedRows[n/2]) / 2
+	}
+	for p, r := range rows {
+		if r > st.LargestPackRows {
+			st.LargestPackRows = r
+			st.LargestPackIndex = p
+		}
+	}
+	st.WorkShareTop5 = WorkShareTopK(nnz, 5)
+	return st
+}
+
+// WorkShareTopK returns the fraction of the total contained in the k
+// largest entries of work.
+func WorkShareTopK(work []int64, k int) float64 {
+	if len(work) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), work...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	var total, top int64
+	for i, w := range sorted {
+		total += w
+		if i < k {
+			top += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// GeoMean returns the geometric mean of positive values; zero or negative
+// entries are skipped. An empty input returns 0.
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Speedup returns ref/t, or 0 when t is not positive.
+func Speedup(ref, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return ref / t
+}
+
+// Log2 returns log₂(v) for the Figure 7 axes.
+func Log2(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log2(v)
+}

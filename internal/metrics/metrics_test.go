@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/order"
+)
+
+func TestAnalyzeOnPlans(t *testing.T) {
+	a := gen.TriMesh(20, 20, 7)
+	ls, err := order.Build(a, order.Options{Method: order.CSRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := order.Build(a, order.Options{Method: order.STS3, RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sls := Analyze(ls.S)
+	scol := Analyze(col.S)
+	if sls.NumPacks != ls.NumPacks || scol.NumPacks != col.NumPacks {
+		t.Fatal("pack count mismatch")
+	}
+	if sls.Rows != a.N || scol.Rows != a.N {
+		t.Fatal("row count mismatch")
+	}
+	// Figure 7 shape: colouring has fewer packs, more rows per pack.
+	if scol.NumPacks >= sls.NumPacks {
+		t.Fatalf("colour packs %d, LS packs %d", scol.NumPacks, sls.NumPacks)
+	}
+	if scol.MeanRowsPerPack <= sls.MeanRowsPerPack {
+		t.Fatal("colouring should have larger packs")
+	}
+	// Figure 8 shape: colouring concentrates work in the top packs.
+	if scol.WorkShareTop5 <= sls.WorkShareTop5 {
+		t.Fatalf("top-5 share: col %.3f <= ls %.3f", scol.WorkShareTop5, sls.WorkShareTop5)
+	}
+	if scol.WorkShareTop5 < 0.9 {
+		t.Fatalf("colouring top-5 share %.3f, paper reports >90%%", scol.WorkShareTop5)
+	}
+	if sls.LargestPackRows <= 0 || sls.LargestPackIndex < 0 {
+		t.Fatal("largest pack not identified")
+	}
+}
+
+func TestWorkShareTopK(t *testing.T) {
+	if got := WorkShareTopK([]int64{10, 20, 30, 40}, 2); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("top-2 share = %v, want 0.7", got)
+	}
+	if got := WorkShareTopK([]int64{5}, 5); got != 1 {
+		t.Fatalf("single pack share = %v, want 1", got)
+	}
+	if got := WorkShareTopK(nil, 5); got != 0 {
+		t.Fatalf("empty share = %v, want 0", got)
+	}
+	if got := WorkShareTopK([]int64{0, 0}, 1); got != 0 {
+		t.Fatalf("zero work share = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{3, 0, -1}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("GeoMean skipping nonpositive = %v, want 3", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestSpeedupAndLog2(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Fatal("Speedup wrong")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Fatal("Speedup by zero should be 0")
+	}
+	if Log2(8) != 3 || Log2(0) != 0 {
+		t.Fatal("Log2 wrong")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	a := gen.Grid2D(9, 9)
+	p, err := order.Build(a, order.Options{Method: order.CSRCOL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(p.S)
+	if st.MedianRows <= 0 {
+		t.Fatalf("median = %v", st.MedianRows)
+	}
+}

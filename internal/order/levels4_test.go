@@ -1,0 +1,79 @@
+package order
+
+import (
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+func TestLevels4BuildsAndSolves(t *testing.T) {
+	a := gen.TriMesh(22, 22, 5)
+	for _, m := range []Method{CSR3LS, STS3} {
+		p3, err := Build(a, Options{Method: m, RowsPerSuper: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p4, err := Build(a, Options{Method: m, RowsPerSuper: 6, Levels: 4, SupersPerHyper: 3})
+		if err != nil {
+			t.Fatalf("%v levels=4: %v", m, err)
+		}
+		verifySolve(t, a, p4)
+		// Hyper-rows are ~3x wider: far fewer tasks.
+		if p4.S.NumSuperRows()*2 > p3.S.NumSuperRows() {
+			t.Fatalf("%v: levels=4 tasks %d not clearly fewer than levels=3 %d",
+				m, p4.S.NumSuperRows(), p3.S.NumSuperRows())
+		}
+		// And typically at least as few packs (coarser graph).
+		if p4.NumPacks > p3.NumPacks*2 {
+			t.Fatalf("%v: levels=4 packs %d exploded vs %d", m, p4.NumPacks, p3.NumPacks)
+		}
+	}
+}
+
+func TestLevelsValidation(t *testing.T) {
+	a := gen.Grid2D(8, 8)
+	if _, err := Build(a, Options{Method: CSRLS, Levels: 3}); err == nil {
+		t.Fatal("row-level method accepted Levels=3")
+	}
+	if _, err := Build(a, Options{Method: STS3, Levels: 2}); err == nil {
+		t.Fatal("k-level method accepted Levels=2")
+	}
+	if _, err := Build(a, Options{Method: STS3, Levels: 7}); err == nil {
+		t.Fatal("Levels=7 accepted")
+	}
+	// Defaults pass.
+	if _, err := Build(a, Options{Method: CSRLS}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(a, Options{Method: STS3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInPackSloanOption(t *testing.T) {
+	a := gen.TriMesh(20, 20, 9)
+	rcm, err := Build(a, Options{Method: STS3, RowsPerSuper: 6, InPackOrder: InPackRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sloan, err := Build(a, Options{Method: STS3, RowsPerSuper: 6, InPackOrder: InPackSloan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySolve(t, a, rcm)
+	verifySolve(t, a, sloan)
+	if err := sparse.CheckPermutation(sloan.Perm); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range rcm.Perm {
+		if rcm.Perm[i] != sloan.Perm[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Sloan in-pack ordering identical to RCM on a non-trivial mesh")
+	}
+}

@@ -1,0 +1,452 @@
+// Package order implements the STS-k ordering pipeline (paper §3): starting
+// from a structurally symmetric matrix A = L + Lᵀ, it applies the base RCM
+// ordering, optionally coarsens rows into super-rows (CSR-k, §3.1), builds
+// packs of independent (super-)rows by colouring or level sets (§3.2),
+// sorts packs by increasing size, reorders the super-rows within each pack
+// by RCM on the pack's Data-Affinity-and-Reuse graph (§3.4), and emits the
+// final row permutation together with the 3-level csrk.Structure that the
+// solvers and the cache simulator consume.
+//
+// All four schemes of the paper's evaluation are expressible:
+//
+//	CSR-LS    level sets on G1, row tasks          (reference)
+//	CSR-COL   colouring on G1, row tasks
+//	CSR-3-LS  level sets on G2, super-row tasks, k-level sub-structuring
+//	STS-3     colouring on G2, super-row tasks, k-level sub-structuring
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"stsk/internal/csrk"
+	"stsk/internal/dar"
+	"stsk/internal/graph"
+	"stsk/internal/sparse"
+)
+
+// Method selects one of the paper's four triangular-solution schemes.
+type Method int
+
+const (
+	CSRLS  Method = iota // level sets on the fine graph (reference scheme)
+	CSRCOL               // colouring on the fine graph
+	CSR3LS               // level sets on the coarse graph + k-level sub-structuring
+	STS3                 // colouring on the coarse graph + k-level sub-structuring (CSR-3-COL)
+)
+
+func (m Method) String() string {
+	switch m {
+	case CSRLS:
+		return "CSR-LS"
+	case CSRCOL:
+		return "CSR-COL"
+	case CSR3LS:
+		return "CSR-3-LS"
+	case STS3:
+		return "STS-3"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists the four schemes in the paper's presentation order.
+func Methods() []Method { return []Method{CSRLS, CSR3LS, CSRCOL, STS3} }
+
+// UsesColoring reports whether the method builds packs by graph colouring.
+func (m Method) UsesColoring() bool { return m == CSRCOL || m == STS3 }
+
+// UsesSuperRows reports whether the method applies the k-level
+// sub-structuring (super-rows + in-pack DAR reordering).
+func (m Method) UsesSuperRows() bool { return m == CSR3LS || m == STS3 }
+
+// Options configures the pipeline. The zero value plus a Method is valid.
+type Options struct {
+	Method Method
+
+	// RowsPerSuper is the super-row size for 3-level methods; the paper
+	// uses 80 rows on Intel (256 KiB L2) and 320 on AMD (512 KiB L2).
+	// Defaults to 80. Ignored by row-level methods.
+	RowsPerSuper int
+
+	// ColorOrder is the greedy-colouring vertex order. The default,
+	// NaturalOrder, matches the Boost colouring the paper uses.
+	ColorOrder graph.ColorOrder
+
+	// SkipBaseRCM disables the RCM pre-ordering applied to every scheme
+	// (§4.1). Intended for tests and ablations.
+	SkipBaseRCM bool
+
+	// SkipPackSort disables sorting packs by increasing size (§3.2).
+	SkipPackSort bool
+
+	// SkipInPackRCM disables the §3.4 DAR reordering within packs, leaving
+	// super-rows in ascending index order. Intended for ablations; the
+	// paper's CSR-3-* schemes always reorder.
+	SkipInPackRCM bool
+
+	// MaxCliquePerSource caps the number of tasks a single shared solution
+	// component may pairwise connect in the DAR; beyond the cap the tasks
+	// are chained in a path, which preserves the connectivity RCM needs
+	// without quadratic edge blow-up on popular components. Defaults to 8.
+	MaxCliquePerSource int
+
+	// Levels selects the total number of structural levels k. 0 picks the
+	// method's default: 2 for row-level methods (rows + packs) and 3 for
+	// the CSR-3 methods (rows + super-rows + packs). 4 adds the paper's §5
+	// extension: a second coarsening round groups SupersPerHyper
+	// consecutive super-rows into one task before packs are built, for
+	// machines with an additional well-differentiated sharing level.
+	Levels int
+
+	// SupersPerHyper is the second-round grouping factor when Levels is 4.
+	// Defaults to 4.
+	SupersPerHyper int
+
+	// InPackOrder selects the bandwidth-reducing ordering applied to each
+	// pack's DAR graph (§3.4). The paper uses RCM and names alternatives
+	// as future work; Sloan is provided.
+	InPackOrder InPackOrdering
+}
+
+// InPackOrdering names the §3.4 DAR reordering algorithm.
+type InPackOrdering int
+
+const (
+	// InPackRCM reorders each pack's DAR by Reverse Cuthill–McKee (the
+	// paper's choice).
+	InPackRCM InPackOrdering = iota
+	// InPackSloan reorders each pack's DAR by Sloan's profile-reducing
+	// ordering.
+	InPackSloan
+)
+
+func (o Options) withDefaults() Options {
+	if o.RowsPerSuper <= 0 {
+		o.RowsPerSuper = 80
+	}
+	if o.MaxCliquePerSource <= 0 {
+		o.MaxCliquePerSource = 8
+	}
+	if o.Levels == 0 {
+		if o.Method.UsesSuperRows() {
+			o.Levels = 3
+		} else {
+			o.Levels = 2
+		}
+	}
+	if o.SupersPerHyper <= 0 {
+		o.SupersPerHyper = 4
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Method.UsesSuperRows() {
+		if o.Levels != 3 && o.Levels != 4 {
+			return fmt.Errorf("order: %v supports Levels 3 or 4, got %d", o.Method, o.Levels)
+		}
+	} else if o.Levels != 2 {
+		return fmt.Errorf("order: %v is a row-level method (Levels 2), got %d", o.Method, o.Levels)
+	}
+	return nil
+}
+
+// Plan is the result of the pipeline: the permutation that was applied to
+// the input matrix and the k-level structure over the permuted lower
+// triangle.
+type Plan struct {
+	Method Method
+	Opts   Options
+
+	// Perm maps original row indices of the input matrix to rows of S.L.
+	Perm []int
+
+	// S holds the permuted lower-triangular matrix and the pack/super-row
+	// boundaries (csrk "index3"/"index2" arrays).
+	S *csrk.Structure
+
+	// NumPacks is the number of parallel steps (colours or levels after
+	// pack construction); equals S.NumPacks().
+	NumPacks int
+}
+
+// PermuteRHS returns b permuted to the plan's row order: out[Perm[i]] = b[i].
+func (p *Plan) PermuteRHS(b []float64) []float64 {
+	out := make([]float64, len(b))
+	for i, pi := range p.Perm {
+		out[pi] = b[i]
+	}
+	return out
+}
+
+// UnpermuteSolution maps a solution of the permuted system back to the
+// original unknown order: out[i] = x[Perm[i]].
+func (p *Plan) UnpermuteSolution(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, pi := range p.Perm {
+		out[i] = x[pi]
+	}
+	return out
+}
+
+// Build runs the full pipeline on a structurally symmetric matrix with a
+// full diagonal (A = L + Lᵀ; use sparse.SymmetrizePattern for triangular
+// inputs) and returns the Plan for the requested method.
+func Build(a *sparse.CSR, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if a.N == 0 {
+		return nil, fmt.Errorf("order: empty matrix")
+	}
+	if !a.IsStructurallySymmetric() {
+		return nil, fmt.Errorf("order: matrix must be structurally symmetric (build A = L + Lᵀ first)")
+	}
+	if !a.HasFullNonzeroDiagonal() {
+		return nil, fmt.Errorf("order: matrix must carry a full nonzero diagonal")
+	}
+
+	perm := sparse.IdentityPermutation(a.N)
+
+	// Stage 1: base RCM (§4.1 applies it to every scheme).
+	if !opts.SkipBaseRCM {
+		p1 := graph.FromMatrix(a).RCM()
+		var err error
+		if a, err = sparse.PermuteSym(a, p1); err != nil {
+			return nil, fmt.Errorf("order: base RCM: %w", err)
+		}
+		if perm, err = sparse.ComposePermutations(perm, p1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: super-rows (§3.1). Row-level methods use singleton parts;
+	// Levels=4 folds a second contiguous grouping over the super-rows,
+	// widening each task to a hyper-row (§5 extension).
+	var part *graph.Partition
+	if opts.Method.UsesSuperRows() {
+		part = graph.CoarsenContiguous(a, opts.RowsPerSuper)
+		if opts.Levels >= 4 {
+			hyper := &graph.Partition{Membership: make([]int, a.N)}
+			for i := 0; i < a.N; i++ {
+				hyper.Membership[i] = part.Membership[i] / opts.SupersPerHyper
+			}
+			hyper.NumParts = (part.NumParts + opts.SupersPerHyper - 1) / opts.SupersPerHyper
+			part = hyper
+		}
+	} else {
+		part = &graph.Partition{Membership: sparse.IdentityPermutation(a.N), NumParts: a.N}
+	}
+	g1 := graph.FromMatrix(a)
+	var g2 *graph.Graph
+	if opts.Method.UsesSuperRows() {
+		g2 = graph.CoarseGraph(g1, part)
+	} else {
+		g2 = g1
+	}
+
+	// Stage 3: packs of independent super-rows (§3.2).
+	labels, numPacks := buildPacks(g2, opts)
+
+	// Rows per part, for pack sizing and the final row permutation.
+	partRows := make([][]int, part.NumParts)
+	for i := 0; i < a.N; i++ {
+		pt := part.Membership[i]
+		partRows[pt] = append(partRows[pt], i)
+	}
+
+	// Stage 4: order packs by increasing size in solution components (§3.2).
+	packRank := rankPacks(labels, numPacks, partRows, opts)
+
+	// Stage 5: in-pack DAR ordering (§3.4) and final super-row sequence.
+	sequence := sequenceSuperRows(a, part, partRows, labels, packRank, numPacks, opts)
+
+	// Stage 6: fine row permutation, permuted matrix, structure arrays.
+	p2 := make([]int, a.N)
+	superPtr := make([]int, 0, part.NumParts+1)
+	packPtr := make([]int, 0, numPacks+1)
+	superPtr = append(superPtr, 0)
+	packPtr = append(packPtr, 0)
+	next := 0
+	lastPack := -1
+	for _, sr := range sequence {
+		if pr := packRank[labels[sr]]; pr != lastPack {
+			if lastPack >= 0 {
+				packPtr = append(packPtr, len(superPtr)-1)
+			}
+			lastPack = pr
+		}
+		for _, row := range partRows[sr] {
+			p2[row] = next
+			next++
+		}
+		superPtr = append(superPtr, next)
+	}
+	packPtr = append(packPtr, len(superPtr)-1)
+
+	a2, err := sparse.PermuteSym(a, p2)
+	if err != nil {
+		return nil, fmt.Errorf("order: final permutation: %w", err)
+	}
+	if perm, err = sparse.ComposePermutations(perm, p2); err != nil {
+		return nil, err
+	}
+	s, err := csrk.Build(a2.Lower(), superPtr, packPtr)
+	if err != nil {
+		return nil, fmt.Errorf("order: structure for %v: %w", opts.Method, err)
+	}
+	return &Plan{
+		Method:   opts.Method,
+		Opts:     opts,
+		Perm:     perm,
+		S:        s,
+		NumPacks: s.NumPacks(),
+	}, nil
+}
+
+// buildPacks labels every super-row with its pack id.
+func buildPacks(g2 *graph.Graph, opts Options) (labels []int, numPacks int) {
+	if opts.Method.UsesColoring() {
+		return g2.GreedyColor(opts.ColorOrder)
+	}
+	// Level sets, seeded at a vertex of largest degree (§4.1). BFS levels
+	// may leave same-level neighbours, so the final packs are the DAG
+	// levels induced by the BFS numbering: level(v) = 1 + max level of
+	// already-numbered neighbours.
+	bfsPerm := g2.BFSOrder(g2.MaxDegreeVertex())
+	return dagLevelsUnderOrder(g2, bfsPerm)
+}
+
+// dagLevelsUnderOrder computes triangular level sets for the dependency
+// DAG obtained by orienting every edge from the lower-numbered endpoint
+// (under ord) to the higher: level(v) = 1 + max{level(u) : {u,v} ∈ E,
+// ord(u) < ord(v)}.
+func dagLevelsUnderOrder(g *graph.Graph, ord []int) (levels []int, numLevels int) {
+	inv := sparse.InvertPermutation(ord)
+	levels = make([]int, g.N)
+	for k := 0; k < g.N; k++ {
+		v := inv[k]
+		lv := 0
+		for _, u := range g.Neighbors(v) {
+			if ord[u] < ord[v] && levels[u]+1 > lv {
+				lv = levels[u] + 1
+			}
+		}
+		levels[v] = lv
+		if lv+1 > numLevels {
+			numLevels = lv + 1
+		}
+	}
+	return levels, numLevels
+}
+
+// rankPacks returns packRank[label] = position of that pack in the final
+// pack sequence, ordering packs by increasing number of rows (§3.2), or
+// keeping label order when SkipPackSort is set. Ties break by label so the
+// result is deterministic.
+func rankPacks(labels []int, numPacks int, partRows [][]int, opts Options) []int {
+	sizes := make([]int, numPacks)
+	for sr, lb := range labels {
+		sizes[lb] += len(partRows[sr])
+	}
+	order := make([]int, numPacks)
+	for i := range order {
+		order[i] = i
+	}
+	if !opts.SkipPackSort {
+		sort.SliceStable(order, func(x, y int) bool {
+			if sizes[order[x]] != sizes[order[y]] {
+				return sizes[order[x]] < sizes[order[y]]
+			}
+			return order[x] < order[y]
+		})
+	}
+	rank := make([]int, numPacks)
+	for pos, lb := range order {
+		rank[lb] = pos
+	}
+	return rank
+}
+
+// sequenceSuperRows produces the final order of super-rows: packs by rank,
+// and within each pack either ascending id or the §3.4 RCM-on-DAR order.
+func sequenceSuperRows(a *sparse.CSR, part *graph.Partition, partRows [][]int,
+	labels []int, packRank []int, numPacks int, opts Options) []int {
+
+	packs := make([][]int, numPacks)
+	for sr := 0; sr < part.NumParts; sr++ {
+		pr := packRank[labels[sr]]
+		packs[pr] = append(packs[pr], sr)
+	}
+	sequence := make([]int, 0, part.NumParts)
+	reorder := opts.Method.UsesSuperRows() && !opts.SkipInPackRCM
+	for pr := 0; pr < numPacks; pr++ {
+		members := packs[pr]
+		if reorder && len(members) > 2 {
+			members = reorderPackDAR(a, part, partRows, labels, packRank, members, pr, opts)
+		}
+		sequence = append(sequence, members...)
+	}
+	return sequence
+}
+
+// reorderPackDAR implements §3.4: build the pack's DAR graph — two tasks
+// are adjacent when they read a common solution component computed in an
+// earlier pack — and return the pack's super-rows in RCM order of that
+// graph, so the DAR becomes band-reduced (line-like) and the block/dynamic
+// schedules of §3.3 reuse cached components between consecutive tasks.
+func reorderPackDAR(a *sparse.CSR, part *graph.Partition, partRows [][]int,
+	labels []int, packRank []int, members []int, myRank int, opts Options) []int {
+
+	tasks := make([]dar.Task, len(members))
+	seen := make(map[int]struct{})
+	for t, sr := range members {
+		clear(seen)
+		var inputs []int
+		for _, row := range partRows[sr] {
+			cols, _ := a.Row(row)
+			for _, j := range cols {
+				src := part.Membership[j]
+				if src == sr {
+					continue
+				}
+				if packRank[labels[src]] >= myRank {
+					continue // same or later pack: not a reuse source
+				}
+				if _, ok := seen[src]; !ok {
+					seen[src] = struct{}{}
+					inputs = append(inputs, src)
+				}
+			}
+		}
+		tasks[t] = dar.Task{Inputs: inputs}
+	}
+	dg := dar.BuildGraph(tasks, opts.MaxCliquePerSource)
+	lg := darToGraph(dg)
+	var perm []int // local task index -> new position
+	if opts.InPackOrder == InPackSloan {
+		perm = lg.Sloan()
+	} else {
+		perm = lg.RCM()
+	}
+	out := make([]int, len(members))
+	for t, sr := range members {
+		out[perm[t]] = sr
+	}
+	return out
+}
+
+// darToGraph converts a DAR graph into the graph package's CSR
+// representation so RCM can run on it.
+func darToGraph(d *dar.Graph) *graph.Graph {
+	g := &graph.Graph{N: d.N, Ptr: make([]int, d.N+1)}
+	for v := 0; v < d.N; v++ {
+		g.Ptr[v+1] = g.Ptr[v] + d.Degree(v)
+	}
+	g.Adj = make([]int, g.Ptr[d.N])
+	for v := 0; v < d.N; v++ {
+		copy(g.Adj[g.Ptr[v]:], d.Neighbors(v))
+	}
+	return g
+}

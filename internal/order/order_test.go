@@ -1,0 +1,245 @@
+package order
+
+import (
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/graph"
+	"stsk/internal/sparse"
+)
+
+func buildPlan(t *testing.T, a *sparse.CSR, m Method) *Plan {
+	t.Helper()
+	p, err := Build(a, Options{Method: m, RowsPerSuper: 8})
+	if err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+	return p
+}
+
+// verifySolve checks end-to-end correctness: pick a true solution in the
+// ORIGINAL ordering, move it into plan order, manufacture the RHS for the
+// permuted system, solve sequentially, and map back.
+func verifySolve(t *testing.T, a *sparse.CSR, p *Plan) {
+	t.Helper()
+	xTrue := make([]float64, a.N)
+	for i := range xTrue {
+		xTrue[i] = float64(i%7) - 3
+	}
+	xPerm := p.PermuteRHS(xTrue) // reuse the mapping: out[Perm[i]] = xTrue[i]
+	b := sparse.RHSForSolution(p.S.L, xPerm)
+	x, err := sparse.ForwardSubstitution(p.S.L, b)
+	if err != nil {
+		t.Fatalf("%v: %v", p.Method, err)
+	}
+	back := p.UnpermuteSolution(x)
+	if d := sparse.MaxAbsDiff(back, xTrue); d > 1e-9 {
+		t.Fatalf("%v: solution error %g after permutation round trip", p.Method, d)
+	}
+}
+
+func TestBuildAllMethodsOnMeshes(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"grid2d":   gen.Grid2D(17, 13),
+		"trimesh":  gen.TriMesh(14, 14, 3),
+		"quaddual": gen.QuadDual(10, 10, 1),
+		"roadnet":  gen.RoadNet(7, 7, 3, 5, 1),
+		"grid3d":   gen.Grid3D(7, 6, 5),
+	}
+	for name, a := range mats {
+		for _, m := range Methods() {
+			p := buildPlan(t, a, m)
+			if err := sparse.CheckPermutation(p.Perm); err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			if p.S.L.N != a.N {
+				t.Fatalf("%s/%v: size mismatch", name, m)
+			}
+			if p.NumPacks < 1 {
+				t.Fatalf("%s/%v: no packs", name, m)
+			}
+			// Structure validity (incl. pack independence) is enforced by
+			// csrk.Build inside Build; re-check defensively.
+			if err := p.S.Validate(); err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			verifySolve(t, a, p)
+		}
+	}
+}
+
+func TestColoringFewerPacksThanLevelSets(t *testing.T) {
+	// Figure 7's headline: colouring produces orders of magnitude fewer
+	// packs than level sets on mesh classes.
+	a := gen.TriMesh(30, 30, 11)
+	ls := buildPlan(t, a, CSRLS)
+	col := buildPlan(t, a, CSRCOL)
+	if col.NumPacks*4 > ls.NumPacks {
+		t.Fatalf("colouring packs %d not clearly fewer than level-set packs %d", col.NumPacks, ls.NumPacks)
+	}
+}
+
+func TestCoarseLevelSetsFewerPacks(t *testing.T) {
+	// §3.2: level sets on G2 have fewer levels than on G1.
+	a := gen.Grid2D(28, 28)
+	fine := buildPlan(t, a, CSRLS)
+	coarse := buildPlan(t, a, CSR3LS)
+	if coarse.NumPacks >= fine.NumPacks {
+		t.Fatalf("CSR-3-LS packs %d, CSR-LS packs %d; want fewer on G2", coarse.NumPacks, fine.NumPacks)
+	}
+}
+
+func TestPackSizesAscending(t *testing.T) {
+	a := gen.TriMesh(20, 20, 5)
+	for _, m := range Methods() {
+		p := buildPlan(t, a, m)
+		counts := p.S.PackRowCounts()
+		for i := 1; i < len(counts); i++ {
+			if counts[i] < counts[i-1] {
+				t.Fatalf("%v: pack sizes not ascending: %v", m, counts)
+			}
+		}
+	}
+}
+
+func TestSkipPackSortKeepsLabelOrder(t *testing.T) {
+	a := gen.TriMesh(16, 16, 9)
+	p, err := Build(a, Options{Method: STS3, RowsPerSuper: 8, SkipPackSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.S.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	verifySolve(t, a, p)
+}
+
+func TestSuperRowsGrouped(t *testing.T) {
+	a := gen.Grid2D(20, 20)
+	p := buildPlan(t, a, STS3)
+	if p.S.NumSuperRows() >= a.N {
+		t.Fatalf("STS-3 should group rows: %d super-rows for %d rows", p.S.NumSuperRows(), a.N)
+	}
+	flat := buildPlan(t, a, CSRCOL)
+	if flat.S.NumSuperRows() != a.N {
+		t.Fatalf("CSR-COL must keep singleton super-rows, got %d", flat.S.NumSuperRows())
+	}
+}
+
+func TestRowsPerSuperRespected(t *testing.T) {
+	a := gen.Grid2D(20, 20)
+	p, err := Build(a, Options{Method: STS3, RowsPerSuper: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sr := 0; sr < p.S.NumSuperRows(); sr++ {
+		lo, hi := p.S.SuperRowRows(sr)
+		if hi-lo > 5 {
+			t.Fatalf("super-row %d has %d rows, cap 5", sr, hi-lo)
+		}
+	}
+}
+
+func TestInPackRCMAblation(t *testing.T) {
+	a := gen.TriMesh(22, 22, 13)
+	with, err := Build(a, Options{Method: STS3, RowsPerSuper: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Build(a, Options{Method: STS3, RowsPerSuper: 6, SkipInPackRCM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySolve(t, a, with)
+	verifySolve(t, a, without)
+	// Both are valid; the orders should genuinely differ on a non-trivial mesh.
+	same := true
+	for i := range with.Perm {
+		if with.Perm[i] != without.Perm[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("in-pack RCM had no effect on the ordering")
+	}
+}
+
+func TestSkipBaseRCM(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	p, err := Build(a, Options{Method: CSRCOL, SkipBaseRCM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySolve(t, a, p)
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	empty := &sparse.CSR{N: 0, RowPtr: []int{0}, Col: []int{}, Val: []float64{}}
+	if _, err := Build(empty, Options{Method: STS3}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	// Non-symmetric input.
+	coo := sparse.NewCOO(2, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 0, 1)
+	coo.Add(1, 1, 1)
+	if _, err := Build(coo.ToCSR(), Options{Method: STS3}); err == nil {
+		t.Fatal("non-symmetric matrix accepted")
+	}
+	// Missing diagonal.
+	coo2 := sparse.NewCOO(2, 2)
+	coo2.Add(0, 1, 1)
+	coo2.Add(1, 0, 1)
+	if _, err := Build(coo2.ToCSR(), Options{Method: STS3}); err == nil {
+		t.Fatal("hollow matrix accepted")
+	}
+}
+
+func TestMethodStringsAndPredicates(t *testing.T) {
+	if CSRLS.String() != "CSR-LS" || STS3.String() != "STS-3" ||
+		CSR3LS.String() != "CSR-3-LS" || CSRCOL.String() != "CSR-COL" {
+		t.Fatal("method names wrong")
+	}
+	if Method(42).String() == "" {
+		t.Fatal("unknown method should still format")
+	}
+	if !STS3.UsesColoring() || !CSRCOL.UsesColoring() || CSRLS.UsesColoring() {
+		t.Fatal("UsesColoring wrong")
+	}
+	if !STS3.UsesSuperRows() || !CSR3LS.UsesSuperRows() || CSRCOL.UsesSuperRows() {
+		t.Fatal("UsesSuperRows wrong")
+	}
+	if len(Methods()) != 4 {
+		t.Fatal("Methods() must list all four schemes")
+	}
+}
+
+func TestDagLevelsUnderOrderValid(t *testing.T) {
+	a := gen.TriMesh(10, 10, 2)
+	g := graph.FromMatrix(a)
+	ord := g.BFSOrder(g.MaxDegreeVertex())
+	levels, nl := dagLevelsUnderOrder(g, ord)
+	if nl < 2 {
+		t.Fatalf("mesh should have several levels, got %d", nl)
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			if levels[u] == levels[v] {
+				t.Fatalf("adjacent vertices %d,%d share level %d", v, u, levels[v])
+			}
+		}
+	}
+}
+
+func TestSingletonMatrix(t *testing.T) {
+	coo := sparse.NewCOO(1, 1)
+	coo.Add(0, 0, 2)
+	a := coo.ToCSR()
+	for _, m := range Methods() {
+		p := buildPlan(t, a, m)
+		if p.NumPacks != 1 {
+			t.Fatalf("%v: packs = %d", m, p.NumPacks)
+		}
+	}
+}

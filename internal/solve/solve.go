@@ -1,0 +1,259 @@
+// Package solve provides the triangular-solution kernels of the STS-k
+// reproduction: a sequential reference and a pack-parallel solver over the
+// csrk.Structure, with OpenMP-style static, dynamic(chunk) and
+// guided(chunk) loop schedules standing in for the paper's
+// `#pragma omp parallel for schedule(runtime, chunk)` (Algorithm 1).
+//
+// The paper runs CSR-LS/CSR-COL with schedule(dynamic,32) and the CSR-3-*
+// schemes with schedule(guided,1) (§4.1); DefaultsFor reproduces that
+// pairing.
+package solve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stsk/internal/csrk"
+)
+
+// Schedule selects how super-rows of a pack are handed to workers.
+type Schedule int
+
+const (
+	// Static splits each pack into equal contiguous blocks, one per worker.
+	Static Schedule = iota
+	// Dynamic hands out fixed chunks of super-rows first-come-first-served.
+	Dynamic
+	// Guided hands out shrinking chunks (remaining / workers, floored at
+	// the chunk size), the OpenMP guided policy.
+	Guided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Options configures the parallel solver.
+type Options struct {
+	// Workers is the number of solver goroutines; defaults to GOMAXPROCS.
+	Workers int
+	// Schedule is the loop schedule; defaults to Guided.
+	Schedule Schedule
+	// Chunk is the schedule granularity in super-rows; defaults to 1.
+	Chunk int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Chunk <= 0 {
+		o.Chunk = 1
+	}
+	return o
+}
+
+// DefaultsFor returns the paper's schedule pairing: dynamic,32 for the
+// row-level schemes and guided,1 for the k-level schemes (§4.1).
+func DefaultsFor(usesSuperRows bool, workers int) Options {
+	if usesSuperRows {
+		return Options{Workers: workers, Schedule: Guided, Chunk: 1}
+	}
+	return Options{Workers: workers, Schedule: Dynamic, Chunk: 32}
+}
+
+// Sequential solves S.L x = b by rows in order and returns x. It is the
+// single-core baseline T(mat, method, 1) of the evaluation.
+func Sequential(s *csrk.Structure, b []float64) ([]float64, error) {
+	l := s.L
+	if len(b) != l.N {
+		return nil, fmt.Errorf("solve: rhs length %d, want %d", len(b), l.N)
+	}
+	x := make([]float64, l.N)
+	solveRows(l.RowPtr, l.Col, l.Val, x, b, 0, l.N)
+	return x, nil
+}
+
+// solveRows performs forward substitution for rows [lo, hi). Each row's
+// diagonal entry is last (guaranteed by csrk.Structure.Validate).
+func solveRows(rowPtr, col []int, val, x, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		end := rowPtr[i+1] - 1
+		for k := rowPtr[i]; k < end; k++ {
+			s += val[k] * x[col[k]]
+		}
+		x[i] = (b[i] - s) / val[end]
+	}
+}
+
+// Parallel solves S.L x = b with the pack-parallel scheme of Algorithm 1:
+// packs run one after another; the super-rows of a pack are distributed
+// over workers by the configured schedule; rows inside a super-row are
+// solved sequentially by one worker.
+func Parallel(s *csrk.Structure, b []float64, opts Options) ([]float64, error) {
+	x := make([]float64, s.L.N)
+	if err := ParallelInto(x, s, b, opts); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ParallelInto is Parallel writing into a caller-provided solution vector,
+// for benchmark loops that avoid per-solve allocation.
+func ParallelInto(x []float64, s *csrk.Structure, b []float64, opts Options) error {
+	l := s.L
+	if len(b) != l.N || len(x) != l.N {
+		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(x), len(b), l.N)
+	}
+	opts = opts.withDefaults()
+	if opts.Workers == 1 || s.NumSuperRows() == 1 {
+		solveRows(l.RowPtr, l.Col, l.Val, x, b, 0, l.N)
+		return nil
+	}
+	run := &runner{
+		s:    s,
+		x:    x,
+		b:    b,
+		opts: opts,
+	}
+	run.barrier.size = opts.Workers
+	run.barrier.cond = sync.NewCond(&run.barrier.mu)
+	run.counters = make([]atomic.Int64, s.NumPacks())
+	for p := range run.counters {
+		run.counters[p].Store(int64(s.PackPtr[p]))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			run.work(id)
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// runner carries the shared state of one parallel solve.
+type runner struct {
+	s        *csrk.Structure
+	x, b     []float64
+	opts     Options
+	counters []atomic.Int64 // per-pack next super-row (dynamic/guided)
+	barrier  barrier
+}
+
+func (r *runner) work(id int) {
+	s := r.s
+	for p := 0; p < s.NumPacks(); p++ {
+		lo, hi := s.PackSuperRows(p)
+		switch r.opts.Schedule {
+		case Static:
+			span := hi - lo
+			per := (span + r.opts.Workers - 1) / r.opts.Workers
+			start := lo + id*per
+			end := start + per
+			if start > hi {
+				start = hi
+			}
+			if end > hi {
+				end = hi
+			}
+			for sr := start; sr < end; sr++ {
+				r.solveSuper(sr)
+			}
+		case Dynamic:
+			c := int64(r.opts.Chunk)
+			for {
+				from := r.counters[p].Add(c) - c
+				if from >= int64(hi) {
+					break
+				}
+				to := from + c
+				if to > int64(hi) {
+					to = int64(hi)
+				}
+				for sr := int(from); sr < int(to); sr++ {
+					r.solveSuper(sr)
+				}
+			}
+		case Guided:
+			for {
+				from, to, ok := r.grabGuided(p, hi)
+				if !ok {
+					break
+				}
+				for sr := from; sr < to; sr++ {
+					r.solveSuper(sr)
+				}
+			}
+		}
+		// All workers must finish pack p before any starts pack p+1;
+		// the barrier's mutex also publishes the x writes.
+		r.barrier.wait()
+	}
+}
+
+// grabGuided claims the next guided chunk of pack p: remaining/workers
+// super-rows, floored at the chunk option.
+func (r *runner) grabGuided(p, hi int) (from, to int, ok bool) {
+	for {
+		cur := r.counters[p].Load()
+		if cur >= int64(hi) {
+			return 0, 0, false
+		}
+		remaining := int(int64(hi) - cur)
+		take := remaining / r.opts.Workers
+		if take < r.opts.Chunk {
+			take = r.opts.Chunk
+		}
+		if take > remaining {
+			take = remaining
+		}
+		if r.counters[p].CompareAndSwap(cur, cur+int64(take)) {
+			return int(cur), int(cur) + take, true
+		}
+	}
+}
+
+func (r *runner) solveSuper(sr int) {
+	lo, hi := r.s.SuperRowRows(sr)
+	solveRows(r.s.L.RowPtr, r.s.L.Col, r.s.L.Val, r.x, r.b, lo, hi)
+}
+
+// barrier is a reusable counting barrier; waiters of one generation block
+// until all workers arrive, then the next generation begins.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+	size  int
+	gen   int
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,144 @@
+package solve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stsk/internal/csrk"
+	"stsk/internal/sparse"
+)
+
+// UpperSolver solves the transposed system L′ᵀ x = b pack-parallel by
+// running the STS-k structure backwards: packs are processed in reverse
+// order, super-rows of a pack stay mutually independent under
+// transposition, and rows inside a super-row are solved last-to-first.
+// Together with the forward solver this makes the symmetric Gauss–Seidel
+// and incomplete-Cholesky preconditioner applications of the paper's
+// motivating PCG (§1) parallel in both sweeps.
+type UpperSolver struct {
+	s *csrk.Structure
+	u *sparse.CSR // L′ᵀ, upper triangular, diagonal first in each row
+}
+
+// NewUpperSolver transposes the structure's matrix once and validates that
+// every row carries a leading nonzero diagonal.
+func NewUpperSolver(s *csrk.Structure) (*UpperSolver, error) {
+	u := s.L.Transpose()
+	for i := 0; i < u.N; i++ {
+		lo, hi := u.RowPtr[i], u.RowPtr[i+1]
+		if lo == hi || u.Col[lo] != i {
+			return nil, fmt.Errorf("solve: transposed row %d lacks a leading diagonal", i)
+		}
+		if u.Val[lo] == 0 {
+			return nil, fmt.Errorf("solve: zero diagonal at transposed row %d", i)
+		}
+	}
+	return &UpperSolver{s: s, u: u}, nil
+}
+
+// Solve solves L′ᵀ x = b and returns x.
+func (us *UpperSolver) Solve(b []float64, opts Options) ([]float64, error) {
+	x := make([]float64, us.u.N)
+	if err := us.SolveInto(x, b, opts); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto is Solve writing into a caller-provided vector.
+func (us *UpperSolver) SolveInto(x, b []float64, opts Options) error {
+	u := us.u
+	if len(b) != u.N || len(x) != u.N {
+		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(x), len(b), u.N)
+	}
+	opts = opts.withDefaults()
+	if opts.Workers == 1 || us.s.NumSuperRows() == 1 {
+		solveUpperRows(u.RowPtr, u.Col, u.Val, x, b, 0, u.N)
+		return nil
+	}
+	run := &upperRunner{us: us, x: x, b: b, opts: opts}
+	run.barrier.size = opts.Workers
+	run.barrier.cond = sync.NewCond(&run.barrier.mu)
+	run.counters = make([]atomic.Int64, us.s.NumPacks())
+	for p := range run.counters {
+		// Counters advance from the pack's TOP super-row downwards.
+		run.counters[p].Store(int64(us.s.PackPtr[p+1]))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			run.work(id)
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// solveUpperRows performs backward substitution for rows [lo, hi), highest
+// first. The diagonal entry leads each row of u.
+func solveUpperRows(rowPtr, col []int, val, x, b []float64, lo, hi int) {
+	for i := hi - 1; i >= lo; i-- {
+		first := rowPtr[i]
+		s := 0.0
+		for k := first + 1; k < rowPtr[i+1]; k++ {
+			s += val[k] * x[col[k]]
+		}
+		x[i] = (b[i] - s) / val[first]
+	}
+}
+
+type upperRunner struct {
+	us       *UpperSolver
+	x, b     []float64
+	opts     Options
+	counters []atomic.Int64
+	barrier  barrier
+}
+
+func (r *upperRunner) work(id int) {
+	s := r.us.s
+	u := r.us.u
+	for p := s.NumPacks() - 1; p >= 0; p-- {
+		lo, hi := s.PackSuperRows(p)
+		switch r.opts.Schedule {
+		case Static:
+			span := hi - lo
+			per := (span + r.opts.Workers - 1) / r.opts.Workers
+			start := lo + id*per
+			end := start + per
+			if start > hi {
+				start = hi
+			}
+			if end > hi {
+				end = hi
+			}
+			for sr := end - 1; sr >= start; sr-- {
+				r.solveSuper(u, sr)
+			}
+		default: // Dynamic and Guided both count down in chunks.
+			c := int64(r.opts.Chunk)
+			for {
+				to := r.counters[p].Add(-c) + c
+				if to <= int64(lo) {
+					break
+				}
+				from := to - c
+				if from < int64(lo) {
+					from = int64(lo)
+				}
+				for sr := int(to) - 1; sr >= int(from); sr-- {
+					r.solveSuper(u, sr)
+				}
+			}
+		}
+		r.barrier.wait()
+	}
+}
+
+func (r *upperRunner) solveSuper(u *sparse.CSR, sr int) {
+	lo, hi := r.us.s.SuperRowRows(sr)
+	solveUpperRows(u.RowPtr, u.Col, u.Val, r.x, r.b, lo, hi)
+}

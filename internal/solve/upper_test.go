@@ -1,0 +1,119 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/order"
+	"stsk/internal/sparse"
+)
+
+func TestUpperSolverMatchesSequentialBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	mats := map[string]*sparse.CSR{
+		"trimesh": gen.TriMesh(16, 16, 3),
+		"grid3d":  gen.Grid3D(6, 6, 6),
+		"kkt3d":   gen.KKT3D(6, 6, 6),
+	}
+	for name, a := range mats {
+		for _, m := range order.Methods() {
+			p, err := order.Build(a, order.Options{Method: m, RowsPerSuper: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			us, err := NewUpperSolver(p.S)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			xTrue := make([]float64, a.N)
+			for i := range xTrue {
+				xTrue[i] = rng.NormFloat64()
+			}
+			u := p.S.L.Transpose()
+			b := make([]float64, a.N)
+			u.MatVec(b, xTrue)
+			for _, workers := range []int{1, 3, 8} {
+				for _, sched := range []Schedule{Static, Dynamic, Guided} {
+					x, err := us.Solve(b, Options{Workers: workers, Schedule: sched, Chunk: 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := sparse.MaxAbsDiff(x, xTrue); d > 1e-9 {
+						t.Fatalf("%s/%v/w%d/%v: error %g", name, m, workers, sched, d)
+					}
+					ref, err := sparse.BackwardSubstitution(u, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := sparse.MaxAbsDiff(x, ref); d > 1e-12 {
+						t.Fatalf("%s/%v: parallel differs from sequential backward by %g", name, m, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUpperSolverErrors(t *testing.T) {
+	a := gen.Grid2D(6, 6)
+	p, err := order.Build(a, order.Options{Method: order.STS3, RowsPerSuper: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := NewUpperSolver(p.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := us.Solve(make([]float64, 3), Options{}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+	x := make([]float64, 2)
+	if err := us.SolveInto(x, make([]float64, a.N), Options{}); err == nil {
+		t.Fatal("short x accepted")
+	}
+}
+
+func TestForwardBackwardSGSParallel(t *testing.T) {
+	// Full parallel SGS application: L y = r, then Lᵀ z = D y; verify
+	// M z = r with M = L D⁻¹ Lᵀ.
+	a := gen.TriMesh(20, 20, 5)
+	p, err := order.Build(a, order.Options{Method: order.STS3, RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.S.L
+	us, err := NewUpperSolver(p.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	r := make([]float64, a.N)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	y, err := Parallel(p.S, r, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		dy[i] = l.Val[l.RowPtr[i+1]-1] * y[i]
+	}
+	z, err := us.Solve(dy, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply M forward: L (D^{-1} (L^T z)) and compare with r.
+	u := l.Transpose()
+	uz := make([]float64, a.N)
+	u.MatVec(uz, z)
+	for i := range uz {
+		uz[i] /= l.Val[l.RowPtr[i+1]-1]
+	}
+	lr := make([]float64, a.N)
+	l.MatVec(lr, uz)
+	if d := sparse.MaxAbsDiff(lr, r); d > 1e-8 {
+		t.Fatalf("parallel SGS application error %g", d)
+	}
+}

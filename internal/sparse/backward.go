@@ -1,0 +1,54 @@
+package sparse
+
+import "fmt"
+
+// Upper returns the upper triangle of m including the diagonal.
+func (m *CSR) Upper() *CSR {
+	u := &CSR{N: m.N, RowPtr: make([]int, m.N+1)}
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		k := searchInt(cols, i)
+		u.Col = append(u.Col, cols[k:]...)
+		u.Val = append(u.Val, vals[k:]...)
+		u.RowPtr[i+1] = len(u.Col)
+	}
+	return u
+}
+
+// IsUpperTriangular reports whether every stored entry satisfies col >= row.
+func (m *CSR) IsUpperTriangular() bool {
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		if len(cols) > 0 && cols[0] < i {
+			return false
+		}
+	}
+	return true
+}
+
+// BackwardSubstitution solves U x = b for an upper-triangular U with a
+// nonzero diagonal, processing rows from last to first. Together with
+// ForwardSubstitution it provides the symmetric Gauss–Seidel sweeps of the
+// preconditioned-CG application that motivates the paper (§1).
+func BackwardSubstitution(u *CSR, b []float64) ([]float64, error) {
+	if !u.IsUpperTriangular() {
+		return nil, fmt.Errorf("sparse: matrix is not upper triangular")
+	}
+	x := make([]float64, u.N)
+	for i := u.N - 1; i >= 0; i-- {
+		lo, hi := u.RowPtr[i], u.RowPtr[i+1]
+		if lo == hi || u.Col[lo] != i {
+			return nil, fmt.Errorf("sparse: row %d has no diagonal entry", i)
+		}
+		d := u.Val[lo]
+		if d == 0 {
+			return nil, fmt.Errorf("sparse: zero diagonal at row %d", i)
+		}
+		s := 0.0
+		for k := lo + 1; k < hi; k++ {
+			s += u.Val[k] * x[u.Col[k]]
+		}
+		x[i] = (b[i] - s) / d
+	}
+	return x, nil
+}

@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUpperExtraction(t *testing.T) {
+	m := fromDense([][]float64{
+		{1, 7, 0},
+		{2, 3, 8},
+		{0, 4, 5},
+	})
+	u := m.Upper()
+	if !u.IsUpperTriangular() {
+		t.Fatal("Upper() result not upper triangular")
+	}
+	if u.At(0, 1) != 7 || u.At(1, 2) != 8 || u.At(2, 2) != 5 {
+		t.Fatal("Upper() dropped entries")
+	}
+	if u.At(1, 0) != 0 {
+		t.Fatal("Upper() kept a lower entry")
+	}
+}
+
+func TestIsUpperTriangular(t *testing.T) {
+	if !fromDense([][]float64{{1, 2}, {0, 3}}).IsUpperTriangular() {
+		t.Fatal("upper matrix not recognised")
+	}
+	if fromDense([][]float64{{1, 0}, {2, 3}}).IsUpperTriangular() {
+		t.Fatal("lower matrix reported upper")
+	}
+}
+
+func TestBackwardSubstitution(t *testing.T) {
+	u := fromDense([][]float64{
+		{2, 1, 0},
+		{0, 4, 3},
+		{0, 0, 5},
+	})
+	xTrue := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	u.MatVec(b, xTrue)
+	x, err := BackwardSubstitution(u, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(x, xTrue); d > 1e-12 {
+		t.Fatalf("error %g", d)
+	}
+}
+
+func TestBackwardSubstitutionErrors(t *testing.T) {
+	lower := fromDense([][]float64{{1, 0}, {2, 3}})
+	if _, err := BackwardSubstitution(lower, []float64{1, 1}); err == nil {
+		t.Fatal("accepted lower-triangular input")
+	}
+	noDiag := fromDense([][]float64{{0, 1}, {0, 1}})
+	if _, err := BackwardSubstitution(noDiag, []float64{1, 1}); err == nil {
+		t.Fatal("accepted missing diagonal")
+	}
+	zeroDiag := &CSR{N: 1, RowPtr: []int{0, 1}, Col: []int{0}, Val: []float64{0}}
+	if _, err := BackwardSubstitution(zeroDiag, []float64{1}); err == nil {
+		t.Fatal("accepted zero diagonal")
+	}
+}
+
+func TestForwardBackwardRoundTripSGS(t *testing.T) {
+	// The symmetric Gauss-Seidel application: L y = r, then U z = D y.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		a := randomSym(rng, 30)
+		if err := AssignSPDValues(a); err != nil {
+			t.Fatal(err)
+		}
+		l, u := a.Lower(), a.Upper()
+		r := make([]float64, a.N)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		y, err := ForwardSubstitution(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dy := make([]float64, a.N)
+		for i := range dy {
+			dy[i] = a.At(i, i) * y[i]
+		}
+		z, err := BackwardSubstitution(u, dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify M z = r with M = L D^{-1} U by applying M forward.
+		uz := make([]float64, a.N)
+		u.MatVec(uz, z)
+		for i := range uz {
+			uz[i] /= a.At(i, i)
+		}
+		lr := make([]float64, a.N)
+		l.MatVec(lr, uz)
+		if d := MaxAbsDiff(lr, r); d > 1e-8 {
+			t.Fatalf("trial %d: SGS application error %g", trial, d)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a square sparse matrix under construction, stored as unordered
+// (row, col, value) triplets. Duplicate coordinates are summed when the
+// matrix is compiled to CSR.
+type COO struct {
+	N   int
+	row []int
+	col []int
+	val []float64
+}
+
+// NewCOO returns an empty n×n triplet accumulator with capacity hint cap.
+func NewCOO(n, cap int) *COO {
+	return &COO{
+		N:   n,
+		row: make([]int, 0, cap),
+		col: make([]int, 0, cap),
+		val: make([]float64, 0, cap),
+	}
+}
+
+// Len returns the number of accumulated triplets (including duplicates).
+func (c *COO) Len() int { return len(c.row) }
+
+// Add appends the triplet (i, j, v). It panics if the coordinate is out of
+// range; matrix assembly bugs should fail loudly at the insertion site.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.N || j < 0 || j >= c.N {
+		panic(fmt.Sprintf("sparse: COO.Add(%d, %d) out of range for n=%d", i, j, c.N))
+	}
+	c.row = append(c.row, i)
+	c.col = append(c.col, j)
+	c.val = append(c.val, v)
+}
+
+// AddSym appends (i, j, v) and, when i != j, (j, i, v).
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// ToCSR compiles the triplets into CSR form with sorted rows; duplicate
+// coordinates are summed.
+func (c *COO) ToCSR() *CSR {
+	m := &CSR{N: c.N, RowPtr: make([]int, c.N+1)}
+	if len(c.row) == 0 {
+		m.Col = []int{}
+		m.Val = []float64{}
+		return m
+	}
+	// Counting sort by row, then sort each row segment by column and fold
+	// duplicates. Two passes keep this O(nnz log rowlen) without a global sort.
+	for _, i := range c.row {
+		m.RowPtr[i+1]++
+	}
+	for i := 0; i < c.N; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	colTmp := make([]int, len(c.col))
+	valTmp := make([]float64, len(c.val))
+	next := append([]int(nil), m.RowPtr[:c.N]...)
+	for k, i := range c.row {
+		p := next[i]
+		next[i]++
+		colTmp[p] = c.col[k]
+		valTmp[p] = c.val[k]
+	}
+	m.Col = make([]int, 0, len(colTmp))
+	m.Val = make([]float64, 0, len(valTmp))
+	newPtr := make([]int, c.N+1)
+	for i := 0; i < c.N; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		seg := segment{colTmp[lo:hi], valTmp[lo:hi]}
+		sort.Sort(seg)
+		for k := lo; k < hi; k++ {
+			j := colTmp[k]
+			if n := len(m.Col); n > newPtr[i] && m.Col[n-1] == j {
+				m.Val[n-1] += valTmp[k]
+			} else {
+				m.Col = append(m.Col, j)
+				m.Val = append(m.Val, valTmp[k])
+			}
+		}
+		newPtr[i+1] = len(m.Col)
+	}
+	m.RowPtr = newPtr
+	return m
+}
+
+type segment struct {
+	col []int
+	val []float64
+}
+
+func (s segment) Len() int           { return len(s.col) }
+func (s segment) Less(i, j int) bool { return s.col[i] < s.col[j] }
+func (s segment) Swap(i, j int) {
+	s.col[i], s.col[j] = s.col[j], s.col[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}

@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCOOToCSRBasic(t *testing.T) {
+	coo := NewCOO(3, 8)
+	coo.Add(2, 0, 1)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 2, 3)
+	coo.Add(0, 2, 4)
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := [][]float64{
+		{2, 0, 4},
+		{0, 0, 3},
+		{1, 0, 0},
+	}
+	if !reflect.DeepEqual(toDense(m), want) {
+		t.Fatalf("ToCSR = %v, want %v", toDense(m), want)
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	coo := NewCOO(2, 4)
+	coo.Add(0, 1, 1.5)
+	coo.Add(0, 1, 2.5)
+	coo.Add(1, 1, 1)
+	coo.Add(1, 1, -1)
+	m := coo.ToCSR()
+	if got := m.At(0, 1); got != 4 {
+		t.Fatalf("duplicate sum = %v, want 4", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Fatalf("cancelling duplicates = %v, want 0 (entry may be stored as explicit zero)", got)
+	}
+	// Entry count: duplicates folded.
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestCOOEmpty(t *testing.T) {
+	m := NewCOO(5, 0).ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("empty matrix invalid: %v", err)
+	}
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0", m.NNZ())
+	}
+}
+
+func TestCOOAddSym(t *testing.T) {
+	coo := NewCOO(3, 4)
+	coo.AddSym(0, 2, 7)
+	coo.AddSym(1, 1, 3)
+	m := coo.ToCSR()
+	if m.At(0, 2) != 7 || m.At(2, 0) != 7 {
+		t.Fatal("AddSym did not mirror off-diagonal")
+	}
+	if m.At(1, 1) != 3 {
+		t.Fatal("AddSym doubled the diagonal")
+	}
+}
+
+func TestCOOAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	NewCOO(2, 1).Add(2, 0, 1)
+}
+
+func TestCOORandomizedAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(15)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		coo := NewCOO(n, 0)
+		for e := 0; e < rng.Intn(5*n); e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := float64(rng.Intn(9) - 4)
+			dense[i][j] += v
+			coo.Add(i, j, v)
+		}
+		m := coo.ToCSR()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got := m.At(i, j); got != dense[i][j] {
+					// Stored explicit zeros are fine; At returns the sum either way.
+					t.Fatalf("trial %d: At(%d,%d) = %v, want %v", trial, i, j, got, dense[i][j])
+				}
+			}
+		}
+	}
+}

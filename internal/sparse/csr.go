@@ -1,0 +1,386 @@
+// Package sparse provides the sparse-matrix substrate for the STS-k
+// reproduction: COO and CSR storage, triangular views, symmetrisation,
+// symmetric permutation, value synthesis for well-conditioned test systems,
+// Matrix Market I/O, and dense verification helpers.
+//
+// All matrices are square. Indices are 0-based throughout (the Matrix
+// Market reader converts from the 1-based on-disk convention).
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CSR is a square sparse matrix in compressed sparse row form.
+//
+// Row i occupies the half-open range Col[RowPtr[i]:RowPtr[i+1]] and
+// Val[RowPtr[i]:RowPtr[i+1]]. Column indices within a row are sorted
+// ascending and unique for any CSR produced by this package.
+type CSR struct {
+	N      int       // matrix dimension
+	RowPtr []int     // length N+1, monotone non-decreasing
+	Col    []int     // length NNZ, column index per entry
+	Val    []float64 // length NNZ, numeric value per entry
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// RowDensity returns the mean number of stored entries per row.
+func (m *CSR) RowDensity() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.N)
+}
+
+// Row returns the column indices and values of row i as sub-slices of the
+// matrix storage. The caller must not modify them.
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Col[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (i, j), or 0 if the entry is not stored.
+// Rows must be sorted (true for all CSR built by this package).
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		N:      m.N,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Col:    append([]int(nil), m.Col...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Validate checks structural invariants: RowPtr shape and monotonicity,
+// column indices in range, and sorted, duplicate-free rows.
+func (m *CSR) Validate() error {
+	if m.N < 0 {
+		return fmt.Errorf("sparse: negative dimension %d", m.N)
+	}
+	if len(m.RowPtr) != m.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.N+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	if m.RowPtr[m.N] != len(m.Col) {
+		return fmt.Errorf("sparse: RowPtr[N] = %d, want NNZ %d", m.RowPtr[m.N], len(m.Col))
+	}
+	if len(m.Col) != len(m.Val) {
+		return fmt.Errorf("sparse: len(Col)=%d != len(Val)=%d", len(m.Col), len(m.Val))
+	}
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: RowPtr decreases at row %d", i)
+		}
+		prev := -1
+		for k := lo; k < hi; k++ {
+			j := m.Col[k]
+			if j < 0 || j >= m.N {
+				return fmt.Errorf("sparse: row %d has column %d out of range [0,%d)", i, j, m.N)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: row %d not strictly sorted at entry %d (col %d after %d)", i, k, j, prev)
+			}
+			prev = j
+		}
+	}
+	return nil
+}
+
+// IsLowerTriangular reports whether every stored entry satisfies col <= row.
+func (m *CSR) IsLowerTriangular() bool {
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		if len(cols) > 0 && cols[len(cols)-1] > i {
+			return false
+		}
+	}
+	return true
+}
+
+// HasFullNonzeroDiagonal reports whether every row stores a nonzero
+// diagonal entry. Triangular solution divides by the diagonal, so solvers
+// require this property.
+func (m *CSR) HasFullNonzeroDiagonal() bool {
+	for i := 0; i < m.N; i++ {
+		if m.At(i, i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStructurallySymmetric reports whether the sparsity pattern satisfies
+// (i,j) stored iff (j,i) stored.
+func (m *CSR) IsStructurallySymmetric() bool {
+	t := m.Transpose()
+	if len(t.Col) != len(m.Col) {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range m.Col {
+		if m.Col[k] != t.Col[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns the transpose of m using a counting pass; rows of the
+// result are sorted because the source rows are scanned in order.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		N:      m.N,
+		RowPtr: make([]int, m.N+1),
+		Col:    make([]int, len(m.Col)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	for _, j := range m.Col {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < m.N; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr[:m.N]...)
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := m.Col[k]
+			p := next[j]
+			next[j]++
+			t.Col[p] = i
+			t.Val[p] = m.Val[k]
+		}
+	}
+	return t
+}
+
+// Bandwidth returns max over stored entries of |i - j|.
+func (m *CSR) Bandwidth() int {
+	bw := 0
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// MatVec computes y = m * x. y and x must have length N and must not alias.
+func (m *CSR) MatVec(y, x []float64) {
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Lower returns the lower triangle of m including the diagonal, as a new CSR.
+func (m *CSR) Lower() *CSR {
+	l := &CSR{N: m.N, RowPtr: make([]int, m.N+1)}
+	for i := 0; i < m.N; i++ {
+		cols, _ := m.Row(i)
+		cnt := sort.SearchInts(cols, i+1)
+		l.RowPtr[i+1] = l.RowPtr[i] + cnt
+	}
+	nnz := l.RowPtr[m.N]
+	l.Col = make([]int, 0, nnz)
+	l.Val = make([]float64, 0, nnz)
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		cnt := sort.SearchInts(cols, i+1)
+		l.Col = append(l.Col, cols[:cnt]...)
+		l.Val = append(l.Val, vals[:cnt]...)
+	}
+	return l
+}
+
+// Strict returns m with diagonal entries removed (strictly off-diagonal part).
+func (m *CSR) Strict() *CSR {
+	s := &CSR{N: m.N, RowPtr: make([]int, m.N+1)}
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if j != i {
+				s.Col = append(s.Col, j)
+				s.Val = append(s.Val, vals[k])
+			}
+		}
+		s.RowPtr[i+1] = len(s.Col)
+	}
+	return s
+}
+
+// SymmetrizePattern returns A = L + Lᵀ structurally: the union of the
+// pattern of m and its transpose. Values are summed where both are present
+// (diagonal entries are not doubled; the diagonal of m is kept as-is).
+func SymmetrizePattern(m *CSR) *CSR {
+	t := m.Transpose()
+	out := &CSR{N: m.N, RowPtr: make([]int, m.N+1)}
+	// Merge sorted rows of m and t, skipping t's diagonal (already in m if present).
+	total := 0
+	for i := 0; i < m.N; i++ {
+		ac, _ := m.Row(i)
+		bc, _ := t.Row(i)
+		p, q := 0, 0
+		for p < len(ac) || q < len(bc) {
+			switch {
+			case q >= len(bc) || (p < len(ac) && ac[p] < bc[q]):
+				p++
+			case p >= len(ac) || bc[q] < ac[p]:
+				q++
+			default:
+				p++
+				q++
+			}
+			total++
+		}
+	}
+	out.Col = make([]int, 0, total)
+	out.Val = make([]float64, 0, total)
+	for i := 0; i < m.N; i++ {
+		ac, av := m.Row(i)
+		bc, bv := t.Row(i)
+		p, q := 0, 0
+		for p < len(ac) || q < len(bc) {
+			switch {
+			case q >= len(bc) || (p < len(ac) && ac[p] < bc[q]):
+				out.Col = append(out.Col, ac[p])
+				out.Val = append(out.Val, av[p])
+				p++
+			case p >= len(ac) || bc[q] < ac[p]:
+				out.Col = append(out.Col, bc[q])
+				out.Val = append(out.Val, bv[q])
+				q++
+			default: // same column: present in both; diagonal lands here too
+				v := av[p]
+				if ac[p] != i {
+					v += bv[q]
+				}
+				out.Col = append(out.Col, ac[p])
+				out.Val = append(out.Val, v)
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = len(out.Col)
+	}
+	return out
+}
+
+// PermuteSym applies the symmetric permutation B = P A Pᵀ, where perm maps
+// old index to new index: B[perm[i]][perm[j]] = A[i][j]. perm must be a
+// permutation of 0..N-1.
+func PermuteSym(m *CSR, perm []int) (*CSR, error) {
+	if len(perm) != m.N {
+		return nil, fmt.Errorf("sparse: permutation length %d, want %d", len(perm), m.N)
+	}
+	if err := CheckPermutation(perm); err != nil {
+		return nil, err
+	}
+	inv := InvertPermutation(perm)
+	out := &CSR{N: m.N, RowPtr: make([]int, m.N+1)}
+	for ni := 0; ni < m.N; ni++ {
+		oi := inv[ni]
+		out.RowPtr[ni+1] = out.RowPtr[ni] + (m.RowPtr[oi+1] - m.RowPtr[oi])
+	}
+	nnz := out.RowPtr[m.N]
+	out.Col = make([]int, nnz)
+	out.Val = make([]float64, nnz)
+	type ent struct {
+		j int
+		v float64
+	}
+	var buf []ent
+	for ni := 0; ni < m.N; ni++ {
+		oi := inv[ni]
+		cols, vals := m.Row(oi)
+		buf = buf[:0]
+		for k, j := range cols {
+			buf = append(buf, ent{perm[j], vals[k]})
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].j < buf[b].j })
+		base := out.RowPtr[ni]
+		for k, e := range buf {
+			out.Col[base+k] = e.j
+			out.Val[base+k] = e.v
+		}
+	}
+	return out, nil
+}
+
+// CheckPermutation verifies that perm is a bijection on 0..len(perm)-1.
+func CheckPermutation(perm []int) error {
+	seen := make([]bool, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) {
+			return fmt.Errorf("sparse: perm[%d] = %d out of range", i, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("sparse: perm value %d repeated", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// InvertPermutation returns inv with inv[perm[i]] = i.
+func InvertPermutation(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// IdentityPermutation returns the identity permutation of length n.
+func IdentityPermutation(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// ComposePermutations returns the permutation equivalent to applying first,
+// then second: out[i] = second[first[i]].
+func ComposePermutations(first, second []int) ([]int, error) {
+	if len(first) != len(second) {
+		return nil, errors.New("sparse: permutation length mismatch")
+	}
+	out := make([]int, len(first))
+	for i := range first {
+		out[i] = second[first[i]]
+	}
+	return out, nil
+}

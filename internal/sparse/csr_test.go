@@ -1,0 +1,359 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// small builds a CSR from dense rows for test readability.
+func fromDense(d [][]float64) *CSR {
+	n := len(d)
+	coo := NewCOO(n, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d[i][j] != 0 {
+				coo.Add(i, j, d[i][j])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func toDense(m *CSR) [][]float64 {
+	d := make([][]float64, m.N)
+	for i := range d {
+		d[i] = make([]float64, m.N)
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			d[i][j] = vals[k]
+		}
+	}
+	return d
+}
+
+// randomSym returns a random structurally symmetric matrix with full
+// diagonal, n in [1, maxN].
+func randomSym(rng *rand.Rand, maxN int) *CSR {
+	n := 1 + rng.Intn(maxN)
+	coo := NewCOO(n, 4*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1+rng.Float64())
+	}
+	edges := rng.Intn(3 * n)
+	for e := 0; e < edges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			coo.AddSym(i, j, rng.Float64())
+		}
+	}
+	return coo.ToCSR()
+}
+
+func randomPerm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+func TestCSRValidateGood(t *testing.T) {
+	m := fromDense([][]float64{
+		{2, 0, 1},
+		{0, 3, 0},
+		{1, 0, 4},
+	})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+	if got := m.NNZ(); got != 5 {
+		t.Fatalf("NNZ() = %d, want 5", got)
+	}
+	if got := m.At(2, 0); got != 1 {
+		t.Fatalf("At(2,0) = %v, want 1", got)
+	}
+	if got := m.At(0, 1); got != 0 {
+		t.Fatalf("At(0,1) = %v, want 0", got)
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	base := fromDense([][]float64{{1, 2}, {3, 4}})
+	tests := []struct {
+		name string
+		mut  func(*CSR)
+	}{
+		{"rowptr length", func(m *CSR) { m.RowPtr = m.RowPtr[:1] }},
+		{"rowptr start", func(m *CSR) { m.RowPtr[0] = 1 }},
+		{"rowptr end", func(m *CSR) { m.RowPtr[m.N] = 99 }},
+		{"col out of range", func(m *CSR) { m.Col[0] = 7 }},
+		{"col negative", func(m *CSR) { m.Col[0] = -1 }},
+		{"unsorted row", func(m *CSR) { m.Col[0], m.Col[1] = m.Col[1], m.Col[0] }},
+		{"duplicate col", func(m *CSR) { m.Col[1] = m.Col[0] }},
+		{"val length", func(m *CSR) { m.Val = m.Val[:2] }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base.Clone()
+			tc.mut(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m := randomSym(rng, 30)
+		tt := m.Transpose().Transpose()
+		if !reflect.DeepEqual(toDense(m), toDense(tt)) {
+			t.Fatalf("trial %d: transpose twice differs from original", trial)
+		}
+	}
+}
+
+func TestTransposeEntries(t *testing.T) {
+	m := fromDense([][]float64{
+		{1, 2, 0},
+		{0, 0, 3},
+		{4, 0, 5},
+	})
+	tr := m.Transpose()
+	want := [][]float64{
+		{1, 0, 4},
+		{2, 0, 0},
+		{0, 3, 5},
+	}
+	if !reflect.DeepEqual(toDense(tr), want) {
+		t.Fatalf("Transpose mismatch: got %v want %v", toDense(tr), want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("transpose invalid: %v", err)
+	}
+}
+
+func TestLowerAndStrict(t *testing.T) {
+	m := fromDense([][]float64{
+		{1, 7, 0},
+		{2, 3, 8},
+		{0, 4, 5},
+	})
+	l := m.Lower()
+	wantL := [][]float64{
+		{1, 0, 0},
+		{2, 3, 0},
+		{0, 4, 5},
+	}
+	if !reflect.DeepEqual(toDense(l), wantL) {
+		t.Fatalf("Lower mismatch: got %v want %v", toDense(l), wantL)
+	}
+	if !l.IsLowerTriangular() {
+		t.Fatal("Lower() result not lower triangular")
+	}
+	s := m.Strict()
+	if s.At(0, 0) != 0 || s.At(1, 1) != 0 {
+		t.Fatal("Strict() kept a diagonal entry")
+	}
+	if s.At(1, 0) != 2 || s.At(0, 1) != 7 {
+		t.Fatal("Strict() dropped an off-diagonal entry")
+	}
+}
+
+func TestSymmetrizePattern(t *testing.T) {
+	l := fromDense([][]float64{
+		{1, 0, 0},
+		{5, 2, 0},
+		{0, 6, 3},
+	})
+	a := SymmetrizePattern(l)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("symmetrized invalid: %v", err)
+	}
+	if !a.IsStructurallySymmetric() {
+		t.Fatal("SymmetrizePattern result not symmetric")
+	}
+	if a.At(0, 1) != 5 || a.At(1, 0) != 5 {
+		t.Fatalf("expected mirrored entry 5, got %v / %v", a.At(0, 1), a.At(1, 0))
+	}
+	if a.At(0, 0) != 1 {
+		t.Fatalf("diagonal doubled: got %v want 1", a.At(0, 0))
+	}
+}
+
+func TestSymmetrizePatternProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(25)
+		coo := NewCOO(n, 3*n)
+		for i := 0; i < n; i++ {
+			coo.Add(i, i, 1)
+		}
+		for e := 0; e < rng.Intn(4*n); e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if j <= i {
+				coo.Add(i, j, 1)
+			}
+		}
+		l := coo.ToCSR()
+		a := SymmetrizePattern(l)
+		if !a.IsStructurallySymmetric() {
+			t.Fatalf("trial %d: not symmetric", trial)
+		}
+		// Lower triangle of the symmetrization must equal the input pattern.
+		ll := a.Lower()
+		if ll.NNZ() != l.NNZ() {
+			t.Fatalf("trial %d: lower of symmetrization has %d nnz, input had %d", trial, ll.NNZ(), l.NNZ())
+		}
+	}
+}
+
+func TestPermuteSymRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		m := randomSym(rng, 25)
+		perm := randomPerm(rng, m.N)
+		p, err := PermuteSym(m, perm)
+		if err != nil {
+			t.Fatalf("PermuteSym: %v", err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("permuted invalid: %v", err)
+		}
+		back, err := PermuteSym(p, InvertPermutation(perm))
+		if err != nil {
+			t.Fatalf("inverse PermuteSym: %v", err)
+		}
+		if !reflect.DeepEqual(toDense(m), toDense(back)) {
+			t.Fatalf("trial %d: permute + inverse != identity", trial)
+		}
+	}
+}
+
+func TestPermuteSymEntrywise(t *testing.T) {
+	m := fromDense([][]float64{
+		{1, 2, 0},
+		{2, 3, 4},
+		{0, 4, 5},
+	})
+	perm := []int{2, 0, 1} // old 0 -> new 2, old 1 -> new 0, old 2 -> new 1
+	p, err := PermuteSym(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got, want := p.At(perm[i], perm[j]), m.At(i, j); got != want {
+				t.Fatalf("P A Pt [%d,%d]: got %v want %v", perm[i], perm[j], got, want)
+			}
+		}
+	}
+}
+
+func TestPermuteSymRejectsBadPerm(t *testing.T) {
+	m := fromDense([][]float64{{1, 0}, {0, 1}})
+	for _, perm := range [][]int{{0}, {0, 0}, {0, 2}, {-1, 0}} {
+		if _, err := PermuteSym(m, perm); err == nil {
+			t.Fatalf("PermuteSym accepted invalid perm %v", perm)
+		}
+	}
+}
+
+func TestPermutationHelpers(t *testing.T) {
+	perm := []int{3, 1, 0, 2}
+	inv := InvertPermutation(perm)
+	for i, p := range perm {
+		if inv[p] != i {
+			t.Fatalf("InvertPermutation wrong at %d", i)
+		}
+	}
+	id := IdentityPermutation(4)
+	comp, err := ComposePermutations(perm, id)
+	if err != nil || !reflect.DeepEqual(comp, perm) {
+		t.Fatalf("compose with identity: %v, %v", comp, err)
+	}
+	comp, err = ComposePermutations(perm, inv)
+	if err != nil || !reflect.DeepEqual(comp, id) {
+		t.Fatalf("compose with inverse: %v, %v", comp, err)
+	}
+	if _, err := ComposePermutations(perm, []int{0}); err == nil {
+		t.Fatal("ComposePermutations accepted length mismatch")
+	}
+	if err := CheckPermutation([]int{1, 1}); err == nil {
+		t.Fatal("CheckPermutation accepted duplicate")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	m := fromDense([][]float64{
+		{1, 0, 0, 9},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{9, 0, 0, 1},
+	})
+	if got := m.Bandwidth(); got != 3 {
+		t.Fatalf("Bandwidth = %d, want 3", got)
+	}
+	d := fromDense([][]float64{{5}})
+	if got := d.Bandwidth(); got != 0 {
+		t.Fatalf("Bandwidth of 1x1 = %d, want 0", got)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := fromDense([][]float64{
+		{2, 0, 1},
+		{0, 3, 0},
+		{1, 0, 4},
+	})
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	m.MatVec(y, x)
+	want := []float64{5, 6, 13}
+	if !reflect.DeepEqual(y, want) {
+		t.Fatalf("MatVec = %v, want %v", y, want)
+	}
+}
+
+func TestPermuteSymPreservesNNZQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomSym(rng, 20)
+		perm := randomPerm(rng, m.N)
+		p, err := PermuteSym(m, perm)
+		if err != nil {
+			return false
+		}
+		return p.NNZ() == m.NNZ() && p.Validate() == nil && p.IsStructurallySymmetric() == m.IsStructurallySymmetric()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsLowerTriangularAndDiagonal(t *testing.T) {
+	l := fromDense([][]float64{
+		{1, 0},
+		{2, 3},
+	})
+	if !l.IsLowerTriangular() {
+		t.Fatal("expected lower triangular")
+	}
+	if !l.HasFullNonzeroDiagonal() {
+		t.Fatal("expected full diagonal")
+	}
+	u := fromDense([][]float64{
+		{1, 2},
+		{0, 3},
+	})
+	if u.IsLowerTriangular() {
+		t.Fatal("upper matrix reported lower triangular")
+	}
+	z := fromDense([][]float64{
+		{0, 0},
+		{2, 3},
+	})
+	if z.HasFullNonzeroDiagonal() {
+		t.Fatal("zero diagonal not detected")
+	}
+}

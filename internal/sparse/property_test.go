@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetrizeProperty(t *testing.T) {
+	// SymmetrizePattern computes literally A = M + Mᵀ (diagonal kept once):
+	// the PATTERN is idempotent, and for a lower-triangular input the
+	// values mirror exactly.
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(43))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomSym(rng, 30).Lower()
+		once := SymmetrizePattern(l)
+		twice := SymmetrizePattern(once)
+		if once.NNZ() != twice.NNZ() {
+			return false
+		}
+		for k := range once.Col {
+			if once.Col[k] != twice.Col[k] {
+				return false
+			}
+		}
+		// Value mirroring from the triangular input.
+		for i := 0; i < l.N; i++ {
+			cols, vals := l.Row(i)
+			for k, j := range cols {
+				if once.At(i, j) != vals[k] || once.At(j, i) != vals[k] {
+					return false
+				}
+			}
+		}
+		// Doubling behaviour on a full symmetric input is the documented
+		// A = M + Mᵀ semantics.
+		for i := 0; i < once.N; i++ {
+			cols, vals := once.Row(i)
+			for k, j := range cols {
+				want := vals[k]
+				if i != j {
+					want *= 2
+				}
+				if twice.At(i, j) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerPlusUpperReconstructProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(47))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomSym(rng, 25)
+		l, u := m.Lower(), m.Upper()
+		// Lower + Upper double-count the diagonal; check entrywise.
+		for i := 0; i < m.N; i++ {
+			cols, vals := m.Row(i)
+			for k, j := range cols {
+				want := vals[k]
+				got := l.At(i, j) + u.At(i, j)
+				if i == j {
+					got -= vals[k] // diagonal present in both
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return l.NNZ()+u.NNZ() == m.NNZ()+m.N // diagonal counted twice
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposePreservesMatVecProperty(t *testing.T) {
+	// (Aᵀ)ᵀ x = A x and xᵀ(Ay) = (Aᵀx)ᵀy.
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(53))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomSym(rng, 20)
+		tr := m.Transpose()
+		x := make([]float64, m.N)
+		y := make([]float64, m.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		ay := make([]float64, m.N)
+		m.MatVec(ay, y)
+		atx := make([]float64, m.N)
+		tr.MatVec(atx, x)
+		lhs, rhs := 0.0, 0.0
+		for i := range x {
+			lhs += x[i] * ay[i]
+			rhs += atx[i] * y[i]
+		}
+		return abs(lhs-rhs) < 1e-9*(1+abs(lhs))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

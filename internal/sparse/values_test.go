@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssignSPDValues(t *testing.T) {
+	m := fromDense([][]float64{
+		{9, 9, 0},
+		{9, 9, 9},
+		{0, 9, 9},
+	})
+	if err := AssignSPDValues(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 2 || m.At(1, 1) != 3 || m.At(2, 2) != 2 {
+		t.Fatalf("diagonal dominance wrong: %v %v %v", m.At(0, 0), m.At(1, 1), m.At(2, 2))
+	}
+	if m.At(0, 1) != -1 || m.At(2, 1) != -1 {
+		t.Fatal("off-diagonal values not -1")
+	}
+}
+
+func TestAssignSPDValuesMissingDiagonal(t *testing.T) {
+	m := fromDense([][]float64{
+		{0, 1},
+		{1, 1},
+	})
+	if err := AssignSPDValues(m); err == nil {
+		t.Fatal("expected error for missing diagonal")
+	} else if !strings.Contains(err.Error(), "diagonal") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestEnsureDiagonal(t *testing.T) {
+	m := fromDense([][]float64{
+		{0, 5, 0},
+		{5, 1, 0},
+		{0, 0, 0},
+	})
+	out := EnsureDiagonal(m)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cols, _ := out.Row(i)
+		found := false
+		for _, j := range cols {
+			if j == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("row %d still missing diagonal", i)
+		}
+	}
+	// Idempotent and identity when already complete.
+	again := EnsureDiagonal(out)
+	if again.NNZ() != out.NNZ() {
+		t.Fatal("EnsureDiagonal not idempotent")
+	}
+}
+
+func TestForwardSubstitutionSmall(t *testing.T) {
+	l := fromDense([][]float64{
+		{2, 0, 0},
+		{1, 4, 0},
+		{0, 3, 5},
+	})
+	xTrue := []float64{1, -2, 3}
+	b := RHSForSolution(l, xTrue)
+	x, err := ForwardSubstitution(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(x, xTrue); d > 1e-12 {
+		t.Fatalf("solution error %g", d)
+	}
+	if r := Residual(l, x, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestForwardSubstitutionErrors(t *testing.T) {
+	notLower := fromDense([][]float64{
+		{1, 2},
+		{0, 1},
+	})
+	if _, err := ForwardSubstitution(notLower, []float64{1, 1}); err == nil {
+		t.Fatal("accepted non-lower matrix")
+	}
+	noDiag := fromDense([][]float64{
+		{1, 0},
+		{1, 0},
+	})
+	if _, err := ForwardSubstitution(noDiag, []float64{1, 1}); err == nil {
+		t.Fatal("accepted missing diagonal")
+	}
+	zeroDiag := &CSR{N: 1, RowPtr: []int{0, 1}, Col: []int{0}, Val: []float64{0}}
+	if _, err := ForwardSubstitution(zeroDiag, []float64{1}); err == nil {
+		t.Fatal("accepted zero diagonal")
+	}
+}
+
+func TestForwardSubstitutionRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		a := randomSym(rng, 40)
+		if err := AssignSPDValues(a); err != nil {
+			t.Fatal(err)
+		}
+		l := a.Lower()
+		xTrue := make([]float64, l.N)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := RHSForSolution(l, xTrue)
+		x, err := ForwardSubstitution(l, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(x, xTrue); d > 1e-9 {
+			t.Fatalf("trial %d: error %g too large", trial, d)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := Ones(3)
+	if v[0] != 1 || v[2] != 1 {
+		t.Fatal("Ones wrong")
+	}
+	if d := MaxAbsDiff([]float64{1, 2}, []float64{1, 2, 3}); !math.IsInf(d, 1) {
+		t.Fatal("length mismatch should be +Inf")
+	}
+	if d := MaxAbsDiff([]float64{1, 5}, []float64{2, 3}); d != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", d)
+	}
+}

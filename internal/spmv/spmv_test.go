@@ -1,0 +1,88 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/order"
+	"stsk/internal/sparse"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mats := []*sparse.CSR{
+		gen.TriMesh(20, 20, 1),
+		gen.Grid3D(7, 7, 7),
+		gen.RGG(800, gen.RGGDegree(800, 12), 5),
+	}
+	for mi, a := range mats {
+		x := make([]float64, a.N)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, a.N)
+		if err := Sequential(a, want, x); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			got := make([]float64, a.N)
+			if err := Parallel(a, got, x, Options{Workers: workers, Chunk: 5}); err != nil {
+				t.Fatal(err)
+			}
+			if d := sparse.MaxAbsDiff(got, want); d > 1e-12 {
+				t.Fatalf("mat %d workers %d: diff %g", mi, workers, d)
+			}
+		}
+	}
+}
+
+func TestParallelCSRKMatchesSequential(t *testing.T) {
+	a := gen.TriMesh(24, 24, 9)
+	p, err := order.Build(a, order.Options{Method: order.STS3, RowsPerSuper: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The structure's row order differs from a's: use the plan-ordered
+	// symmetric matrix.
+	aPerm := sparse.SymmetrizePattern(p.S.L)
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, aPerm.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, aPerm.N)
+	if err := Sequential(aPerm, want, x); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, aPerm.N)
+	if err := ParallelCSRK(aPerm, p.S, got, x, Options{Workers: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("csr-k spmv diff %g", d)
+	}
+}
+
+func TestSpMVErrors(t *testing.T) {
+	a := gen.Grid2D(5, 5)
+	y := make([]float64, a.N)
+	if err := Sequential(a, y, make([]float64, 3)); err == nil {
+		t.Fatal("short x accepted")
+	}
+	if err := Parallel(a, make([]float64, 2), make([]float64, a.N), Options{}); err == nil {
+		t.Fatal("short y accepted")
+	}
+	p, err := order.Build(a, order.Options{Method: order.STS3, RowsPerSuper: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPerm := sparse.SymmetrizePattern(p.S.L)
+	if err := ParallelCSRK(aPerm, p.S, make([]float64, 2), make([]float64, a.N), Options{}); err == nil {
+		t.Fatal("short y accepted by csr-k kernel")
+	}
+	small := gen.Grid2D(3, 3)
+	if err := ParallelCSRK(small, p.S, make([]float64, small.N), make([]float64, small.N), Options{}); err == nil {
+		t.Fatal("mismatched structure accepted")
+	}
+}

@@ -1,0 +1,441 @@
+// Package stsk is a Go reproduction of STS-k, the multilevel sparse
+// triangular solution scheme for NUMA multicores of Kabir, Booth, Aupy,
+// Benoit, Robert and Raghavan (SC'15 / INRIA RR-8763).
+//
+// Given a structurally symmetric sparse matrix A = L + Lᵀ, the library
+// computes an STS-k ordering — base RCM, super-rows for spatial locality,
+// packs of independent super-rows via graph colouring or level sets, packs
+// sorted by increasing size, and RCM on each pack's data-affinity-and-reuse
+// (DAR) graph for temporal locality — and solves the resulting triangular
+// system L′x = b pack-parallel with OpenMP-style schedules.
+//
+// Because the Go runtime offers no thread pinning or NUMA placement, the
+// paper's hardware timings are reproduced on a deterministic trace-driven
+// cache simulator of the two evaluation machines (32-core Intel
+// Westmere-EX, 24-core AMD Magny-Cours); see DESIGN.md. Wall-clock
+// goroutine solving is also available and correct, just noisier.
+//
+// Quick start:
+//
+//	mat, _ := stsk.Generate("trimesh", 20000)
+//	plan, _ := stsk.Build(mat, stsk.STS3)
+//	b := plan.RHSFor(xTrue)             // or any right-hand side, in plan order
+//	x, _ := plan.Solve(b)
+package stsk
+
+import (
+	"fmt"
+	"io"
+
+	"stsk/internal/cachesim"
+	"stsk/internal/csrk"
+	"stsk/internal/gen"
+	"stsk/internal/ichol"
+	"stsk/internal/machine"
+	"stsk/internal/metrics"
+	"stsk/internal/order"
+	"stsk/internal/solve"
+	"stsk/internal/sparse"
+)
+
+// Method selects one of the paper's four triangular-solution schemes.
+type Method = order.Method
+
+// The four schemes of the paper's evaluation (§4.1).
+const (
+	CSRLS  = order.CSRLS  // level sets on the fine graph (reference)
+	CSRCOL = order.CSRCOL // colouring on the fine graph
+	CSR3LS = order.CSR3LS // level sets + k-level sub-structuring
+	STS3   = order.STS3   // colouring + k-level sub-structuring (the paper's scheme)
+)
+
+// Methods lists all four schemes in the paper's presentation order.
+func Methods() []Method { return order.Methods() }
+
+// Matrix is a structurally symmetric sparse matrix with a full nonzero
+// diagonal — the A = L + Lᵀ input of the STS-k pipeline.
+type Matrix struct {
+	a *sparse.CSR
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.a.N }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return m.a.NNZ() }
+
+// RowDensity returns mean stored entries per row.
+func (m *Matrix) RowDensity() float64 { return m.a.RowDensity() }
+
+// Generate builds a synthetic matrix of one of the paper's Table 1 classes
+// at roughly n rows. Classes: "grid2d", "grid3d", "kkt3d", "fem3d", "rgg",
+// "trimesh", "quaddual", "roadnet".
+func Generate(class string, n int) (*Matrix, error) {
+	if n < 16 {
+		n = 16
+	}
+	side2 := intSqrt(n)
+	side3 := intCbrt(n)
+	var a *sparse.CSR
+	switch class {
+	case "grid2d":
+		a = gen.Grid2D(side2, side2)
+	case "grid3d":
+		a = gen.Grid3D(side3, side3, side3)
+	case "kkt3d":
+		a = gen.KKT3D(side3, side3, side3)
+	case "fem3d":
+		s := intCbrt(n / 2)
+		a = gen.FEM3D(s, s, s, 2)
+	case "rgg":
+		a = gen.RGG(n, gen.RGGDegree(n, 14), 21)
+	case "trimesh":
+		a = gen.TriMesh(side2, side2, 7)
+	case "quaddual":
+		a = gen.QuadDual(intSqrt(n/2), intSqrt(n/2), 4)
+	case "roadnet":
+		a = gen.RoadNet(intSqrt(n/7), intSqrt(n/7), 3, 5, 3)
+	default:
+		return nil, fmt.Errorf("stsk: unknown matrix class %q", class)
+	}
+	return &Matrix{a: a}, nil
+}
+
+// SuiteIDs returns the paper's Table 1 matrix labels in order.
+func SuiteIDs() []string {
+	specs := gen.PaperSuite(64)
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// GenerateSuite builds the Table 1 stand-in with the given paper label
+// ("G1", "D1", "S1", "D2".."D10") at roughly scale rows.
+func GenerateSuite(id string, scale int) (*Matrix, error) {
+	spec := gen.BySuiteID(gen.PaperSuite(scale), id)
+	if spec == nil {
+		return nil, fmt.Errorf("stsk: unknown suite matrix %q (have %v)", id, SuiteIDs())
+	}
+	return &Matrix{a: spec.Build(scale)}, nil
+}
+
+// ReadMatrixMarket loads a Matrix Market coordinate stream. Triangular or
+// unsymmetric inputs are symmetrised structurally (A = L + Lᵀ on the
+// pattern), a missing diagonal is completed, and the values are replaced
+// by SPD-by-dominance values so the lower triangle is a well-conditioned
+// solvable system. Use this to drop real UF collection matrices into the
+// pipeline.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	a, err := sparse.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, err
+	}
+	if !a.IsStructurallySymmetric() {
+		a = sparse.SymmetrizePattern(a)
+	}
+	a = sparse.EnsureDiagonal(a)
+	if err := sparse.AssignSPDValues(a); err != nil {
+		return nil, err
+	}
+	return &Matrix{a: a}, nil
+}
+
+// BuildOptions tune the ordering pipeline beyond the method choice.
+type BuildOptions struct {
+	// RowsPerSuper is the super-row size for the k-level methods; the
+	// paper uses 80 (Intel, 256 KiB L2) and 320 (AMD, 512 KiB L2).
+	// 0 selects the default (80).
+	RowsPerSuper int
+
+	// Levels selects the structural depth k for the k-level methods:
+	// 0 or 3 is the paper's STS-3; 4 adds a second coarsening round (the
+	// §5 extension for deeper NUMA hierarchies).
+	Levels int
+
+	// SloanInPack reorders each pack's DAR graph with Sloan's
+	// profile-reducing ordering instead of the paper's RCM (§3.4 names
+	// alternative bandwidth-reducing orderings as future work).
+	SloanInPack bool
+}
+
+// Plan is a built STS-k ordering: the permuted triangular system plus the
+// pack/super-row structure, ready to solve repeatedly for many right-hand
+// sides (the pre-processing the paper amortises, §4.1).
+type Plan struct {
+	inner       *order.Plan
+	aSym        *sparse.CSR        // lazily built plan-ordered symmetric matrix A′
+	upperSolver *solve.UpperSolver // lazily built pack-parallel backward solver
+}
+
+// symmetric returns (building lazily) A′ = L′ + L′ᵀ − D in plan order.
+func (p *Plan) symmetric() *sparse.CSR {
+	if p.aSym == nil {
+		p.aSym = sparse.SymmetrizePattern(p.inner.S.L)
+	}
+	return p.aSym
+}
+
+// ApplySymmetric computes y = A′·x where A′ is the plan-ordered symmetric
+// matrix whose lower triangle the plan solves — the operator a
+// preconditioned-CG iteration multiplies by.
+func (p *Plan) ApplySymmetric(y, x []float64) {
+	p.symmetric().MatVec(y, x)
+}
+
+// Diagonal returns a copy of the diagonal of the plan's system.
+func (p *Plan) Diagonal() []float64 {
+	l := p.inner.S.L
+	d := make([]float64, l.N)
+	for i := 0; i < l.N; i++ {
+		d[i] = l.Val[l.RowPtr[i+1]-1]
+	}
+	return d
+}
+
+// SolveUpper solves L′ᵀ z = b with the pack-parallel backward solver
+// (packs in reverse order) — the second sweep of a symmetric Gauss–Seidel
+// or incomplete-Cholesky preconditioner whose first sweep is the plan's
+// forward solve.
+func (p *Plan) SolveUpper(b []float64) ([]float64, error) {
+	return p.SolveUpperWith(b, SolveOptions{})
+}
+
+// SolveUpperWith is SolveUpper with explicit scheduling options.
+func (p *Plan) SolveUpperWith(b []float64, so SolveOptions) ([]float64, error) {
+	if p.upperSolver == nil {
+		us, err := solve.NewUpperSolver(p.inner.S)
+		if err != nil {
+			return nil, err
+		}
+		p.upperSolver = us
+	}
+	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), so.Workers)
+	if so.Chunk > 0 {
+		opts.Chunk = so.Chunk
+	}
+	switch so.Schedule {
+	case StaticSchedule:
+		opts.Schedule = solve.Static
+	case DynamicSchedule:
+		opts.Schedule = solve.Dynamic
+	case GuidedSchedule:
+		opts.Schedule = solve.Guided
+	}
+	return p.upperSolver.Solve(b, opts)
+}
+
+// IC0 computes the zero-fill incomplete Cholesky factor of the plan's
+// symmetric matrix A′ and returns a new Plan over the factor L̂ — same
+// permutation, same pack/super-row structure (IC(0) preserves the
+// pattern), factored values. Solving with the returned plan applies the
+// triangular sweeps of the preconditioner M = L̂·L̂ᵀ, the setting that
+// motivates the paper (§1). AutoBoost shifts the diagonal if A′ is not
+// positive definite enough for IC(0).
+func (p *Plan) IC0() (*Plan, error) {
+	lfac, err := ichol.Factor(p.symmetric(), ichol.Options{AutoBoost: true})
+	if err != nil {
+		return nil, err
+	}
+	s2, err := csrk.Build(lfac, p.inner.S.SuperPtr, p.inner.S.PackPtr)
+	if err != nil {
+		return nil, err
+	}
+	inner2 := &order.Plan{
+		Method:   p.inner.Method,
+		Opts:     p.inner.Opts,
+		Perm:     p.inner.Perm,
+		S:        s2,
+		NumPacks: p.inner.NumPacks,
+	}
+	return &Plan{inner: inner2}, nil
+}
+
+// Build runs the ordering pipeline for the given method.
+func Build(m *Matrix, method Method, opts ...BuildOptions) (*Plan, error) {
+	var bo BuildOptions
+	if len(opts) > 0 {
+		bo = opts[0]
+	}
+	oo := order.Options{
+		Method:       method,
+		RowsPerSuper: bo.RowsPerSuper,
+		Levels:       bo.Levels,
+	}
+	if bo.SloanInPack {
+		oo.InPackOrder = order.InPackSloan
+	}
+	p, err := order.Build(m.a, oo)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{inner: p}, nil
+}
+
+// Method returns the scheme this plan implements.
+func (p *Plan) Method() Method { return p.inner.Method }
+
+// N returns the system dimension.
+func (p *Plan) N() int { return p.inner.S.L.N }
+
+// NumPacks returns the number of parallel steps (synchronisation points).
+func (p *Plan) NumPacks() int { return p.inner.NumPacks }
+
+// Permutation returns a copy of the row permutation (original index of the
+// input matrix → row of the plan's triangular system).
+func (p *Plan) Permutation() []int {
+	return append([]int(nil), p.inner.Perm...)
+}
+
+// PermuteVector maps a vector from the original index order into plan
+// order: out[perm[i]] = v[i].
+func (p *Plan) PermuteVector(v []float64) []float64 { return p.inner.PermuteRHS(v) }
+
+// UnpermuteVector maps a plan-order vector back to the original order.
+func (p *Plan) UnpermuteVector(v []float64) []float64 { return p.inner.UnpermuteSolution(v) }
+
+// RHSFor returns b = L′·x for a chosen solution x (in plan order), handy
+// for tests and demos.
+func (p *Plan) RHSFor(x []float64) []float64 {
+	return sparse.RHSForSolution(p.inner.S.L, x)
+}
+
+// Residual returns the infinity-norm residual ‖L′x − b‖∞.
+func (p *Plan) Residual(x, b []float64) float64 {
+	return sparse.Residual(p.inner.S.L, x, b)
+}
+
+// ScheduleChoice selects an OpenMP-style loop schedule; DefaultSchedule
+// picks the paper's pairing for the plan's method (dynamic,32 for
+// row-level schemes, guided,1 for k-level schemes).
+type ScheduleChoice int
+
+const (
+	DefaultSchedule ScheduleChoice = iota
+	StaticSchedule
+	DynamicSchedule
+	GuidedSchedule
+)
+
+// SolveOptions tune the parallel solver.
+type SolveOptions struct {
+	Workers  int            // goroutines; 0 = GOMAXPROCS
+	Schedule ScheduleChoice // loop schedule; DefaultSchedule = per-method default
+	Chunk    int            // schedule granularity; 0 = paper default
+}
+
+// Solve solves L′x = b (both in plan order) with the paper's default
+// schedule for the plan's method and returns x.
+func (p *Plan) Solve(b []float64) ([]float64, error) {
+	return p.SolveWith(b, SolveOptions{})
+}
+
+// SolveWith is Solve with explicit scheduling options.
+func (p *Plan) SolveWith(b []float64, so SolveOptions) ([]float64, error) {
+	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), so.Workers)
+	if so.Chunk > 0 {
+		opts.Chunk = so.Chunk
+	}
+	switch so.Schedule {
+	case StaticSchedule:
+		opts.Schedule = solve.Static
+	case DynamicSchedule:
+		opts.Schedule = solve.Dynamic
+	case GuidedSchedule:
+		opts.Schedule = solve.Guided
+	}
+	return solve.Parallel(p.inner.S, b, opts)
+}
+
+// SolveSequential solves L′x = b on one core — the baseline T(·, ·, 1).
+func (p *Plan) SolveSequential(b []float64) ([]float64, error) {
+	return solve.Sequential(p.inner.S, b)
+}
+
+// Stats summarises the pack structure of a plan (Figures 7–8 measures).
+type Stats struct {
+	NumPacks        int
+	Rows            int
+	NNZ             int64
+	MeanRowsPerPack float64
+	LargestPackRows int
+	// WorkShareTop5 is the fraction of nonzeros in the 5 largest packs.
+	WorkShareTop5 float64
+}
+
+// Stats computes the parallelism measures of the plan.
+func (p *Plan) Stats() Stats {
+	st := metrics.Analyze(p.inner.S)
+	return Stats{
+		NumPacks:        st.NumPacks,
+		Rows:            st.Rows,
+		NNZ:             st.NNZ,
+		MeanRowsPerPack: st.MeanRowsPerPack,
+		LargestPackRows: st.LargestPackRows,
+		WorkShareTop5:   st.WorkShareTop5,
+	}
+}
+
+// SimResult is the outcome of a modeled solve on a NUMA topology.
+type SimResult struct {
+	Machine    string
+	Cores      int
+	Cycles     uint64  // modeled makespan
+	SyncCycles uint64  // barrier portion
+	HitRate    float64 // fraction of accesses served by L1/L2/local L3
+	NumPacks   int
+}
+
+// MachineNames lists the built-in NUMA topologies: "intel" (32-core
+// Westmere-EX), "amd" (24-core Magny-Cours), "uma" (flat 32-core
+// reference).
+func MachineNames() []string { return []string{"intel", "amd", "uma"} }
+
+// Simulate replays the plan's solve on the named topology with the given
+// core count (compact placement) and returns modeled cycles — the
+// reproduction's stand-in for the paper's pinned hardware timings.
+func (p *Plan) Simulate(machineName string, cores int) (SimResult, error) {
+	topo, ok := machine.Known()[machineName]
+	if !ok {
+		return SimResult{}, fmt.Errorf("stsk: unknown machine %q (have %v)", machineName, MachineNames())
+	}
+	chunk := 1
+	if !p.inner.Method.UsesSuperRows() {
+		chunk = 32
+	}
+	res, err := cachesim.Simulate(p.inner.S, topo, cachesim.Options{Cores: cores, Chunk: chunk, Repeats: 2})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		Machine:    topo.Name,
+		Cores:      cores,
+		Cycles:     res.Cycles,
+		SyncCycles: res.SyncCycles,
+		HitRate:    res.HitRate,
+		NumPacks:   res.NumPacks,
+	}, nil
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+func intCbrt(n int) int {
+	s := 1
+	for (s+1)*(s+1)*(s+1) <= n {
+		s++
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
