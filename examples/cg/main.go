@@ -3,7 +3,9 @@
 // preconditioner M = L D⁻¹ Lᵀ is applied once per iteration as a
 // pack-parallel STS-3 forward solve followed by a backward solve, so the
 // triangular solution dominates each iteration exactly as in a production
-// PCG.
+// PCG. Every iteration's solves run on one persistent stsk.Solver per
+// plan, so the worker pool is spawned once for the whole Krylov loop
+// rather than twice per iteration.
 package main
 
 import (
@@ -35,7 +37,11 @@ func main() {
 	rhs := make([]float64, n)
 	plan.ApplySymmetric(rhs, xTrue)
 
-	x, iters, err := pcg(plan, rhs, 1e-10, 500)
+	// One persistent solve engine serves every preconditioner application.
+	solver := plan.NewSolver()
+	defer solver.Close()
+
+	x, iters, err := pcg(plan, solver, rhs, 1e-10, 500)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +59,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, icIters, err := pcgIC(plan, ic, rhs, 1e-10, 500)
+	icSolver := ic.NewSolver()
+	defer icSolver.Close()
+	_, icIters, err := pcgIC(plan, icSolver, rhs, 1e-10, 500)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,21 +78,23 @@ func main() {
 }
 
 // pcgIC is pcg with the IC(0) preconditioner M = L̂·L̂ᵀ: forward solve on
-// the factor plan, then its pack-parallel backward solve.
-func pcgIC(plan, ic *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+// the factor plan's persistent solver, then its pack-parallel backward
+// solve — both sweeps on the same parked worker pool.
+func pcgIC(plan *stsk.Plan, icSolver *stsk.Solver, b []float64, tol float64, maxIter int) ([]float64, int, error) {
 	apply := func(r []float64) ([]float64, error) {
-		y, err := ic.Solve(r)
+		y, err := icSolver.Solve(r)
 		if err != nil {
 			return nil, err
 		}
-		return ic.SolveUpper(y)
+		return icSolver.SolveUpper(y)
 	}
 	return pcgWith(plan, apply, b, tol, maxIter)
 }
 
-// pcg solves A′x = b with symmetric Gauss-Seidel preconditioning.
-func pcg(plan *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {
-	return pcgWith(plan, func(r []float64) ([]float64, error) { return applySGS(plan, r) }, b, tol, maxIter)
+// pcg solves A′x = b with symmetric Gauss-Seidel preconditioning applied
+// by the plan's persistent solver.
+func pcg(plan *stsk.Plan, solver *stsk.Solver, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	return pcgWith(plan, solver.ApplySGS, b, tol, maxIter)
 }
 
 // pcgWith solves A′x = b with an arbitrary preconditioner application.
@@ -119,21 +129,6 @@ func pcgWith(plan *stsk.Plan, applyM func([]float64) ([]float64, error), b []flo
 		}
 	}
 	return x, maxIter, fmt.Errorf("pcg: no convergence in %d iterations", maxIter)
-}
-
-// applySGS computes z = (L D⁻¹ Lᵀ)⁻¹ r: forward solve L y = r (parallel,
-// STS-3), scale by D, backward solve Lᵀ z = D y.
-func applySGS(plan *stsk.Plan, r []float64) ([]float64, error) {
-	y, err := plan.Solve(r)
-	if err != nil {
-		return nil, err
-	}
-	d := plan.Diagonal()
-	dy := make([]float64, len(y))
-	for i := range y {
-		dy[i] = d[i] * y[i]
-	}
-	return plan.SolveUpper(dy)
 }
 
 func cgUnpreconditioned(plan *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {

@@ -1,0 +1,3 @@
+module stsk
+
+go 1.24

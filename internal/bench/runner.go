@@ -1,7 +1,7 @@
 // Package bench is the experiment harness of the reproduction: one driver
 // per table/figure of the paper's evaluation (§4), shared by the stsbench
 // command and the repository-root benchmarks. Timing comes from the
-// deterministic NUMA cache simulator (internal/cachesim); see DESIGN.md §1
+// deterministic NUMA cache simulator (internal/cachesim); see DESIGN.md §2
 // for why wall-clock goroutine timing cannot reproduce pinned-OpenMP
 // results and how the substitution preserves the paper's mechanisms.
 package bench

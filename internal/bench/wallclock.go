@@ -11,7 +11,7 @@ import (
 )
 
 // Wallclock times the real goroutine solver over the suite — the
-// secondary, unpinned signal (DESIGN.md §1). Times are the mean of
+// secondary, unpinned signal (DESIGN.md §2). Times are the mean of
 // `repeats` solves after one warm-up, mirroring the paper's average of 10
 // repetitions with pre-processing excluded (§4.1).
 func (r *Runner) Wallclock(repeats int) error {

@@ -1,6 +1,6 @@
 // Package cachesim is the trace-driven NUMA cache-hierarchy simulator that
 // stands in for the paper's pinned-OpenMP hardware measurements (see
-// DESIGN.md §1). It replays the exact memory-access stream of the
+// DESIGN.md §2). It replays the exact memory-access stream of the
 // pack-parallel triangular solver of Algorithm 1 against set-associative
 // LRU caches wired into a machine.Topology, with explicit compact
 // task→core placement and first-touch NUMA page homing, and reports

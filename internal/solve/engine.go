@@ -1,0 +1,573 @@
+package solve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stsk/internal/csrk"
+	"stsk/internal/sparse"
+)
+
+// ErrClosed is returned by every Engine method after Close.
+var ErrClosed = fmt.Errorf("solve: engine closed")
+
+// Engine is a reusable pack-parallel triangular solver bound to one
+// csrk.Structure. Where Parallel spins up fresh goroutines for every
+// right-hand side, an Engine starts its worker pool once and parks the
+// workers on a job channel between solves, so the per-solve cost is a
+// handful of channel operations instead of goroutine creation — the
+// "preprocessing amortised over many right-hand sides" setting of the
+// paper (§4.1) applied to the runtime as well as the ordering.
+//
+// An Engine supports three solve shapes:
+//
+//   - Cooperative solves (SolveInto, SolveUpperInto): one right-hand side,
+//     all workers sweep the packs together under the configured OpenMP-style
+//     schedule, exactly like Parallel. Cooperative solves are serialised
+//     internally; callers may invoke them concurrently.
+//   - Batch solves (SolveBatch, SolveBatchInto, ApplySGSBatch): many
+//     independent right-hand sides. Each RHS becomes one job that a single
+//     worker sweeps sequentially with no barriers, so distinct vectors
+//     pipeline through the pack levels concurrently — while worker 0 is in
+//     the last pack of RHS 3, worker 1 is in the first pack of RHS 4.
+//   - Streaming solves (SolveMany): batch semantics over a channel of
+//     right-hand sides, with results delivered in input order and a bounded
+//     number of solves in flight.
+//
+// Every shape performs each row's dot product in the same order, so all
+// results are bitwise identical to Sequential.
+//
+// Engines are safe for concurrent use, including Close racing in-flight
+// solves: solves already dispatched complete, later ones return
+// ErrClosed.
+type Engine struct {
+	s    *csrk.Structure
+	l    *sparse.CSR // s.L, diagonal last in each row
+	opts Options
+
+	// Backward-sweep state, built on demand by ensureUpper — either by
+	// transposing l, or by asking upperFn (a caller-level cache, so many
+	// engines over one structure share a single transpose).
+	upperOnce sync.Once
+	upperFn   func() (*sparse.CSR, error)
+	u         *sparse.CSR // L′ᵀ, diagonal first in each row
+	upperErr  error
+
+	// Diagonal of L′, built on demand by the fused SGS sweep.
+	diagOnce sync.Once
+	diag     []float64
+
+	jobs     chan job
+	workerWG sync.WaitGroup
+	closeMu  sync.RWMutex
+	closed   bool
+
+	// Cooperative-solve state, reused across solves under solveMu.
+	solveMu sync.Mutex
+	run     coopRun
+}
+
+// job is one unit handed to a parked worker: either a share of a
+// cooperative solve or a whole independent right-hand side.
+type job struct {
+	coop  *coopRun
+	id    int // worker index within the cooperative solve
+	whole *wholeJob
+}
+
+// wholeJob is an independent full sweep of one right-hand side.
+type wholeJob struct {
+	kind sweepKind
+	x, b []float64
+	errc chan<- error
+}
+
+type sweepKind int
+
+const (
+	sweepForward  sweepKind = iota // L′x = b
+	sweepBackward                  // L′ᵀx = b
+	sweepSGS                       // x = (L′ D⁻¹ L′ᵀ)⁻¹ b, fused, per-worker scratch
+)
+
+// NewEngine starts a persistent pool of opts.Workers goroutines over the
+// structure. The pool idles on a channel between solves; call Close (or
+// drop every reference — the stsk facade attaches a GC cleanup) to release
+// it.
+func NewEngine(s *csrk.Structure, opts Options) *Engine {
+	return newEngine(s, nil, opts)
+}
+
+// NewEngineWithUpper is NewEngine with a supplier for the validated
+// transpose L′ᵀ, called lazily on the first backward sweep. Callers that
+// create several engines over one structure pass a caching supplier so
+// all of them share a single transpose.
+func NewEngineWithUpper(s *csrk.Structure, upper func() (*sparse.CSR, error), opts Options) *Engine {
+	e := newEngine(s, nil, opts)
+	e.upperFn = upper
+	return e
+}
+
+// newEngine optionally adopts a pre-built validated transpose u, so the
+// UpperSolver compatibility path does not re-transpose per solve.
+func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		s:    s,
+		l:    s.L,
+		opts: opts,
+		jobs: make(chan job),
+	}
+	if u != nil {
+		e.upperOnce.Do(func() { e.u = u })
+	}
+	e.run.e = e
+	e.run.barrier.size = opts.Workers
+	e.run.barrier.cond = sync.NewCond(&e.run.barrier.mu)
+	e.run.counters = make([]atomic.Int64, s.NumPacks())
+	for w := 0; w < opts.Workers; w++ {
+		e.workerWG.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the fixed pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Close drains the pool and waits for every worker to exit. Solves issued
+// after Close return ErrClosed; Close is idempotent.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.jobs)
+	}
+	e.closeMu.Unlock()
+	e.workerWG.Wait()
+}
+
+// submit enqueues a job unless the engine is closed. The read lock only
+// covers the send, so Close can proceed while callers wait on results.
+func (e *Engine) submit(j job) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.jobs <- j
+	return nil
+}
+
+// worker is the parked pool goroutine: it sleeps on the job channel and
+// runs whatever share of work arrives. scratch is the worker's lazily
+// allocated private vector for fused two-sweep jobs.
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	var scratch []float64
+	for j := range e.jobs {
+		switch {
+		case j.whole != nil:
+			if j.whole.kind == sweepSGS && scratch == nil {
+				scratch = make([]float64, e.l.N)
+			}
+			j.whole.errc <- e.sweepWhole(j.whole, scratch)
+		case j.coop != nil:
+			j.coop.work(j.id)
+			j.coop.wg.Done()
+		}
+	}
+}
+
+// sweepWhole runs one independent right-hand side start to finish on the
+// calling worker — no barriers, sequential row order, bitwise identical to
+// Sequential.
+func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
+	n := e.l.N
+	if len(w.b) != n || len(w.x) != n {
+		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(w.x), len(w.b), n)
+	}
+	switch w.kind {
+	case sweepForward:
+		solveRows(e.l.RowPtr, e.l.Col, e.l.Val, w.x, w.b, 0, n)
+	case sweepBackward:
+		solveUpperRows(e.u.RowPtr, e.u.Col, e.u.Val, w.x, w.b, 0, n)
+	case sweepSGS:
+		d := e.diagonal()
+		solveRows(e.l.RowPtr, e.l.Col, e.l.Val, scratch, w.b, 0, n)
+		for i := 0; i < n; i++ {
+			scratch[i] *= d[i]
+		}
+		solveUpperRows(e.u.RowPtr, e.u.Col, e.u.Val, w.x, scratch, 0, n)
+	}
+	return nil
+}
+
+// ensureUpper builds and validates the transposed matrix for backward
+// sweeps on first use.
+func (e *Engine) ensureUpper() error {
+	e.upperOnce.Do(func() {
+		if e.upperFn != nil {
+			e.u, e.upperErr = e.upperFn()
+			return
+		}
+		u := e.l.Transpose()
+		for i := 0; i < u.N; i++ {
+			lo, hi := u.RowPtr[i], u.RowPtr[i+1]
+			if lo == hi || u.Col[lo] != i {
+				e.upperErr = fmt.Errorf("solve: transposed row %d lacks a leading diagonal", i)
+				return
+			}
+			if u.Val[lo] == 0 {
+				e.upperErr = fmt.Errorf("solve: zero diagonal at transposed row %d", i)
+				return
+			}
+		}
+		e.u = u
+	})
+	return e.upperErr
+}
+
+// Diagonal returns (building once) the diagonal of L′. The slice is
+// shared engine state: callers must treat it as read-only.
+func (e *Engine) Diagonal() []float64 { return e.diagonal() }
+
+// diagonal returns (building once) the diagonal of L′.
+func (e *Engine) diagonal() []float64 {
+	e.diagOnce.Do(func() {
+		l := e.l
+		e.diag = make([]float64, l.N)
+		for i := 0; i < l.N; i++ {
+			e.diag[i] = l.Val[l.RowPtr[i+1]-1]
+		}
+	})
+	return e.diag
+}
+
+// Solve solves L′x = b cooperatively and returns x.
+func (e *Engine) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, e.l.N)
+	if err := e.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves L′x = b into a caller-provided vector: all pool workers
+// sweep the packs together under the engine's schedule.
+func (e *Engine) SolveInto(x, b []float64) error {
+	return e.coopSolve(x, b, false)
+}
+
+// SolveUpper solves L′ᵀx = b cooperatively and returns x.
+func (e *Engine) SolveUpper(b []float64) ([]float64, error) {
+	x := make([]float64, e.l.N)
+	if err := e.SolveUpperInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveUpperInto solves L′ᵀx = b into a caller-provided vector, sweeping
+// the packs in reverse order.
+func (e *Engine) SolveUpperInto(x, b []float64) error {
+	return e.coopSolve(x, b, true)
+}
+
+// coopSolve runs one cooperative pack-parallel solve. Cooperative solves
+// are serialised on solveMu; batch jobs interleave freely with them.
+func (e *Engine) coopSolve(x, b []float64, reverse bool) error {
+	n := e.l.N
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(x), len(b), n)
+	}
+	if reverse {
+		if err := e.ensureUpper(); err != nil {
+			return err
+		}
+	}
+	if e.opts.Workers == 1 || e.s.NumSuperRows() == 1 {
+		// Degenerate layouts skip the pool entirely, like Parallel.
+		e.closeMu.RLock()
+		closed := e.closed
+		e.closeMu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		if reverse {
+			solveUpperRows(e.u.RowPtr, e.u.Col, e.u.Val, x, b, 0, n)
+		} else {
+			solveRows(e.l.RowPtr, e.l.Col, e.l.Val, x, b, 0, n)
+		}
+		return nil
+	}
+	e.solveMu.Lock()
+	defer e.solveMu.Unlock()
+	r := &e.run
+	r.x, r.b, r.reverse = x, b, reverse
+	for p := range r.counters {
+		if reverse {
+			r.counters[p].Store(int64(e.s.PackPtr[p+1]))
+		} else {
+			r.counters[p].Store(int64(e.s.PackPtr[p]))
+		}
+	}
+	// All shares are dispatched under one read-lock so Close cannot land
+	// between them: a cooperative solve needs every worker at the barrier,
+	// so a partially dispatched solve could never finish. Close taken
+	// after dispatch merely waits — the workers finish this solve before
+	// they observe the closed channel.
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return ErrClosed
+	}
+	for w := 0; w < e.opts.Workers; w++ {
+		r.wg.Add(1)
+		e.jobs <- job{coop: r, id: w}
+	}
+	e.closeMu.RUnlock()
+	r.wg.Wait()
+	r.x, r.b = nil, nil
+	return nil
+}
+
+// SolveBatch solves L′xᵢ = bᵢ for every right-hand side of B and returns
+// the solutions. Each RHS is swept sequentially by one worker, so up to
+// Workers vectors travel the pack levels concurrently with no barriers.
+func (e *Engine) SolveBatch(B [][]float64) ([][]float64, error) {
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, e.l.N)
+	}
+	if err := e.SolveBatchInto(X, B); err != nil {
+		return nil, err
+	}
+	return X, nil
+}
+
+// SolveBatchInto is SolveBatch writing into caller-provided solution
+// vectors; X[i] may alias B[i] for an in-place solve.
+func (e *Engine) SolveBatchInto(X, B [][]float64) error {
+	return e.batch(X, B, sweepForward)
+}
+
+// SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side.
+func (e *Engine) SolveUpperBatchInto(X, B [][]float64) error {
+	if err := e.ensureUpper(); err != nil {
+		return err
+	}
+	return e.batch(X, B, sweepBackward)
+}
+
+// ApplySGSBatch applies the symmetric Gauss–Seidel preconditioner
+// M⁻¹ = (L′ D⁻¹ L′ᵀ)⁻¹ to every vector of R: forward sweep into the
+// worker's private scratch, diagonal scale, backward sweep into X[i].
+// One worker performs both sweeps of a vector back to back, keeping the
+// intermediate entirely in its own preallocated scratch.
+func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
+	if err := e.ensureUpper(); err != nil {
+		return err
+	}
+	return e.batch(X, R, sweepSGS)
+}
+
+// batch fans the (X[i], B[i]) pairs out as independent whole-RHS jobs and
+// gathers the first error.
+func (e *Engine) batch(X, B [][]float64, kind sweepKind) error {
+	if len(X) != len(B) {
+		return fmt.Errorf("solve: batch lengths %d/%d differ", len(X), len(B))
+	}
+	errc := make(chan error, len(B))
+	issued := 0
+	var first error
+	for i := range B {
+		if err := e.submit(job{whole: &wholeJob{kind: kind, x: X[i], b: B[i], errc: errc}}); err != nil {
+			first = err
+			break
+		}
+		issued++
+	}
+	for i := 0; i < issued; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Result is one solved right-hand side from SolveMany.
+type Result struct {
+	X   []float64
+	Err error
+}
+
+// SolveMany streams right-hand sides through the pool: vectors read from
+// bs are solved as batch jobs (pipelined across workers) and the results
+// are delivered on the returned channel in input order. At most
+// 2×Workers solves are in flight at once, bounding memory for unbounded
+// streams. The output channel closes after bs closes and every pending
+// solve has been delivered.
+//
+// The caller owns the stream's lifecycle: close bs when done producing
+// and receive until the output channel closes. The output buffer lets a
+// short tail (up to 2×Workers results) flush without a consumer — enough
+// for the stop-on-first-error pattern — but a stream abandoned with more
+// work outstanding blocks the internal goroutines, and the producer,
+// until the output is drained.
+func (e *Engine) SolveMany(bs <-chan []float64) <-chan Result {
+	type pending struct {
+		x    []float64
+		errc chan error
+	}
+	out := make(chan Result, 2*e.opts.Workers)
+	inflight := make(chan pending, 2*e.opts.Workers)
+	go func() {
+		defer close(inflight)
+		for b := range bs {
+			p := pending{x: make([]float64, e.l.N), errc: make(chan error, 1)}
+			inflight <- p // bound the pipeline before enqueueing work
+			if err := e.submit(job{whole: &wholeJob{kind: sweepForward, x: p.x, b: b, errc: p.errc}}); err != nil {
+				p.errc <- err
+			}
+		}
+	}()
+	go func() {
+		defer close(out)
+		for p := range inflight {
+			if err := <-p.errc; err != nil {
+				out <- Result{Err: err}
+			} else {
+				out <- Result{X: p.x}
+			}
+		}
+	}()
+	return out
+}
+
+// coopRun is the shared state of one cooperative solve over the pool.
+type coopRun struct {
+	e        *Engine
+	x, b     []float64
+	reverse  bool
+	counters []atomic.Int64 // per-pack next super-row claim
+	barrier  barrier
+	wg       sync.WaitGroup
+}
+
+// work is one worker's share of a cooperative solve: packs in order
+// (reverse order for the transposed sweep), super-rows claimed by the
+// engine's schedule, a barrier between packs.
+func (r *coopRun) work(id int) {
+	e := r.e
+	s := e.s
+	nPacks := s.NumPacks()
+	for step := 0; step < nPacks; step++ {
+		p := step
+		if r.reverse {
+			p = nPacks - 1 - step
+		}
+		lo, hi := s.PackSuperRows(p)
+		switch {
+		case e.opts.Schedule == Static:
+			span := hi - lo
+			per := (span + e.opts.Workers - 1) / e.opts.Workers
+			start := lo + id*per
+			end := start + per
+			if start > hi {
+				start = hi
+			}
+			if end > hi {
+				end = hi
+			}
+			if r.reverse {
+				for sr := end - 1; sr >= start; sr-- {
+					r.solveSuper(sr)
+				}
+			} else {
+				for sr := start; sr < end; sr++ {
+					r.solveSuper(sr)
+				}
+			}
+		case r.reverse:
+			// Dynamic and Guided both count down in chunks on the
+			// transposed sweep.
+			c := int64(e.opts.Chunk)
+			for {
+				to := r.counters[p].Add(-c) + c
+				if to <= int64(lo) {
+					break
+				}
+				from := to - c
+				if from < int64(lo) {
+					from = int64(lo)
+				}
+				for sr := int(to) - 1; sr >= int(from); sr-- {
+					r.solveSuper(sr)
+				}
+			}
+		case e.opts.Schedule == Dynamic:
+			c := int64(e.opts.Chunk)
+			for {
+				from := r.counters[p].Add(c) - c
+				if from >= int64(hi) {
+					break
+				}
+				to := from + c
+				if to > int64(hi) {
+					to = int64(hi)
+				}
+				for sr := int(from); sr < int(to); sr++ {
+					r.solveSuper(sr)
+				}
+			}
+		default: // Guided
+			for {
+				from, to, ok := r.grabGuided(p, hi)
+				if !ok {
+					break
+				}
+				for sr := from; sr < to; sr++ {
+					r.solveSuper(sr)
+				}
+			}
+		}
+		// All workers must finish pack p before any starts the next;
+		// the barrier's mutex also publishes the x writes.
+		r.barrier.wait()
+	}
+}
+
+// grabGuided claims the next guided chunk of pack p: remaining/workers
+// super-rows, floored at the chunk option.
+func (r *coopRun) grabGuided(p, hi int) (from, to int, ok bool) {
+	for {
+		cur := r.counters[p].Load()
+		if cur >= int64(hi) {
+			return 0, 0, false
+		}
+		remaining := int(int64(hi) - cur)
+		take := remaining / r.e.opts.Workers
+		if take < r.e.opts.Chunk {
+			take = r.e.opts.Chunk
+		}
+		if take > remaining {
+			take = remaining
+		}
+		if r.counters[p].CompareAndSwap(cur, cur+int64(take)) {
+			return int(cur), int(cur) + take, true
+		}
+	}
+}
+
+func (r *coopRun) solveSuper(sr int) {
+	lo, hi := r.e.s.SuperRowRows(sr)
+	if r.reverse {
+		u := r.e.u
+		solveUpperRows(u.RowPtr, u.Col, u.Val, r.x, r.b, lo, hi)
+	} else {
+		l := r.e.l
+		solveRows(l.RowPtr, l.Col, l.Val, r.x, r.b, lo, hi)
+	}
+}

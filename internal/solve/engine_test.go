@@ -1,0 +1,344 @@
+package solve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/order"
+	"stsk/internal/sparse"
+)
+
+// randomRHS manufactures nrhs right-hand sides with known solutions.
+func randomRHS(p *order.Plan, nrhs int, seed int64) (B [][]float64, want [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := p.S.L.N
+	for r := 0; r < nrhs; r++ {
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		B = append(B, sparse.RHSForSolution(p.S.L, xTrue))
+	}
+	for _, b := range B {
+		x, err := Sequential(p.S, b)
+		if err != nil {
+			panic(err)
+		}
+		want = append(want, x)
+	}
+	return B, want
+}
+
+// assertBitwise fails unless got equals want entry for entry — the engine
+// performs each row's dot product in Sequential's order, so results must
+// be bitwise identical, not merely close.
+func assertBitwise(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: x[%d] = %v, want bitwise %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSolveMatchesSequentialBitwise(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"grid2d":  gen.Grid2D(13, 11),
+		"grid3d":  gen.Grid3D(6, 6, 6),
+		"trimesh": gen.TriMesh(14, 14, 3),
+		"roadnet": gen.RoadNet(6, 6, 3, 5, 1),
+	}
+	for name, a := range mats {
+		for _, m := range order.Methods() {
+			p := planFor(t, a, m)
+			B, want := randomRHS(p, 3, 11)
+			for _, workers := range []int{1, 3, 8} {
+				e := NewEngine(p.S, Options{Workers: workers})
+				for r := range B {
+					x, err := e.Solve(B[r])
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertBitwise(t, name+"/"+m.String(), x, want[r])
+				}
+				e.Close()
+			}
+		}
+	}
+}
+
+func TestEngineSolveBatchBitwise(t *testing.T) {
+	for _, m := range order.Methods() {
+		a := gen.Grid3D(7, 7, 7)
+		p := planFor(t, a, m)
+		B, want := randomRHS(p, 16, 23)
+		e := NewEngine(p.S, Options{Workers: 4})
+		defer e.Close()
+		X, err := e.SolveBatch(B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range X {
+			assertBitwise(t, m.String(), X[r], want[r])
+		}
+		// In-place: X[i] aliasing B[i] must still be exact.
+		aliased := make([][]float64, len(B))
+		for r := range B {
+			aliased[r] = append([]float64(nil), B[r]...)
+		}
+		if err := e.SolveBatchInto(aliased, aliased); err != nil {
+			t.Fatal(err)
+		}
+		for r := range aliased {
+			assertBitwise(t, m.String()+"/in-place", aliased[r], want[r])
+		}
+	}
+}
+
+func TestEngineSolveManyOrderedBitwise(t *testing.T) {
+	a := gen.TriMesh(16, 16, 3)
+	p := planFor(t, a, order.STS3)
+	B, want := randomRHS(p, 40, 31)
+	e := NewEngine(p.S, Options{Workers: 4})
+	defer e.Close()
+	bs := make(chan []float64)
+	go func() {
+		for _, b := range B {
+			bs <- b
+		}
+		close(bs)
+	}()
+	r := 0
+	for res := range e.SolveMany(bs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		assertBitwise(t, "stream", res.X, want[r])
+		r++
+	}
+	if r != len(B) {
+		t.Fatalf("streamed %d results, want %d", r, len(B))
+	}
+}
+
+func TestEngineUpperMatchesUpperSolver(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	for _, m := range order.Methods() {
+		p := planFor(t, a, m)
+		us, err := NewUpperSolver(p.S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		b := make([]float64, a.N)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := us.Solve(b, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := us.NewEngine(Options{Workers: 4})
+		x, err := e.SolveUpper(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, m.String()+"/coop", x, want)
+		X := [][]float64{make([]float64, a.N), make([]float64, a.N)}
+		if err := e.SolveUpperBatchInto(X, [][]float64{b, b}); err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, m.String()+"/batch", X[0], want)
+		assertBitwise(t, m.String()+"/batch", X[1], want)
+		e.Close()
+	}
+}
+
+func TestEngineApplySGSBatchMatchesLoop(t *testing.T) {
+	a := gen.Grid3D(6, 6, 6)
+	p := planFor(t, a, order.STS3)
+	us, err := NewUpperSolver(p.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const nrhs = 8
+	R := make([][]float64, nrhs)
+	want := make([][]float64, nrhs)
+	d := make([]float64, a.N)
+	l := p.S.L
+	for i := 0; i < l.N; i++ {
+		d[i] = l.Val[l.RowPtr[i+1]-1]
+	}
+	for r := range R {
+		R[r] = make([]float64, a.N)
+		for i := range R[r] {
+			R[r][i] = rng.NormFloat64()
+		}
+		y, err := Sequential(p.S, R[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			y[i] *= d[i]
+		}
+		if want[r], err = us.Solve(y, Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(p.S, Options{Workers: 3})
+	defer e.Close()
+	Z := make([][]float64, nrhs)
+	for r := range Z {
+		Z[r] = make([]float64, a.N)
+	}
+	if err := e.ApplySGSBatch(Z, R); err != nil {
+		t.Fatal(err)
+	}
+	for r := range Z {
+		assertBitwise(t, "sgs", Z[r], want[r])
+	}
+}
+
+// TestEngineConcurrentSolves hammers one engine from many goroutines with
+// a mix of cooperative, upper, and batch solves — the race-detector test
+// for the shared pool.
+func TestEngineConcurrentSolves(t *testing.T) {
+	a := gen.TriMesh(12, 12, 3)
+	p := planFor(t, a, order.STS3)
+	B, want := randomRHS(p, 6, 43)
+	e := NewEngine(p.S, Options{Workers: 4})
+	defer e.Close()
+	if err := e.ensureUpper(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				switch g % 3 {
+				case 0:
+					x, err := e.Solve(B[it%len(B)])
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := range x {
+						if x[i] != want[it%len(B)][i] {
+							t.Errorf("coop mismatch at %d", i)
+							return
+						}
+					}
+				case 1:
+					if _, err := e.SolveUpper(B[it%len(B)]); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					X, err := e.SolveBatch(B)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for r := range X {
+						for i := range X[r] {
+							if X[r][i] != want[r][i] {
+								t.Errorf("batch mismatch rhs %d at %d", r, i)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCloseRacingSolves closes engines while solves are in flight:
+// every solve must either complete or return ErrClosed — never deadlock
+// (run under -race and without).
+func TestEngineCloseRacingSolves(t *testing.T) {
+	a := gen.Grid2D(10, 10)
+	p := planFor(t, a, order.STS3)
+	B, _ := randomRHS(p, 2, 3)
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine(p.S, Options{Workers: 4})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					var err error
+					if g%2 == 0 {
+						_, err = e.Solve(B[i%2])
+					} else {
+						_, err = e.SolveBatch(B)
+					}
+					if err != nil {
+						if err != ErrClosed {
+							t.Error(err)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		e.Close()
+		wg.Wait()
+	}
+}
+
+func TestEngineClosed(t *testing.T) {
+	a := gen.Grid2D(8, 8)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	b := make([]float64, a.N)
+	if _, err := e.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Solve(b); err != ErrClosed {
+		t.Fatalf("solve after close: %v, want ErrClosed", err)
+	}
+	if _, err := e.SolveBatch([][]float64{b}); err != ErrClosed {
+		t.Fatalf("batch after close: %v, want ErrClosed", err)
+	}
+	bs := make(chan []float64, 1)
+	bs <- b
+	close(bs)
+	res := <-e.SolveMany(bs)
+	if res.Err != ErrClosed {
+		t.Fatalf("stream after close: %v, want ErrClosed", res.Err)
+	}
+}
+
+func TestEngineBadLengths(t *testing.T) {
+	a := gen.Grid2D(8, 8)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	defer e.Close()
+	if _, err := e.Solve(make([]float64, 3)); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+	if err := e.SolveBatchInto([][]float64{make([]float64, a.N)}, nil); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+	if _, err := e.SolveBatch([][]float64{make([]float64, 2)}); err == nil {
+		t.Fatal("short batch rhs accepted")
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"stsk/internal/csrk"
 )
@@ -111,6 +110,12 @@ func Parallel(s *csrk.Structure, b []float64, opts Options) ([]float64, error) {
 
 // ParallelInto is Parallel writing into a caller-provided solution vector,
 // for benchmark loops that avoid per-solve allocation.
+//
+// Both functions are one-shot compatibility wrappers over Engine: they
+// spin the worker pool up and down around a single cooperative solve,
+// matching the historical cost of spawning fresh goroutines per call.
+// Callers solving the same structure repeatedly should hold an Engine (or
+// the stsk.Solver facade) instead.
 func ParallelInto(x []float64, s *csrk.Structure, b []float64, opts Options) error {
 	l := s.L
 	if len(b) != l.N || len(x) != l.N {
@@ -121,115 +126,9 @@ func ParallelInto(x []float64, s *csrk.Structure, b []float64, opts Options) err
 		solveRows(l.RowPtr, l.Col, l.Val, x, b, 0, l.N)
 		return nil
 	}
-	run := &runner{
-		s:    s,
-		x:    x,
-		b:    b,
-		opts: opts,
-	}
-	run.barrier.size = opts.Workers
-	run.barrier.cond = sync.NewCond(&run.barrier.mu)
-	run.counters = make([]atomic.Int64, s.NumPacks())
-	for p := range run.counters {
-		run.counters[p].Store(int64(s.PackPtr[p]))
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			run.work(id)
-		}(w)
-	}
-	wg.Wait()
-	return nil
-}
-
-// runner carries the shared state of one parallel solve.
-type runner struct {
-	s        *csrk.Structure
-	x, b     []float64
-	opts     Options
-	counters []atomic.Int64 // per-pack next super-row (dynamic/guided)
-	barrier  barrier
-}
-
-func (r *runner) work(id int) {
-	s := r.s
-	for p := 0; p < s.NumPacks(); p++ {
-		lo, hi := s.PackSuperRows(p)
-		switch r.opts.Schedule {
-		case Static:
-			span := hi - lo
-			per := (span + r.opts.Workers - 1) / r.opts.Workers
-			start := lo + id*per
-			end := start + per
-			if start > hi {
-				start = hi
-			}
-			if end > hi {
-				end = hi
-			}
-			for sr := start; sr < end; sr++ {
-				r.solveSuper(sr)
-			}
-		case Dynamic:
-			c := int64(r.opts.Chunk)
-			for {
-				from := r.counters[p].Add(c) - c
-				if from >= int64(hi) {
-					break
-				}
-				to := from + c
-				if to > int64(hi) {
-					to = int64(hi)
-				}
-				for sr := int(from); sr < int(to); sr++ {
-					r.solveSuper(sr)
-				}
-			}
-		case Guided:
-			for {
-				from, to, ok := r.grabGuided(p, hi)
-				if !ok {
-					break
-				}
-				for sr := from; sr < to; sr++ {
-					r.solveSuper(sr)
-				}
-			}
-		}
-		// All workers must finish pack p before any starts pack p+1;
-		// the barrier's mutex also publishes the x writes.
-		r.barrier.wait()
-	}
-}
-
-// grabGuided claims the next guided chunk of pack p: remaining/workers
-// super-rows, floored at the chunk option.
-func (r *runner) grabGuided(p, hi int) (from, to int, ok bool) {
-	for {
-		cur := r.counters[p].Load()
-		if cur >= int64(hi) {
-			return 0, 0, false
-		}
-		remaining := int(int64(hi) - cur)
-		take := remaining / r.opts.Workers
-		if take < r.opts.Chunk {
-			take = r.opts.Chunk
-		}
-		if take > remaining {
-			take = remaining
-		}
-		if r.counters[p].CompareAndSwap(cur, cur+int64(take)) {
-			return int(cur), int(cur) + take, true
-		}
-	}
-}
-
-func (r *runner) solveSuper(sr int) {
-	lo, hi := r.s.SuperRowRows(sr)
-	solveRows(r.s.L.RowPtr, r.s.L.Col, r.s.L.Val, r.x, r.b, lo, hi)
+	e := NewEngine(s, opts)
+	defer e.Close()
+	return e.SolveInto(x, b)
 }
 
 // barrier is a reusable counting barrier; waiters of one generation block

@@ -2,8 +2,6 @@ package solve
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"stsk/internal/csrk"
 	"stsk/internal/sparse"
@@ -16,6 +14,11 @@ import (
 // Together with the forward solver this makes the symmetric Gauss–Seidel
 // and incomplete-Cholesky preconditioner applications of the paper's
 // motivating PCG (§1) parallel in both sweeps.
+//
+// UpperSolver is the one-shot compatibility layer: each Solve spins a
+// worker pool up and down around a single cooperative backward sweep.
+// Callers applying the preconditioner repeatedly should hold an Engine
+// (whose SolveUpperInto reuses a persistent pool) instead.
 type UpperSolver struct {
 	s *csrk.Structure
 	u *sparse.CSR // L′ᵀ, upper triangular, diagonal first in each row
@@ -37,6 +40,16 @@ func NewUpperSolver(s *csrk.Structure) (*UpperSolver, error) {
 	return &UpperSolver{s: s, u: u}, nil
 }
 
+// NewEngine starts a persistent Engine over the solver's structure that
+// reuses the already-built transpose for backward sweeps.
+func (us *UpperSolver) NewEngine(opts Options) *Engine {
+	return newEngine(us.s, us.u, opts)
+}
+
+// Transposed returns the validated transpose L′ᵀ the solver sweeps;
+// callers must treat it as read-only.
+func (us *UpperSolver) Transposed() *sparse.CSR { return us.u }
+
 // Solve solves L′ᵀ x = b and returns x.
 func (us *UpperSolver) Solve(b []float64, opts Options) ([]float64, error) {
 	x := make([]float64, us.u.N)
@@ -57,24 +70,9 @@ func (us *UpperSolver) SolveInto(x, b []float64, opts Options) error {
 		solveUpperRows(u.RowPtr, u.Col, u.Val, x, b, 0, u.N)
 		return nil
 	}
-	run := &upperRunner{us: us, x: x, b: b, opts: opts}
-	run.barrier.size = opts.Workers
-	run.barrier.cond = sync.NewCond(&run.barrier.mu)
-	run.counters = make([]atomic.Int64, us.s.NumPacks())
-	for p := range run.counters {
-		// Counters advance from the pack's TOP super-row downwards.
-		run.counters[p].Store(int64(us.s.PackPtr[p+1]))
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			run.work(id)
-		}(w)
-	}
-	wg.Wait()
-	return nil
+	e := newEngine(us.s, us.u, opts)
+	defer e.Close()
+	return e.SolveUpperInto(x, b)
 }
 
 // solveUpperRows performs backward substitution for rows [lo, hi), highest
@@ -88,57 +86,4 @@ func solveUpperRows(rowPtr, col []int, val, x, b []float64, lo, hi int) {
 		}
 		x[i] = (b[i] - s) / val[first]
 	}
-}
-
-type upperRunner struct {
-	us       *UpperSolver
-	x, b     []float64
-	opts     Options
-	counters []atomic.Int64
-	barrier  barrier
-}
-
-func (r *upperRunner) work(id int) {
-	s := r.us.s
-	u := r.us.u
-	for p := s.NumPacks() - 1; p >= 0; p-- {
-		lo, hi := s.PackSuperRows(p)
-		switch r.opts.Schedule {
-		case Static:
-			span := hi - lo
-			per := (span + r.opts.Workers - 1) / r.opts.Workers
-			start := lo + id*per
-			end := start + per
-			if start > hi {
-				start = hi
-			}
-			if end > hi {
-				end = hi
-			}
-			for sr := end - 1; sr >= start; sr-- {
-				r.solveSuper(u, sr)
-			}
-		default: // Dynamic and Guided both count down in chunks.
-			c := int64(r.opts.Chunk)
-			for {
-				to := r.counters[p].Add(-c) + c
-				if to <= int64(lo) {
-					break
-				}
-				from := to - c
-				if from < int64(lo) {
-					from = int64(lo)
-				}
-				for sr := int(to) - 1; sr >= int(from); sr-- {
-					r.solveSuper(u, sr)
-				}
-			}
-		}
-		r.barrier.wait()
-	}
-}
-
-func (r *upperRunner) solveSuper(u *sparse.CSR, sr int) {
-	lo, hi := r.us.s.SuperRowRows(sr)
-	solveUpperRows(u.RowPtr, u.Col, u.Val, r.x, r.b, lo, hi)
 }

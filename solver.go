@@ -1,0 +1,188 @@
+package stsk
+
+import (
+	"runtime"
+	"sync"
+
+	"stsk/internal/solve"
+	"stsk/internal/sparse"
+)
+
+// Solver is a reusable solve engine over one Plan: a persistent pool of
+// worker goroutines started once and parked between solves, with the
+// pack-schedule bookkeeping preallocated. Where Plan.SolveWith pays
+// goroutine spawn on every call, a Solver amortises that setup across an
+// arbitrary stream of right-hand sides — the "many solves per ordering"
+// traffic shape that motivates the paper (§4.1).
+//
+// A Solver offers three solve shapes:
+//
+//   - Single solves (Solve, SolveInto, SolveUpper, SolveUpperInto,
+//     ApplySGS): one right-hand side swept pack-parallel by the whole pool
+//     under the plan's default schedule.
+//   - Batched solves (SolveBatch, SolveBatchInto, ApplySGSBatch): many
+//     independent right-hand sides pipelined through the pack levels, one
+//     vector per worker with no barriers.
+//   - Streaming solves (SolveMany): batch semantics over a channel, with
+//     results in input order and bounded in-flight memory.
+//
+// All shapes produce results bitwise identical to Plan.SolveSequential.
+// A Solver is safe for concurrent use from multiple goroutines. Close
+// releases the pool; a Solver that is garbage collected without Close
+// releases it automatically.
+type Solver struct {
+	plan      *Plan
+	eng       *solve.Engine
+	scratch   sync.Pool // intermediate vectors for the fused sweeps
+	cleanup   runtime.Cleanup
+	closeOnce sync.Once
+}
+
+// NewSolver starts a persistent solve engine for the plan. The variadic
+// options fix the pool size and schedule for the solver's lifetime; when
+// omitted, the paper's per-method defaults apply (dynamic,32 for the
+// row-level schemes, guided,1 for the k-level schemes, GOMAXPROCS
+// workers). Callers should Close the solver when done with it, though an
+// unreferenced Solver cleans up after itself at the next GC.
+func (p *Plan) NewSolver(so ...SolveOptions) *Solver {
+	var opts SolveOptions
+	if len(so) > 0 {
+		opts = so[0]
+	}
+	// Every solver of this plan lazily shares the plan's single validated
+	// transpose for backward sweeps, instead of each engine building its
+	// own O(nnz) copy. The closure captures only the upperLazy cache —
+	// capturing the Plan would reach the shared Solver through p.shared
+	// and keep the AddCleanup below from ever firing.
+	cache := p.upperCache
+	eng := solve.NewEngineWithUpper(p.inner.S, func() (*sparse.CSR, error) {
+		us, err := cache.get()
+		if err != nil {
+			return nil, err
+		}
+		return us.Transposed(), nil
+	}, p.solveOptions(opts))
+	s := &Solver{plan: p, eng: eng}
+	s.scratch.New = func() any { return make([]float64, p.N()) }
+	// If the Solver is dropped without Close, release the parked workers
+	// once the GC proves it unreachable (the engine never references the
+	// Solver, so this fires).
+	s.cleanup = runtime.AddCleanup(s, func(e *solve.Engine) { e.Close() }, s.eng)
+	return s
+}
+
+// Workers returns the solver's fixed pool size.
+func (s *Solver) Workers() int { return s.eng.Workers() }
+
+// Plan returns the plan this solver is bound to.
+func (s *Solver) Plan() *Plan { return s.plan }
+
+// Close stops the worker pool and waits for the workers to exit. Solves
+// already in flight complete, solves issued after Close fail; Close is
+// idempotent.
+func (s *Solver) Close() {
+	s.closeOnce.Do(func() {
+		s.cleanup.Stop()
+		s.eng.Close()
+	})
+}
+
+// Solve solves L′x = b (both in plan order) pack-parallel on the pooled
+// workers and returns x.
+func (s *Solver) Solve(b []float64) ([]float64, error) { return s.eng.Solve(b) }
+
+// SolveInto is Solve writing into a caller-provided vector.
+func (s *Solver) SolveInto(x, b []float64) error { return s.eng.SolveInto(x, b) }
+
+// SolveUpper solves the transposed system L′ᵀx = b pack-parallel, packs
+// in reverse order — the second sweep of a symmetric Gauss–Seidel or
+// incomplete-Cholesky preconditioner.
+func (s *Solver) SolveUpper(b []float64) ([]float64, error) { return s.eng.SolveUpper(b) }
+
+// SolveUpperInto is SolveUpper writing into a caller-provided vector.
+func (s *Solver) SolveUpperInto(x, b []float64) error { return s.eng.SolveUpperInto(x, b) }
+
+// SolveBatch solves L′xᵢ = bᵢ for every right-hand side of B and returns
+// the solutions in order. Each vector is swept start-to-finish by one
+// pooled worker with no inter-pack barriers, so up to Workers independent
+// right-hand sides travel the pack levels concurrently — the highest-
+// throughput path for iterative-solver and multi-scenario traffic.
+func (s *Solver) SolveBatch(B [][]float64) ([][]float64, error) { return s.eng.SolveBatch(B) }
+
+// SolveBatchInto is SolveBatch writing into caller-provided solution
+// vectors; X[i] may alias B[i] for in-place solves.
+func (s *Solver) SolveBatchInto(X, B [][]float64) error { return s.eng.SolveBatchInto(X, B) }
+
+// SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side,
+// pipelined like SolveBatch.
+func (s *Solver) SolveUpperBatchInto(X, B [][]float64) error { return s.eng.SolveUpperBatchInto(X, B) }
+
+// SolveResult is one solved right-hand side from SolveMany.
+type SolveResult struct {
+	X   []float64
+	Err error
+}
+
+// SolveMany streams right-hand sides through the pool: vectors read from
+// bs are solved concurrently (one worker per vector) and delivered on the
+// returned channel in input order. At most 2×Workers solves are in flight
+// at once, so unbounded streams run in bounded memory. The output channel
+// closes once bs is closed and drained.
+//
+// The caller owns the stream's lifecycle: close bs when done producing
+// and receive until the output channel closes. The output buffer lets a
+// short tail (up to 2×Workers results) flush without a consumer — enough
+// for the stop-on-first-error pattern — but a stream abandoned with more
+// work outstanding blocks the internal goroutines, and the producer,
+// until the output is drained.
+func (s *Solver) SolveMany(bs <-chan []float64) <-chan SolveResult {
+	out := make(chan SolveResult, 2*s.eng.Workers())
+	go func() {
+		defer close(out)
+		for r := range s.eng.SolveMany(bs) {
+			out <- SolveResult{X: r.X, Err: r.Err}
+		}
+	}()
+	return out
+}
+
+// ApplySGS applies the symmetric Gauss–Seidel preconditioner
+// M⁻¹ = (L′ D⁻¹ L′ᵀ)⁻¹ to r and returns z = M⁻¹r: a pack-parallel forward
+// sweep, a diagonal scale, and a pack-parallel backward sweep, all on the
+// pooled workers — one PCG preconditioner application with no goroutine
+// spawns and no allocations beyond the result.
+func (s *Solver) ApplySGS(r []float64) ([]float64, error) {
+	z := make([]float64, s.plan.N())
+	if err := s.ApplySGSInto(z, r); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// ApplySGSInto is ApplySGS writing into a caller-provided vector.
+func (s *Solver) ApplySGSInto(z, r []float64) error {
+	y := s.scratch.Get().([]float64)
+	defer s.scratch.Put(y)
+	if err := s.eng.SolveInto(y, r); err != nil {
+		return err
+	}
+	d := s.eng.Diagonal() // engine-owned, read-only
+	for i := range y {
+		y[i] *= d[i]
+	}
+	return s.eng.SolveUpperInto(z, y)
+}
+
+// ApplySGSBatch applies the symmetric Gauss–Seidel preconditioner to every
+// vector of R, pipelined: one worker performs both sweeps of a vector back
+// to back, keeping the intermediate in its own preallocated scratch.
+func (s *Solver) ApplySGSBatch(R [][]float64) ([][]float64, error) {
+	Z := make([][]float64, len(R))
+	for i := range Z {
+		Z[i] = make([]float64, s.plan.N())
+	}
+	if err := s.eng.ApplySGSBatch(Z, R); err != nil {
+		return nil, err
+	}
+	return Z, nil
+}

@@ -1,0 +1,352 @@
+package stsk
+
+// Acceptance tests for the batched solve engine: SolveBatch and SolveMany
+// must match per-RHS SolveSequential bitwise across all four methods and
+// several generator classes, and one Solver must tolerate concurrent
+// solves (run these under -race).
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manufactured returns nrhs right-hand sides for the plan plus the exact
+// per-RHS sequential solutions they must reproduce bitwise.
+func manufactured(t *testing.T, plan *Plan, nrhs int, seed int64) (B, want [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < nrhs; r++ {
+		xTrue := make([]float64, plan.N())
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		B = append(B, plan.RHSFor(xTrue))
+	}
+	for _, b := range B {
+		x, err := plan.SolveSequential(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, x)
+	}
+	return B, want
+}
+
+func assertExact(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: x[%d] = %v, want bitwise %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSolverBatchMatchesSequential is the headline acceptance test:
+// SolveBatch over 32 right-hand sides is bitwise identical to looped
+// sequential solves on every method and several matrix classes.
+func TestSolverBatchMatchesSequential(t *testing.T) {
+	const nrhs = 32
+	for _, class := range []string{"grid2d", "grid3d", "trimesh", "roadnet"} {
+		mat, err := Generate(class, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range Methods() {
+			plan, err := Build(mat, m, BuildOptions{RowsPerSuper: 8})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", class, m, err)
+			}
+			B, want := manufactured(t, plan, nrhs, 17)
+			solver := plan.NewSolver(SolveOptions{Workers: 4})
+			X, err := solver.SolveBatch(B)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", class, m, err)
+			}
+			for r := range X {
+				assertExact(t, class+"/"+m.String(), X[r], want[r])
+			}
+			solver.Close()
+		}
+	}
+}
+
+func TestSolverSolveManyMatchesSequential(t *testing.T) {
+	mat, err := Generate("grid3d", 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		plan, err := Build(mat, m, BuildOptions{RowsPerSuper: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		B, want := manufactured(t, plan, 40, 29)
+		solver := plan.NewSolver(SolveOptions{Workers: 3})
+		bs := make(chan []float64)
+		go func() {
+			for _, b := range B {
+				bs <- b
+			}
+			close(bs)
+		}()
+		r := 0
+		for res := range solver.SolveMany(bs) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			assertExact(t, m.String(), res.X, want[r])
+			r++
+		}
+		if r != len(B) {
+			t.Fatalf("%v: streamed %d results, want %d", m, r, len(B))
+		}
+		solver.Close()
+	}
+}
+
+func TestSolverPooledSingleSolvesMatchSequential(t *testing.T) {
+	mat, err := Generate("trimesh", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, want := manufactured(t, plan, 5, 3)
+	solver := plan.NewSolver(SolveOptions{Workers: 4})
+	defer solver.Close()
+	x := make([]float64, plan.N())
+	for rep := 0; rep < 3; rep++ { // pool reuse across repeats
+		for r := range B {
+			if err := solver.SolveInto(x, B[r]); err != nil {
+				t.Fatal(err)
+			}
+			assertExact(t, "pooled", x, want[r])
+		}
+	}
+	// Plan.Solve rides the plan's shared solver and must agree too.
+	for r := range B {
+		x, err := plan.Solve(B[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExact(t, "plan-shared", x, want[r])
+	}
+}
+
+func TestSolverApplySGSMatchesManualSweeps(t *testing.T) {
+	mat, err := Generate("grid3d", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	const nrhs = 6
+	R := make([][]float64, nrhs)
+	want := make([][]float64, nrhs)
+	d := plan.Diagonal()
+	for r := range R {
+		R[r] = make([]float64, plan.N())
+		for i := range R[r] {
+			R[r][i] = rng.NormFloat64()
+		}
+		y, err := plan.SolveSequential(R[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			y[i] *= d[i]
+		}
+		if want[r], err = plan.SolveUpperWith(y, SolveOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solver := plan.NewSolver(SolveOptions{Workers: 3})
+	defer solver.Close()
+	for r := range R {
+		z, err := solver.ApplySGS(R[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExact(t, "sgs-coop", z, want[r])
+	}
+	Z, err := solver.ApplySGSBatch(R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range Z {
+		assertExact(t, "sgs-batch", Z[r], want[r])
+	}
+}
+
+// TestSolverConcurrentUse is the facade-level race test: one Solver,
+// many goroutines mixing every solve shape.
+func TestSolverConcurrentUse(t *testing.T) {
+	mat, err := Generate("grid3d", 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, want := manufactured(t, plan, 8, 59)
+	solver := plan.NewSolver(SolveOptions{Workers: 4})
+	defer solver.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				switch g % 4 {
+				case 0:
+					x, err := solver.Solve(B[it%len(B)])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := range x {
+						if x[i] != want[it%len(B)][i] {
+							t.Errorf("solve mismatch at %d", i)
+							return
+						}
+					}
+				case 1:
+					X, err := solver.SolveBatch(B)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for r := range X {
+						for i := range X[r] {
+							if X[r][i] != want[r][i] {
+								t.Errorf("batch mismatch rhs %d at %d", r, i)
+								return
+							}
+						}
+					}
+				case 2:
+					if _, err := solver.SolveUpper(B[it%len(B)]); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := solver.ApplySGS(B[it%len(B)]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPlanConcurrentLazyInit races the plan's lazily built caches
+// (shared solver, upper solver, symmetric matrix) from many goroutines —
+// run under -race.
+func TestPlanConcurrentLazyInit(t *testing.T) {
+	mat, err := Generate("grid2d", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := plan.RHSFor(make([]float64, plan.N()))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0:
+				if _, err := plan.SolveUpperWith(b, SolveOptions{Workers: 2}); err != nil {
+					t.Error(err)
+				}
+			case 1:
+				s := plan.NewSolver(SolveOptions{Workers: 2})
+				if _, err := s.SolveUpper(b); err != nil {
+					t.Error(err)
+				}
+				s.Close()
+			case 2:
+				y := make([]float64, plan.N())
+				plan.ApplySymmetric(y, b)
+			default:
+				if _, err := plan.Solve(b); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSharedSolverReleasedByGC guards the AddCleanup wiring: a Plan whose
+// shared Solver was pinned by Plan.Solve must release its parked worker
+// pool once the plan is unreachable. If any engine closure reaches back to
+// the Solver (through the Plan), the cleanup never fires and this test
+// times out its GC budget.
+func TestSharedSolverReleasedByGC(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		mat, err := Generate("grid2d", 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := Build(mat, STS3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, plan.N())
+		if _, err := plan.Solve(b); err != nil { // pins the shared pool
+			t.Fatal(err)
+		}
+		if g := runtime.NumGoroutine(); g <= base {
+			t.Fatalf("expected parked workers, goroutines %d <= base %d", g, base)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+	}
+	t.Fatalf("shared solver pool never released: %d goroutines vs base %d",
+		runtime.NumGoroutine(), base)
+}
+
+func TestSolverClose(t *testing.T) {
+	mat, err := Generate("grid2d", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := plan.NewSolver(SolveOptions{Workers: 2})
+	b := make([]float64, plan.N())
+	if _, err := solver.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	solver.Close()
+	solver.Close() // idempotent
+	if _, err := solver.Solve(b); err == nil {
+		t.Fatal("solve after Close succeeded")
+	}
+}

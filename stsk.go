@@ -19,13 +19,26 @@
 //
 //	mat, _ := stsk.Generate("trimesh", 20000)
 //	plan, _ := stsk.Build(mat, stsk.STS3)
-//	b := plan.RHSFor(xTrue)             // or any right-hand side, in plan order
+//	xTrue := make([]float64, plan.N())  // any target solution, in plan order
+//	b := plan.RHSFor(xTrue)             // manufactured right-hand side b = L′·xTrue
 //	x, _ := plan.Solve(b)
+//
+// For repeated solves against the same plan — the iterative-solver traffic
+// the paper targets — create a Solver once and stream right-hand sides
+// through its persistent worker pool:
+//
+//	solver := plan.NewSolver()
+//	defer solver.Close()
+//	x, _ = solver.Solve(b)              // pooled pack-parallel solve
+//	X, _ := solver.SolveBatch(manyRHS)  // pipelined, one worker per RHS
+//
+// See DESIGN.md for the build pipeline and the solver-engine lifecycle.
 package stsk
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"stsk/internal/cachesim"
 	"stsk/internal/csrk"
@@ -164,13 +177,65 @@ type BuildOptions struct {
 // pack/super-row structure, ready to solve repeatedly for many right-hand
 // sides (the pre-processing the paper amortises, §4.1).
 type Plan struct {
-	inner       *order.Plan
-	aSym        *sparse.CSR        // lazily built plan-ordered symmetric matrix A′
-	upperSolver *solve.UpperSolver // lazily built pack-parallel backward solver
+	inner *order.Plan
+
+	// lazyMu guards the lazily built caches below; Plans are documented as
+	// safe for concurrent solving, so lazy construction must be too.
+	lazyMu sync.Mutex
+	aSym   *sparse.CSR // plan-ordered symmetric matrix A′
+
+	// upperCache owns the plan's single validated transpose, shared by
+	// every solve engine. It lives in its own allocation (never pointing
+	// back at the Plan or a Solver) so engine closures over it cannot
+	// create a cycle that defeats the Solver's GC cleanup.
+	upperCache *upperLazy
+
+	// shared is the plan's own persistent Solver, built on first
+	// default-option Solve/SolveUpper so repeated solves reuse one parked
+	// worker pool instead of spawning goroutines per call.
+	sharedOnce sync.Once
+	shared     *Solver
+}
+
+// upperLazy builds the plan's backward solver (and its O(nnz) transpose)
+// once, on first use, concurrency-safe. It deliberately references only
+// the csrk structure: Solver engines capture it in a closure, and any
+// path from that closure back to the Solver would make runtime.AddCleanup
+// never fire.
+type upperLazy struct {
+	s  *csrk.Structure
+	mu sync.Mutex
+	us *solve.UpperSolver
+}
+
+func (u *upperLazy) get() (*solve.UpperSolver, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.us == nil {
+		us, err := solve.NewUpperSolver(u.s)
+		if err != nil {
+			return nil, err
+		}
+		u.us = us
+	}
+	return u.us, nil
+}
+
+func newPlan(inner *order.Plan) *Plan {
+	return &Plan{inner: inner, upperCache: &upperLazy{s: inner.S}}
+}
+
+// sharedSolver returns (building once, concurrency-safe) the plan's
+// persistent default-option Solver.
+func (p *Plan) sharedSolver() *Solver {
+	p.sharedOnce.Do(func() { p.shared = p.NewSolver() })
+	return p.shared
 }
 
 // symmetric returns (building lazily) A′ = L′ + L′ᵀ − D in plan order.
 func (p *Plan) symmetric() *sparse.CSR {
+	p.lazyMu.Lock()
+	defer p.lazyMu.Unlock()
 	if p.aSym == nil {
 		p.aSym = sparse.SymmetrizePattern(p.inner.S.L)
 	}
@@ -197,20 +262,29 @@ func (p *Plan) Diagonal() []float64 {
 // SolveUpper solves L′ᵀ z = b with the pack-parallel backward solver
 // (packs in reverse order) — the second sweep of a symmetric Gauss–Seidel
 // or incomplete-Cholesky preconditioner whose first sweep is the plan's
-// forward solve.
+// forward solve. It runs on the plan's shared persistent Solver, so
+// repeated calls reuse one parked worker pool, with the same
+// serialisation and pool-lifetime behavior as Solve.
 func (p *Plan) SolveUpper(b []float64) ([]float64, error) {
-	return p.SolveUpperWith(b, SolveOptions{})
+	return p.sharedSolver().SolveUpper(b)
 }
 
-// SolveUpperWith is SolveUpper with explicit scheduling options.
+// SolveUpperWith is SolveUpper with explicit scheduling options. Unlike
+// SolveUpper it is always one-shot: it spins goroutines up and down
+// around the call, so option experiments never pin a pool and timings of
+// this path measure the same engine for every option value. Hold a
+// Plan.NewSolver(opts) for repeated non-default solves.
 func (p *Plan) SolveUpperWith(b []float64, so SolveOptions) ([]float64, error) {
-	if p.upperSolver == nil {
-		us, err := solve.NewUpperSolver(p.inner.S)
-		if err != nil {
-			return nil, err
-		}
-		p.upperSolver = us
+	us, err := p.upperCache.get()
+	if err != nil {
+		return nil, err
 	}
+	return us.Solve(b, p.solveOptions(so))
+}
+
+// solveOptions lowers the facade's SolveOptions onto the internal solver
+// options, applying the paper's per-method schedule defaults.
+func (p *Plan) solveOptions(so SolveOptions) solve.Options {
 	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), so.Workers)
 	if so.Chunk > 0 {
 		opts.Chunk = so.Chunk
@@ -223,7 +297,7 @@ func (p *Plan) SolveUpperWith(b []float64, so SolveOptions) ([]float64, error) {
 	case GuidedSchedule:
 		opts.Schedule = solve.Guided
 	}
-	return p.upperSolver.Solve(b, opts)
+	return opts
 }
 
 // IC0 computes the zero-fill incomplete Cholesky factor of the plan's
@@ -249,7 +323,7 @@ func (p *Plan) IC0() (*Plan, error) {
 		S:        s2,
 		NumPacks: p.inner.NumPacks,
 	}
-	return &Plan{inner: inner2}, nil
+	return newPlan(inner2), nil
 }
 
 // Build runs the ordering pipeline for the given method.
@@ -270,7 +344,7 @@ func Build(m *Matrix, method Method, opts ...BuildOptions) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{inner: p}, nil
+	return newPlan(p), nil
 }
 
 // Method returns the scheme this plan implements.
@@ -326,26 +400,24 @@ type SolveOptions struct {
 }
 
 // Solve solves L′x = b (both in plan order) with the paper's default
-// schedule for the plan's method and returns x.
+// schedule for the plan's method and returns x. It runs on the plan's
+// shared persistent Solver, so repeated calls reuse one parked worker
+// pool; the pool stays parked until the plan is garbage collected.
+// Cooperative solves on one pool are serialised, so concurrent Solve
+// calls on one Plan queue rather than run side by side — goroutines
+// needing independent parallel solves should each hold a Plan.NewSolver,
+// which is also the route to batches and explicit lifecycle control.
 func (p *Plan) Solve(b []float64) ([]float64, error) {
-	return p.SolveWith(b, SolveOptions{})
+	return p.sharedSolver().Solve(b)
 }
 
-// SolveWith is Solve with explicit scheduling options.
+// SolveWith is Solve with explicit scheduling options. Unlike Solve it is
+// always one-shot: it spins goroutines up and down around the call, so
+// option experiments never pin a pool and timings of this path measure
+// the same engine for every option value. Hold a Plan.NewSolver(opts)
+// for repeated non-default solves.
 func (p *Plan) SolveWith(b []float64, so SolveOptions) ([]float64, error) {
-	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), so.Workers)
-	if so.Chunk > 0 {
-		opts.Chunk = so.Chunk
-	}
-	switch so.Schedule {
-	case StaticSchedule:
-		opts.Schedule = solve.Static
-	case DynamicSchedule:
-		opts.Schedule = solve.Dynamic
-	case GuidedSchedule:
-		opts.Schedule = solve.Guided
-	}
-	return solve.Parallel(p.inner.S, b, opts)
+	return solve.Parallel(p.inner.S, b, p.solveOptions(so))
 }
 
 // SolveSequential solves L′x = b on one core — the baseline T(·, ·, 1).
