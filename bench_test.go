@@ -83,7 +83,7 @@ func benchSolve(b *testing.B, method Method, workers int) {
 		xTrue[i] = 1
 	}
 	rhs := plan.RHSFor(xTrue)
-	x, err := plan.SolveWith(rhs, SolveOptions{Workers: workers})
+	x, err := plan.SolveWith(rhs, WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func benchSolve(b *testing.B, method Method, workers int) {
 	b.SetBytes(int64(mat.NNZ()) * 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := plan.SolveWith(rhs, SolveOptions{Workers: workers}); err != nil {
+		if _, err := plan.SolveWith(rhs, WithWorkers(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -151,14 +151,14 @@ func BenchmarkMultiRHSGrid3D(b *testing.B) {
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
 			for _, rhs := range B {
-				if _, err := plan.SolveWith(rhs, SolveOptions{Workers: workers}); err != nil {
+				if _, err := plan.SolveWith(rhs, WithWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
 		perRHS(b, time.Since(start))
 	})
-	solver := plan.NewSolver(SolveOptions{Workers: workers})
+	solver := plan.NewSolver(WithWorkers(workers))
 	defer solver.Close()
 	b.Run("pooled", func(b *testing.B) {
 		x := make([]float64, plan.N())
@@ -219,15 +219,15 @@ func BenchmarkSchedules(b *testing.B) {
 	rhs := plan.RHSFor(make([]float64, plan.N()))
 	for _, sc := range []struct {
 		name string
-		opt  SolveOptions
+		opts []Option
 	}{
-		{"static", SolveOptions{Schedule: StaticSchedule}},
-		{"dynamic32", SolveOptions{Schedule: DynamicSchedule, Chunk: 32}},
-		{"guided1", SolveOptions{Schedule: GuidedSchedule, Chunk: 1}},
+		{"static", []Option{WithSchedule(StaticSchedule)}},
+		{"dynamic32", []Option{WithSchedule(DynamicSchedule), WithChunk(32)}},
+		{"guided1", []Option{WithSchedule(GuidedSchedule), WithChunk(1)}},
 	} {
 		b.Run(sc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := plan.SolveWith(rhs, sc.opt); err != nil {
+				if _, err := plan.SolveWith(rhs, sc.opts...); err != nil {
 					b.Fatal(err)
 				}
 			}

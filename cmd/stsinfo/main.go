@@ -1,15 +1,19 @@
 // Command stsinfo prints the Table-1-style statistics and per-method pack
 // analysis (the Figures 7-8 measures) for one matrix — either a synthetic
-// class, a Table 1 suite stand-in, or a Matrix Market file.
+// class, a Table 1 suite stand-in, or a Matrix Market file. With -json it
+// emits the same metrics as a single JSON document, so tooling can
+// consume the pack-structure measures directly.
 //
 // Usage:
 //
 //	stsinfo -class trimesh -n 50000
 //	stsinfo -suite D5 -n 100000
 //	stsinfo -file matrix.mtx
+//	stsinfo -class grid3d -n 50000 -json | jq '.methods[].numPacks'
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,13 +21,37 @@ import (
 	"stsk"
 )
 
+// matrixJSON and methodJSON shape the -json document; field names are
+// part of the tool's output contract.
+type matrixJSON struct {
+	N          int     `json:"n"`
+	NNZ        int     `json:"nnz"`
+	RowDensity float64 `json:"rowDensity"`
+}
+
+type methodJSON struct {
+	Method          string  `json:"method"`
+	NumPacks        int     `json:"numPacks"`
+	Rows            int     `json:"rows"`
+	NNZ             int64   `json:"nnz"`
+	MeanRowsPerPack float64 `json:"meanRowsPerPack"`
+	LargestPackRows int     `json:"largestPackRows"`
+	WorkShareTop5   float64 `json:"workShareTop5"`
+}
+
+type infoJSON struct {
+	Matrix  matrixJSON   `json:"matrix"`
+	Methods []methodJSON `json:"methods"`
+}
+
 func main() {
 	var (
-		class = flag.String("class", "", "synthetic matrix class (grid2d, grid3d, kkt3d, fem3d, rgg, trimesh, quaddual, roadnet)")
-		suite = flag.String("suite", "", "paper suite id (G1, D1, S1, D2..D10)")
-		file  = flag.String("file", "", "Matrix Market file")
-		n     = flag.Int("n", 20000, "target rows for generated matrices")
-		rps   = flag.Int("rows-per-super", 0, "super-row size for k-level methods (0 = default 80)")
+		class  = flag.String("class", "", "synthetic matrix class (grid2d, grid3d, kkt3d, fem3d, rgg, trimesh, quaddual, roadnet)")
+		suite  = flag.String("suite", "", "paper suite id (G1, D1, S1, D2..D10)")
+		file   = flag.String("file", "", "Matrix Market file")
+		n      = flag.Int("n", 20000, "target rows for generated matrices")
+		rps    = flag.Int("rows-per-super", 0, "super-row size for k-level methods (0 = default 80)")
+		asJSON = flag.Bool("json", false, "emit the matrix and per-method Plan.Stats as JSON")
 	)
 	flag.Parse()
 
@@ -32,17 +60,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stsinfo:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("matrix: n=%d nnz=%d nnz/n=%.2f\n\n", mat.N(), mat.NNZ(), mat.RowDensity())
-	fmt.Printf("%-9s %10s %16s %14s %14s\n", "method", "packs", "rows/pack", "largest pack", "top-5 share")
+	info := infoJSON{Matrix: matrixJSON{N: mat.N(), NNZ: mat.NNZ(), RowDensity: mat.RowDensity()}}
 	for _, m := range stsk.Methods() {
-		p, err := stsk.Build(mat, m, stsk.BuildOptions{RowsPerSuper: *rps})
+		p, err := stsk.Build(mat, m, stsk.WithRowsPerSuper(*rps))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stsinfo: %v: %v\n", m, err)
 			os.Exit(1)
 		}
 		st := p.Stats()
+		info.Methods = append(info.Methods, methodJSON{
+			Method:          m.String(),
+			NumPacks:        st.NumPacks,
+			Rows:            st.Rows,
+			NNZ:             st.NNZ,
+			MeanRowsPerPack: st.MeanRowsPerPack,
+			LargestPackRows: st.LargestPackRows,
+			WorkShareTop5:   st.WorkShareTop5,
+		})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(info); err != nil {
+			fmt.Fprintln(os.Stderr, "stsinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("matrix: n=%d nnz=%d nnz/n=%.2f\n\n", info.Matrix.N, info.Matrix.NNZ, info.Matrix.RowDensity)
+	fmt.Printf("%-9s %10s %16s %14s %14s\n", "method", "packs", "rows/pack", "largest pack", "top-5 share")
+	for _, st := range info.Methods {
 		fmt.Printf("%-9v %10d %16.1f %14d %13.1f%%\n",
-			m, st.NumPacks, st.MeanRowsPerPack, st.LargestPackRows, st.WorkShareTop5*100)
+			st.Method, st.NumPacks, st.MeanRowsPerPack, st.LargestPackRows, st.WorkShareTop5*100)
 	}
 }
 

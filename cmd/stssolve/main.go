@@ -7,21 +7,28 @@
 // and compares the four solve paths: one-shot (fresh goroutines per
 // solve), pooled (persistent Solver, pack-parallel per RHS), batched
 // (persistent Solver, one worker pipelining each RHS through the packs),
-// and streamed (batch semantics over a channel, results in input order).
+// and streamed (the SolveSeq iterator, results in input order).
+//
+// -timeout bounds the whole run with a context deadline: an expired
+// deadline cancels the in-flight batch or stream, which reports
+// context.DeadlineExceeded and exits — the cancellation path a service
+// embedding this library would take.
 //
 // Usage:
 //
 //	stssolve -class trimesh -n 100000 -method sts3 -workers 8
 //	stssolve -file matrix.mtx -method csr-col -repeats 20
-//	stssolve -class grid3d -n 100000 -rhs 256
+//	stssolve -class grid3d -n 100000 -rhs 256 -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -37,10 +44,18 @@ func main() {
 		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		repeats = flag.Int("repeats", 10, "timed solve repetitions (averaged, as in §4.1)")
 		rhs     = flag.Int("rhs", 0, "stream this many right-hand sides through the solve engines instead of the single-RHS run")
+		timeout = flag.Duration("timeout", 0, "overall deadline for the solve phase (0 = none)")
 		machine = flag.String("machine", "intel", "topology for modeled cycles (intel, amd, uma)")
 		cores   = flag.Int("cores", 16, "modeled cores")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	m, err := parseMethod(*method)
 	if err != nil {
@@ -73,7 +88,7 @@ func main() {
 		plan.Method(), plan.NumPacks(), time.Since(buildStart).Round(time.Microsecond))
 
 	if *rhs > 0 {
-		runMultiRHS(plan, *rhs, *workers)
+		runMultiRHS(ctx, plan, *rhs, *workers)
 		return
 	}
 
@@ -84,15 +99,17 @@ func main() {
 	b := plan.RHSFor(xTrue)
 
 	// Warm-up + correctness.
-	x, err := plan.SolveWith(b, stsk.SolveOptions{Workers: *workers})
+	x, err := plan.SolveWith(b, stsk.WithWorkers(*workers))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("residual: %.3g\n", plan.Residual(x, b))
 
+	solver := plan.NewSolver(stsk.WithWorkers(*workers))
+	defer solver.Close()
 	start := time.Now()
 	for i := 0; i < *repeats; i++ {
-		if x, err = plan.SolveWith(b, stsk.SolveOptions{Workers: *workers}); err != nil {
+		if err = solver.SolveIntoCtx(ctx, x, b); err != nil {
 			fatal(err)
 		}
 	}
@@ -111,8 +128,9 @@ func main() {
 // four ways and reports throughput: the one-shot path (goroutines spawned
 // per solve), the pooled path (persistent Solver, whole pool per RHS),
 // the batched path (persistent Solver, RHSs pipelined one per worker),
-// and the streamed path (SolveMany over a channel).
-func runMultiRHS(plan *stsk.Plan, n, workers int) {
+// and the streamed path (the SolveSeq iterator, results in input order).
+// All paths run under ctx, so a -timeout deadline cancels them mid-batch.
+func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int) {
 	w := workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -127,23 +145,24 @@ func runMultiRHS(plan *stsk.Plan, n, workers int) {
 	}
 	fmt.Printf("streaming %d right-hand sides, %d workers\n", n, w)
 
-	solver := plan.NewSolver(stsk.SolveOptions{Workers: w})
+	solver := plan.NewSolver(stsk.WithWorkers(w))
 	defer solver.Close()
 
 	// One-shot: the Plan.SolveWith path, fresh goroutines per solve.
 	start := time.Now()
 	for _, b := range B {
-		if _, err := plan.SolveWith(b, stsk.SolveOptions{Workers: w}); err != nil {
+		if _, err := plan.SolveWith(b, stsk.WithWorkers(w)); err != nil {
 			fatal(err)
 		}
 	}
 	oneShot := time.Since(start)
 
-	// Pooled: same pack-parallel solve per RHS, parked workers reused.
+	// Pooled: same pack-parallel solve per RHS, parked workers reused and
+	// the solution buffer too — no per-solve allocation in the timed loop.
 	x := make([]float64, plan.N())
 	start = time.Now()
 	for _, b := range B {
-		if err := solver.SolveInto(x, b); err != nil {
+		if err := solver.SolveIntoCtx(ctx, x, b); err != nil {
 			fatal(err)
 		}
 	}
@@ -151,22 +170,16 @@ func runMultiRHS(plan *stsk.Plan, n, workers int) {
 
 	// Batched: each RHS swept by one worker, no barriers, RHSs pipelined.
 	start = time.Now()
-	X, err := solver.SolveBatch(B)
+	X, err := solver.SolveBatchCtx(ctx, B)
 	if err != nil {
 		fatal(err)
 	}
 	batched := time.Since(start)
 
-	// Streaming: batch semantics over a channel, results in input order.
-	bs := make(chan []float64, 16)
-	go func() {
-		for _, b := range B {
-			bs <- b
-		}
-		close(bs)
-	}()
+	// Streamed: the SolveSeq iterator — batch semantics, results ranged
+	// over in input order with no channel boilerplate.
 	start = time.Now()
-	for res := range solver.SolveMany(bs) {
+	for _, res := range solver.SolveSeq(ctx, slices.Values(B)) {
 		if res.Err != nil {
 			fatal(res.Err)
 		}

@@ -1,0 +1,381 @@
+package stsk
+
+// Context-cancellation and sentinel-error tests for the v2 facade: a
+// cancelled batch returns context.Canceled and leaves the Solver
+// reusable, SolveSeq streams in order and survives early breaks, and
+// every failure mode matches its sentinel via errors.Is.
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+	"time"
+)
+
+func testPlan(t *testing.T, class string, n, rowsPerSuper int) *Plan {
+	t.Helper()
+	mat, err := Generate(class, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(mat, STS3, WithRowsPerSuper(rowsPerSuper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestSolveBatchCtxCancelledLeavesSolverReusable is the acceptance test:
+// a cancelled SolveBatchCtx returns context.Canceled and the Solver keeps
+// serving solves afterwards. The pre-cancelled case is deterministic; the
+// mid-batch case cancels while a large batch is in flight.
+func TestSolveBatchCtxCancelledLeavesSolverReusable(t *testing.T) {
+	plan := testPlan(t, "grid2d", 500, 8)
+	B, want := manufactured(t, plan, 8, 71)
+	solver := plan.NewSolver(WithWorkers(2))
+	defer solver.Close()
+
+	// Deterministic: the context is dead before dispatch begins.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := solver.SolveBatchCtx(ctx, B); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-batch: a batch of thousands of unbuffered dispatches, cancelled
+	// from another goroutine. Scheduling jitter can delay the cancel past
+	// a fast batch, so shrink the delay until the cancel lands mid-flight
+	// — every attempt asserts the full contract either way.
+	big := make([][]float64, 8192)
+	for i := range big {
+		big[i] = B[i%len(B)]
+	}
+	cancelled := false
+	for delay := 2 * time.Millisecond; delay >= 0 && !cancelled; delay /= 2 {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		_, err := solver.SolveBatchCtx(ctx, big)
+		switch {
+		case errors.Is(err, context.Canceled):
+			cancelled = true
+		case err == nil:
+			// Batch won the race; try again with a faster cancel.
+		default:
+			t.Fatalf("mid-batch cancel: err = %v, want context.Canceled or nil", err)
+		}
+		if delay == 0 {
+			break
+		}
+	}
+	if !cancelled {
+		t.Fatal("cancel never interrupted the batch, even immediately")
+	}
+
+	// The Solver (and its pool) must be fully usable afterwards.
+	x, err := solver.Solve(B[0])
+	if err != nil {
+		t.Fatalf("solver unusable after cancelled batch: %v", err)
+	}
+	assertExact(t, "post-cancel solve", x, want[0])
+	X, err := solver.SolveBatch(B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range X {
+		assertExact(t, "post-cancel batch", X[r], want[r])
+	}
+}
+
+func TestSolveCtxAndSolveUpperCtxHonorDeadline(t *testing.T) {
+	plan := testPlan(t, "grid2d", 500, 8)
+	b := make([]float64, plan.N())
+	solver := plan.NewSolver(WithWorkers(2))
+	defer solver.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := solver.SolveCtx(ctx, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveCtx: err = %v, want DeadlineExceeded", err)
+	}
+	if _, err := solver.SolveUpperCtx(ctx, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveUpperCtx: err = %v, want DeadlineExceeded", err)
+	}
+	if _, err := solver.Solve(b); err != nil {
+		t.Fatalf("solver unusable after expired-deadline solves: %v", err)
+	}
+}
+
+func TestSolveManyCtxMidStreamCancel(t *testing.T) {
+	plan := testPlan(t, "grid3d", 800, 8)
+	B, want := manufactured(t, plan, 3, 37)
+	solver := plan.NewSolver(WithWorkers(2))
+	defer solver.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bs := make(chan []float64)
+	go func() {
+		// An endless producer: only cancellation ends this stream.
+		for i := 0; ; i++ {
+			select {
+			case bs <- B[i%len(B)]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := solver.SolveManyCtx(ctx, bs)
+	first, ok := <-out
+	if !ok || first.Err != nil {
+		t.Fatalf("first result: %+v ok=%v", first, ok)
+	}
+	assertExact(t, "first streamed", first.X, want[0])
+	cancel()
+
+	var last SolveResult
+	for r := range out {
+		last = r
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Fatalf("stream ended with %v, want context.Canceled", last.Err)
+	}
+	x, err := solver.Solve(B[1])
+	if err != nil {
+		t.Fatalf("solver unusable after cancelled stream: %v", err)
+	}
+	assertExact(t, "post-cancel solve", x, want[1])
+}
+
+// TestSolveManyCloseDrainsProducer guards the stream's abandonment
+// semantics: when the Solver is closed mid-stream (no context involved),
+// the dispatch loop must keep draining the input channel — reporting
+// ErrClosed per vector — so a producer that never watches a context is
+// not stranded blocked on a send.
+func TestSolveManyCloseDrainsProducer(t *testing.T) {
+	plan := testPlan(t, "grid2d", 400, 8)
+	B, _ := manufactured(t, plan, 2, 53)
+	solver := plan.NewSolver(WithWorkers(2))
+
+	const total = 50
+	bs := make(chan []float64) // unbuffered: a stranded producer would hang
+	produced := make(chan struct{})
+	go func() {
+		defer close(produced)
+		for i := 0; i < total; i++ {
+			bs <- B[i%len(B)]
+		}
+		close(bs)
+	}()
+	out := solver.SolveMany(bs)
+	first, ok := <-out
+	if !ok || first.Err != nil {
+		t.Fatalf("first result: %+v ok=%v", first, ok)
+	}
+	solver.Close()
+
+	// Every produced vector still gets a result (later ones ErrClosed),
+	// the producer runs to completion, and the stream terminates.
+	got, closedErrs := 1, 0
+	for r := range out {
+		got++
+		if errors.Is(r.Err, ErrClosed) {
+			closedErrs++
+		} else if r.Err != nil {
+			t.Fatalf("unexpected error: %v", r.Err)
+		}
+	}
+	if got != total {
+		t.Fatalf("received %d results, want %d", got, total)
+	}
+	if closedErrs == 0 {
+		t.Fatal("expected at least one ErrClosed result after Close")
+	}
+	select {
+	case <-produced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer stranded: input channel no longer drained")
+	}
+}
+
+func TestSolveSeqOrderedResults(t *testing.T) {
+	plan := testPlan(t, "grid3d", 900, 8)
+	B, want := manufactured(t, plan, 24, 43)
+	solver := plan.NewSolver(WithWorkers(3))
+	defer solver.Close()
+	seen := 0
+	for i, res := range solver.SolveSeq(context.Background(), slices.Values(B)) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if i != seen {
+			t.Fatalf("index %d out of order (want %d)", i, seen)
+		}
+		assertExact(t, "seq", res.X, want[i])
+		seen++
+	}
+	if seen != len(B) {
+		t.Fatalf("iterated %d results, want %d", seen, len(B))
+	}
+}
+
+func TestSolveSeqEarlyBreakReleasesPool(t *testing.T) {
+	plan := testPlan(t, "grid3d", 900, 8)
+	B, want := manufactured(t, plan, 64, 47)
+	solver := plan.NewSolver(WithWorkers(3))
+	defer solver.Close()
+	for i, res := range solver.SolveSeq(context.Background(), slices.Values(B)) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if i == 2 {
+			break // must cancel the stream, not deadlock the pool
+		}
+	}
+	// The pool must be free for new work immediately.
+	x, err := solver.Solve(B[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, "post-break solve", x, want[0])
+}
+
+func TestDimensionSentinelAcrossFacade(t *testing.T) {
+	plan := testPlan(t, "grid2d", 400, 8)
+	short := make([]float64, plan.N()-3)
+	full := make([]float64, plan.N())
+	if _, err := plan.Solve(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Plan.Solve: %v", err)
+	}
+	if _, err := plan.SolveUpper(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Plan.SolveUpper: %v", err)
+	}
+	if _, err := plan.SolveWith(short, WithWorkers(2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Plan.SolveWith: %v", err)
+	}
+	if _, err := plan.SolveUpperWith(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Plan.SolveUpperWith: %v", err)
+	}
+	if _, err := plan.SolveSequential(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Plan.SolveSequential: %v", err)
+	}
+	solver := plan.NewSolver(WithWorkers(2))
+	defer solver.Close()
+	if _, err := solver.Solve(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.Solve: %v", err)
+	}
+	if _, err := solver.SolveUpper(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveUpper: %v", err)
+	}
+	if _, err := solver.ApplySGS(short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.ApplySGS: %v", err)
+	}
+	// One bad vector fails the whole batch before any dispatch.
+	if _, err := solver.SolveBatch([][]float64{full, short, full}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveBatch: %v", err)
+	}
+	// The Into-variants validate the same way, including solution vectors.
+	if err := solver.SolveInto(short, full); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveInto: %v", err)
+	}
+	if err := solver.SolveIntoCtx(context.Background(), full, short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveIntoCtx: %v", err)
+	}
+	if err := solver.SolveUpperInto(full, short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveUpperInto: %v", err)
+	}
+	if err := solver.ApplySGSInto(short, full); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.ApplySGSInto: %v", err)
+	}
+	other := make([]float64, plan.N())
+	if err := solver.SolveBatchInto([][]float64{other, short}, [][]float64{full, full}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveBatchInto short solution: %v", err)
+	}
+	// Untouched: validation failed before any dispatch.
+	for i := range other {
+		if other[i] != 0 {
+			t.Fatal("SolveBatchInto wrote output despite failed validation")
+		}
+	}
+	if err := solver.SolveUpperBatchInto([][]float64{full}, [][]float64{full, full}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Solver.SolveUpperBatchInto length mismatch: %v", err)
+	}
+	// Preconditioners validate too.
+	if err := NewJacobi(plan).Apply(full, short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Jacobi.Apply: %v", err)
+	}
+	if err := NewSGS(solver).Apply(full, short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("SGS.Apply: %v", err)
+	}
+}
+
+func TestClosedSentinelAcrossFacade(t *testing.T) {
+	plan := testPlan(t, "grid2d", 400, 8)
+	solver := plan.NewSolver(WithWorkers(2))
+	b := make([]float64, plan.N())
+	solver.Close()
+	if _, err := solver.Solve(b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Solve after Close: %v", err)
+	}
+	if _, err := solver.SolveCtx(context.Background(), b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SolveCtx after Close: %v", err)
+	}
+	if _, err := solver.SolveBatchCtx(context.Background(), [][]float64{b}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SolveBatchCtx after Close: %v", err)
+	}
+}
+
+// TestPreconditionersMatchManualApplications pins the Preconditioner
+// implementations to their definitions through the public API.
+func TestPreconditionersMatchManualApplications(t *testing.T) {
+	plan := testPlan(t, "grid3d", 700, 8)
+	solver := plan.NewSolver(WithWorkers(2))
+	defer solver.Close()
+	r := make([]float64, plan.N())
+	for i := range r {
+		r[i] = float64(i%9) - 4
+	}
+
+	// Jacobi: z = r / diag.
+	z := make([]float64, plan.N())
+	if err := NewJacobi(plan).Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Diagonal()
+	for i := range z {
+		if z[i] != r[i]/d[i] {
+			t.Fatalf("jacobi mismatch at %d", i)
+		}
+	}
+
+	// SGS: must equal Solver.ApplySGS bitwise.
+	want, err := solver.ApplySGS(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSGS(solver).Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, "sgs precond", z, want)
+
+	// IC(0): must equal the factor plan's two sweeps bitwise.
+	ic, err := NewIC0(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ic.Close()
+	y, err := ic.Factor().SolveSequential(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantZ := make([]float64, plan.N())
+	if err := ic.solver.SolveUpperInto(wantZ, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Apply(z, r); err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, "ic0 precond", z, wantZ)
+}

@@ -1,0 +1,33 @@
+package stsk
+
+import (
+	"errors"
+	"fmt"
+
+	"stsk/internal/solve"
+)
+
+// Sentinel errors of the v2 API. All of them are stable values matched
+// with errors.Is; the concrete errors returned by the facade, the solve
+// engine, and the krylov package wrap them with call-site detail.
+var (
+	// ErrClosed reports a solve issued on a Solver after Close. It is the
+	// same value the internal engine returns, so errors.Is matches no
+	// matter which layer surfaced it.
+	ErrClosed = solve.ErrClosed
+
+	// ErrDimension reports a right-hand-side, solution, or batch whose
+	// length does not match the plan's system. The facade validates
+	// eagerly — a short vector is rejected here instead of faulting deep
+	// inside a solve kernel.
+	ErrDimension = solve.ErrDimension
+
+	// ErrNotConverged reports an iterative method (krylov.CG) that
+	// exhausted its iteration budget before reaching its tolerance.
+	ErrNotConverged = errors.New("stsk: iteration did not converge")
+)
+
+// dimErr details a two-vector length mismatch against the system size.
+func dimErr(zlen, rlen, n int) error {
+	return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, zlen, rlen, n)
+}

@@ -1,19 +1,24 @@
 // Preconditioned conjugate gradient — the application that motivates fast
-// sparse triangular solution (paper §1). The symmetric Gauss–Seidel
-// preconditioner M = L D⁻¹ Lᵀ is applied once per iteration as a
-// pack-parallel STS-3 forward solve followed by a backward solve, so the
-// triangular solution dominates each iteration exactly as in a production
-// PCG. Every iteration's solves run on one persistent stsk.Solver per
-// plan, so the worker pool is spawned once for the whole Krylov loop
-// rather than twice per iteration.
+// sparse triangular solution (paper §1) — built on the library's krylov
+// package. Each preconditioner application is one or two pack-parallel
+// STS-3 triangular sweeps on a persistent stsk.Solver, so the triangular
+// solution dominates each iteration exactly as in a production PCG.
+//
+// The example sweeps the built-in preconditioners (Jacobi, symmetric
+// Gauss–Seidel, incomplete Cholesky IC(0)) against unpreconditioned CG,
+// watching convergence through a per-iteration callback, and bounds the
+// whole run with a context deadline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"stsk"
+	"stsk/krylov"
 )
 
 func main() {
@@ -26,7 +31,7 @@ func main() {
 		log.Fatal(err)
 	}
 	n := plan.N()
-	fmt.Printf("PCG on %d unknowns (%d nnz), SGS preconditioner via STS-3 triangular solves\n",
+	fmt.Printf("PCG on %d unknowns (%d nnz), preconditioners via STS-3 triangular solves\n",
 		n, mat.NNZ())
 
 	// Manufactured problem: A′ xTrue = rhs.
@@ -37,136 +42,54 @@ func main() {
 	rhs := make([]float64, n)
 	plan.ApplySymmetric(rhs, xTrue)
 
-	// One persistent solve engine serves every preconditioner application.
+	// One persistent solve engine serves every SGS application; IC(0)
+	// holds its own pool over the factor plan.
 	solver := plan.NewSolver()
 	defer solver.Close()
-
-	x, iters, err := pcg(plan, solver, rhs, 1e-10, 500)
+	ic0, err := stsk.NewIC0(plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	maxErr := 0.0
-	for i := range x {
-		if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
-			maxErr = e
+	defer ic0.Close()
+
+	// The whole Krylov run is bounded by one deadline; a production
+	// service would pass its request context here instead.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var baseline int
+	for _, pc := range []struct {
+		name    string
+		precond stsk.Preconditioner // nil = unpreconditioned
+	}{
+		{"unpreconditioned", nil},
+		{"Jacobi", stsk.NewJacobi(plan)},
+		{"SGS", stsk.NewSGS(solver)},
+		{"IC(0)", ic0},
+	} {
+		trace := func(it krylov.Iteration) {
+			if it.K%25 == 0 {
+				fmt.Printf("  %-17s iter %4d  rel.residual %.3e\n", pc.name, it.K, it.Residual)
+			}
 		}
-	}
-	fmt.Printf("SGS-preconditioned CG: %d iterations, max error %.3g\n", iters, maxErr)
-
-	// A stronger preconditioner: incomplete Cholesky IC(0). Both of its
-	// triangular sweeps run pack-parallel on the same STS-3 structure.
-	ic, err := plan.IC0()
-	if err != nil {
-		log.Fatal(err)
-	}
-	icSolver := ic.NewSolver()
-	defer icSolver.Close()
-	_, icIters, err := pcgIC(plan, icSolver, rhs, 1e-10, 500)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("IC(0)-preconditioned CG: %d iterations\n", icIters)
-
-	// The same system without preconditioning needs many more iterations —
-	// each saved iteration is two triangular solves the paper makes cheap.
-	_, plain, err := cgUnpreconditioned(plan, rhs, 1e-10, 5000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("unpreconditioned CG: %d iterations (%.1fx more than SGS)\n",
-		plain, float64(plain)/float64(iters))
-}
-
-// pcgIC is pcg with the IC(0) preconditioner M = L̂·L̂ᵀ: forward solve on
-// the factor plan's persistent solver, then its pack-parallel backward
-// solve — both sweeps on the same parked worker pool.
-func pcgIC(plan *stsk.Plan, icSolver *stsk.Solver, b []float64, tol float64, maxIter int) ([]float64, int, error) {
-	apply := func(r []float64) ([]float64, error) {
-		y, err := icSolver.Solve(r)
+		x, stats, err := krylov.CG(ctx, plan, rhs,
+			krylov.WithPreconditioner(pc.precond),
+			krylov.WithTolerance(1e-10),
+			krylov.WithMaxIterations(5000),
+			krylov.WithCallback(trace))
 		if err != nil {
-			return nil, err
+			log.Fatalf("%s: %v", pc.name, err)
 		}
-		return icSolver.SolveUpper(y)
-	}
-	return pcgWith(plan, apply, b, tol, maxIter)
-}
-
-// pcg solves A′x = b with symmetric Gauss-Seidel preconditioning applied
-// by the plan's persistent solver.
-func pcg(plan *stsk.Plan, solver *stsk.Solver, b []float64, tol float64, maxIter int) ([]float64, int, error) {
-	return pcgWith(plan, solver.ApplySGS, b, tol, maxIter)
-}
-
-// pcgWith solves A′x = b with an arbitrary preconditioner application.
-func pcgWith(plan *stsk.Plan, applyM func([]float64) ([]float64, error), b []float64, tol float64, maxIter int) ([]float64, int, error) {
-	n := len(b)
-	x := make([]float64, n)
-	r := append([]float64(nil), b...)
-	z, err := applyM(r)
-	if err != nil {
-		return nil, 0, err
-	}
-	p := append([]float64(nil), z...)
-	ap := make([]float64, n)
-	rz := dot(r, z)
-	bnorm := math.Sqrt(dot(b, b))
-	for it := 1; it <= maxIter; it++ {
-		plan.ApplySymmetric(ap, p)
-		alpha := rz / dot(p, ap)
-		axpy(x, alpha, p)
-		axpy(r, -alpha, ap)
-		if math.Sqrt(dot(r, r)) <= tol*bnorm {
-			return x, it, nil
+		maxErr := 0.0
+		for i := range x {
+			if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
+				maxErr = e
+			}
 		}
-		if z, err = applyM(r); err != nil {
-			return nil, it, err
+		if pc.precond == nil {
+			baseline = stats.Iterations
 		}
-		rzNew := dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	return x, maxIter, fmt.Errorf("pcg: no convergence in %d iterations", maxIter)
-}
-
-func cgUnpreconditioned(plan *stsk.Plan, b []float64, tol float64, maxIter int) ([]float64, int, error) {
-	n := len(b)
-	x := make([]float64, n)
-	r := append([]float64(nil), b...)
-	p := append([]float64(nil), r...)
-	ap := make([]float64, n)
-	rr := dot(r, r)
-	bnorm := math.Sqrt(dot(b, b))
-	for it := 1; it <= maxIter; it++ {
-		plan.ApplySymmetric(ap, p)
-		alpha := rr / dot(p, ap)
-		axpy(x, alpha, p)
-		axpy(r, -alpha, ap)
-		rrNew := dot(r, r)
-		if math.Sqrt(rrNew) <= tol*bnorm {
-			return x, it, nil
-		}
-		beta := rrNew / rr
-		rr = rrNew
-		for i := range p {
-			p[i] = r[i] + beta*p[i]
-		}
-	}
-	return x, maxIter, fmt.Errorf("cg: no convergence in %d iterations", maxIter)
-}
-
-func dot(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
-}
-
-func axpy(y []float64, alpha float64, x []float64) {
-	for i := range y {
-		y[i] += alpha * x[i]
+		fmt.Printf("%-17s %4d iterations (%.1fx vs plain CG), max error %.3g\n",
+			pc.name, stats.Iterations, float64(baseline)/float64(stats.Iterations), maxErr)
 	}
 }

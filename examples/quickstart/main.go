@@ -19,7 +19,9 @@ func main() {
 
 	// Build the paper's scheme: colouring packs over super-rows with
 	// in-pack DAR reordering (STS-3), and solve for a manufactured b.
-	plan, err := stsk.Build(mat, stsk.STS3)
+	// Every entry point takes the same functional options — here the
+	// paper's Intel super-row size, explicitly.
+	plan, err := stsk.Build(mat, stsk.STS3, stsk.WithRowsPerSuper(80))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,7 @@ func TestSolveUpperParallelCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, method := range Methods() {
-		p, err := Build(m, method, BuildOptions{RowsPerSuper: 10})
+		p, err := Build(m, method, WithRowsPerSuper(10))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestIC0FactorPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Build(m, STS3, BuildOptions{RowsPerSuper: 12})
+	p, err := Build(m, STS3, WithRowsPerSuper(12))
 	if err != nil {
 		t.Fatal(err)
 	}

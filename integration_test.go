@@ -31,7 +31,7 @@ func TestEndToEndMatrixMarketPipeline(t *testing.T) {
 		t.Fatalf("round trip changed n: %d vs %d", mat.N(), a.N)
 	}
 	for _, method := range Methods() {
-		plan, err := Build(mat, method, BuildOptions{RowsPerSuper: 12})
+		plan, err := Build(mat, method, WithRowsPerSuper(12))
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -40,7 +40,7 @@ func TestEndToEndMatrixMarketPipeline(t *testing.T) {
 			xTrue[i] = math.Cos(float64(i))
 		}
 		b := plan.RHSFor(xTrue)
-		x, err := plan.SolveWith(b, SolveOptions{Workers: 4})
+		x, err := plan.SolveWith(b, WithWorkers(4))
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -64,7 +64,7 @@ func TestEndToEndPCGWithIC0(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 10})
+	plan, err := Build(mat, STS3, WithRowsPerSuper(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,16 +139,16 @@ func dotf(a, b []float64) float64 {
 	return s
 }
 
-func TestBuildOptionsExtensions(t *testing.T) {
+func TestBuildOrderingOptionExtensions(t *testing.T) {
 	mat, err := Generate("trimesh", 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k4, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8, Levels: 4})
+	k4, err := Build(mat, STS3, WithRowsPerSuper(8), WithLevels(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sloan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8, SloanInPack: true})
+	sloan, err := Build(mat, STS3, WithRowsPerSuper(8), WithSloanInPack())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestBuildOptionsExtensions(t *testing.T) {
 			t.Fatalf("residual %g", r)
 		}
 	}
-	if _, err := Build(mat, CSRLS, BuildOptions{Levels: 4}); err == nil {
+	if _, err := Build(mat, CSRLS, WithLevels(4)); err == nil {
 		t.Fatal("row-level method accepted Levels=4")
 	}
 }

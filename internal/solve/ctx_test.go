@@ -1,0 +1,151 @@
+package solve
+
+// Engine-level context-cancellation and sentinel-error tests. The facade
+// tests in the stsk package cover the same semantics one layer up; these
+// pin the engine contract directly.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stsk/internal/gen"
+	"stsk/internal/order"
+)
+
+func TestEngineBatchCtxPreCancelled(t *testing.T) {
+	p := planFor(t, gen.Grid2D(20, 20), order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	defer e.Close()
+	B, want := randomRHS(p, 4, 5)
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, p.S.L.N)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.SolveBatchIntoCtx(ctx, X, B); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// No job was dispatched, so no solution vector may have been touched.
+	for i := range X {
+		for j := range X[i] {
+			if X[i][j] != 0 {
+				t.Fatalf("rhs %d written despite pre-cancelled context", i)
+			}
+		}
+	}
+	// The engine stays fully usable.
+	if err := e.SolveBatchInto(X, B); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		assertBitwise(t, "post-cancel batch", X[i], want[i])
+	}
+}
+
+func TestEngineCoopCtxDeadline(t *testing.T) {
+	p := planFor(t, gen.Grid2D(20, 20), order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	defer e.Close()
+	b := make([]float64, p.S.L.N)
+	x := make([]float64, p.S.L.N)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := e.SolveIntoCtx(ctx, x, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forward: err = %v, want DeadlineExceeded", err)
+	}
+	if err := e.SolveUpperIntoCtx(ctx, x, b); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("backward: err = %v, want DeadlineExceeded", err)
+	}
+	if err := e.SolveInto(x, b); err != nil {
+		t.Fatalf("engine unusable after expired-deadline solves: %v", err)
+	}
+}
+
+func TestEngineSolveManyCtxMidStreamCancel(t *testing.T) {
+	p := planFor(t, gen.Grid3D(6, 6, 6), order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	defer e.Close()
+	B, want := randomRHS(p, 3, 23)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bs := make(chan []float64)
+	go func() {
+		// Feed forever; only cancellation ends this stream.
+		for i := 0; ; i++ {
+			select {
+			case bs <- B[i%len(B)]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	out := e.SolveManyCtx(ctx, bs)
+	first, ok := <-out
+	if !ok || first.Err != nil {
+		t.Fatalf("first result: %+v ok=%v", first, ok)
+	}
+	assertBitwise(t, "first streamed", first.X, want[0])
+	cancel()
+
+	// The in-flight tail drains, then a final result carries ctx.Err()
+	// and the channel closes — even though bs never closes.
+	var last Result
+	n := 0
+	for r := range out {
+		last = r
+		n++
+		if n > 4*e.Workers()+4 {
+			t.Fatal("stream did not terminate after cancellation")
+		}
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Fatalf("last result err = %v, want context.Canceled", last.Err)
+	}
+
+	// The pool is unaffected: a fresh solve still works.
+	x := make([]float64, p.S.L.N)
+	if err := e.SolveInto(x, B[1]); err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "post-cancel solve", x, want[1])
+}
+
+func TestEngineDimensionSentinel(t *testing.T) {
+	p := planFor(t, gen.Grid2D(12, 12), order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	defer e.Close()
+	n := p.S.L.N
+	short := make([]float64, n-1)
+	full := make([]float64, n)
+	if err := e.SolveInto(full, short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("coop short rhs: %v", err)
+	}
+	if err := e.SolveBatchInto([][]float64{full}, [][]float64{short}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("batch short rhs: %v", err)
+	}
+	if err := e.SolveBatchInto([][]float64{full}, [][]float64{full, full}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("batch length mismatch: %v", err)
+	}
+	if _, err := Sequential(p.S, short); !errors.Is(err, ErrDimension) {
+		t.Fatalf("sequential short rhs: %v", err)
+	}
+}
+
+func TestEngineClosedSentinel(t *testing.T) {
+	p := planFor(t, gen.Grid2D(12, 12), order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	e.Close()
+	b := make([]float64, p.S.L.N)
+	x := make([]float64, p.S.L.N)
+	if err := e.SolveInto(x, b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("coop after close: %v", err)
+	}
+	if err := e.SolveBatchInto([][]float64{x}, [][]float64{b}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close: %v", err)
+	}
+}

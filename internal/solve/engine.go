@@ -1,6 +1,8 @@
 package solve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,8 +11,16 @@ import (
 	"stsk/internal/sparse"
 )
 
-// ErrClosed is returned by every Engine method after Close.
-var ErrClosed = fmt.Errorf("solve: engine closed")
+// Sentinel errors of the solve layer. Both are re-exported by the stsk
+// facade (stsk.ErrClosed, stsk.ErrDimension) so callers can match them
+// with errors.Is no matter which layer produced them.
+var (
+	// ErrClosed is returned by every Engine method after Close.
+	ErrClosed = errors.New("solve: engine closed")
+
+	// ErrDimension is wrapped by every vector/batch length check.
+	ErrDimension = errors.New("solve: dimension mismatch")
+)
 
 // Engine is a reusable pack-parallel triangular solver bound to one
 // csrk.Structure. Where Parallel spins up fresh goroutines for every
@@ -160,6 +170,23 @@ func (e *Engine) submit(j job) error {
 	return nil
 }
 
+// submitCtx is submit racing the context: when every worker is busy and
+// the caller is cancelled while waiting for a pool slot, it gives up and
+// returns ctx.Err() instead of blocking until a worker frees up.
+func (e *Engine) submitCtx(ctx context.Context, j job) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // worker is the parked pool goroutine: it sleeps on the job channel and
 // runs whatever share of work arrives. scratch is the worker's lazily
 // allocated private vector for fused two-sweep jobs.
@@ -186,7 +213,7 @@ func (e *Engine) worker() {
 func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
 	n := e.l.N
 	if len(w.b) != n || len(w.x) != n {
-		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(w.x), len(w.b), n)
+		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(w.x), len(w.b), n)
 	}
 	switch w.kind {
 	case sweepForward:
@@ -257,7 +284,16 @@ func (e *Engine) Solve(b []float64) ([]float64, error) {
 // SolveInto solves L′x = b into a caller-provided vector: all pool workers
 // sweep the packs together under the engine's schedule.
 func (e *Engine) SolveInto(x, b []float64) error {
-	return e.coopSolve(x, b, false)
+	return e.coopSolve(context.Background(), x, b, false)
+}
+
+// SolveIntoCtx is SolveInto honoring a context: the deadline/cancellation
+// is checked before the solve is dispatched (and again after any wait for
+// an earlier cooperative solve), returning ctx.Err() instead of starting.
+// A sweep already dispatched always runs to completion — the pack loop is
+// not preempted mid-solve.
+func (e *Engine) SolveIntoCtx(ctx context.Context, x, b []float64) error {
+	return e.coopSolve(ctx, x, b, false)
 }
 
 // SolveUpper solves L′ᵀx = b cooperatively and returns x.
@@ -272,15 +308,27 @@ func (e *Engine) SolveUpper(b []float64) ([]float64, error) {
 // SolveUpperInto solves L′ᵀx = b into a caller-provided vector, sweeping
 // the packs in reverse order.
 func (e *Engine) SolveUpperInto(x, b []float64) error {
-	return e.coopSolve(x, b, true)
+	return e.coopSolve(context.Background(), x, b, true)
+}
+
+// SolveUpperIntoCtx is SolveUpperInto honoring a context, with the same
+// dispatch-boundary semantics as SolveIntoCtx.
+func (e *Engine) SolveUpperIntoCtx(ctx context.Context, x, b []float64) error {
+	return e.coopSolve(ctx, x, b, true)
 }
 
 // coopSolve runs one cooperative pack-parallel solve. Cooperative solves
-// are serialised on solveMu; batch jobs interleave freely with them.
-func (e *Engine) coopSolve(x, b []float64, reverse bool) error {
+// are serialised on solveMu; batch jobs interleave freely with them. The
+// context is only consulted before dispatch: a cooperative sweep needs
+// every worker at the barrier, so once the job tokens are out the solve
+// always completes.
+func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) error {
 	n := e.l.N
 	if len(b) != n || len(x) != n {
-		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(x), len(b), n)
+		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), n)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if reverse {
 		if err := e.ensureUpper(); err != nil {
@@ -304,6 +352,11 @@ func (e *Engine) coopSolve(x, b []float64, reverse bool) error {
 	}
 	e.solveMu.Lock()
 	defer e.solveMu.Unlock()
+	// Queueing behind earlier cooperative solves can outlast the deadline;
+	// re-check before committing the pool.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r := &e.run
 	r.x, r.b, r.reverse = x, b, reverse
 	for p := range r.counters {
@@ -350,7 +403,15 @@ func (e *Engine) SolveBatch(B [][]float64) ([][]float64, error) {
 // SolveBatchInto is SolveBatch writing into caller-provided solution
 // vectors; X[i] may alias B[i] for an in-place solve.
 func (e *Engine) SolveBatchInto(X, B [][]float64) error {
-	return e.batch(X, B, sweepForward)
+	return e.batch(context.Background(), X, B, sweepForward)
+}
+
+// SolveBatchIntoCtx is SolveBatchInto honoring a context: a cancelled or
+// expired context stops the dispatch loop — no further right-hand sides
+// are handed to the pool — and the call returns ctx.Err() once the
+// already-dispatched solves drain. The engine stays fully usable.
+func (e *Engine) SolveBatchIntoCtx(ctx context.Context, X, B [][]float64) error {
+	return e.batch(ctx, X, B, sweepForward)
 }
 
 // SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side.
@@ -358,7 +419,16 @@ func (e *Engine) SolveUpperBatchInto(X, B [][]float64) error {
 	if err := e.ensureUpper(); err != nil {
 		return err
 	}
-	return e.batch(X, B, sweepBackward)
+	return e.batch(context.Background(), X, B, sweepBackward)
+}
+
+// SolveUpperBatchIntoCtx is SolveUpperBatchInto honoring a context, with
+// the same stop-dispatching semantics as SolveBatchIntoCtx.
+func (e *Engine) SolveUpperBatchIntoCtx(ctx context.Context, X, B [][]float64) error {
+	if err := e.ensureUpper(); err != nil {
+		return err
+	}
+	return e.batch(ctx, X, B, sweepBackward)
 }
 
 // ApplySGSBatch applies the symmetric Gauss–Seidel preconditioner
@@ -370,20 +440,25 @@ func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
 	if err := e.ensureUpper(); err != nil {
 		return err
 	}
-	return e.batch(X, R, sweepSGS)
+	return e.batch(context.Background(), X, R, sweepSGS)
 }
 
 // batch fans the (X[i], B[i]) pairs out as independent whole-RHS jobs and
-// gathers the first error.
-func (e *Engine) batch(X, B [][]float64, kind sweepKind) error {
+// gathers the first error. Cancellation wins over per-solve errors: a
+// dead context stops dispatch immediately and the batch reports ctx.Err().
+func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) error {
 	if len(X) != len(B) {
-		return fmt.Errorf("solve: batch lengths %d/%d differ", len(X), len(B))
+		return fmt.Errorf("%w: batch lengths %d/%d differ", ErrDimension, len(X), len(B))
 	}
 	errc := make(chan error, len(B))
 	issued := 0
 	var first error
 	for i := range B {
-		if err := e.submit(job{whole: &wholeJob{kind: kind, x: X[i], b: B[i], errc: errc}}); err != nil {
+		if err := ctx.Err(); err != nil {
+			first = err
+			break
+		}
+		if err := e.submitCtx(ctx, job{whole: &wholeJob{kind: kind, x: X[i], b: B[i], errc: errc}}); err != nil {
 			first = err
 			break
 		}
@@ -417,19 +492,48 @@ type Result struct {
 // work outstanding blocks the internal goroutines, and the producer,
 // until the output is drained.
 func (e *Engine) SolveMany(bs <-chan []float64) <-chan Result {
+	return e.SolveManyCtx(context.Background(), bs)
+}
+
+// SolveManyCtx is SolveMany honoring a context: when ctx is cancelled the
+// stream stops reading bs and dispatching solves, the in-flight tail
+// drains in order, a final Result carrying ctx.Err() is delivered, and
+// the output channel closes — even if bs is never closed. The engine
+// stays fully usable afterwards.
+func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan Result {
 	type pending struct {
 		x    []float64
 		errc chan error
 	}
 	out := make(chan Result, 2*e.opts.Workers)
 	inflight := make(chan pending, 2*e.opts.Workers)
+	fail := func(err error) pending {
+		ec := make(chan error, 1)
+		ec <- err
+		return pending{errc: ec}
+	}
 	go func() {
 		defer close(inflight)
-		for b := range bs {
-			p := pending{x: make([]float64, e.l.N), errc: make(chan error, 1)}
-			inflight <- p // bound the pipeline before enqueueing work
-			if err := e.submit(job{whole: &wholeJob{kind: sweepForward, x: p.x, b: b, errc: p.errc}}); err != nil {
-				p.errc <- err
+		for {
+			select {
+			case <-ctx.Done():
+				inflight <- fail(ctx.Err())
+				return
+			case b, ok := <-bs:
+				if !ok {
+					return
+				}
+				p := pending{x: make([]float64, e.l.N), errc: make(chan error, 1)}
+				inflight <- p // bound the pipeline before enqueueing work
+				if err := e.submitCtx(ctx, job{whole: &wholeJob{kind: sweepForward, x: p.x, b: b, errc: p.errc}}); err != nil {
+					// Report the failure in order but keep draining bs, so a
+					// producer that never watches ctx (plain SolveMany racing
+					// Close) is not stranded blocked on a send; each further
+					// vector yields its own error result until bs closes. A
+					// cancelled ctx instead exits through the Done case above,
+					// where producers are documented to select on ctx.
+					p.errc <- err
+				}
 			}
 		}
 	}()

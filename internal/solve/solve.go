@@ -76,7 +76,7 @@ func DefaultsFor(usesSuperRows bool, workers int) Options {
 func Sequential(s *csrk.Structure, b []float64) ([]float64, error) {
 	l := s.L
 	if len(b) != l.N {
-		return nil, fmt.Errorf("solve: rhs length %d, want %d", len(b), l.N)
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), l.N)
 	}
 	x := make([]float64, l.N)
 	solveRows(l.RowPtr, l.Col, l.Val, x, b, 0, l.N)
@@ -119,7 +119,7 @@ func Parallel(s *csrk.Structure, b []float64, opts Options) ([]float64, error) {
 func ParallelInto(x []float64, s *csrk.Structure, b []float64, opts Options) error {
 	l := s.L
 	if len(b) != l.N || len(x) != l.N {
-		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(x), len(b), l.N)
+		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), l.N)
 	}
 	opts = opts.withDefaults()
 	if opts.Workers == 1 || s.NumSuperRows() == 1 {

@@ -63,7 +63,7 @@ func (us *UpperSolver) Solve(b []float64, opts Options) ([]float64, error) {
 func (us *UpperSolver) SolveInto(x, b []float64, opts Options) error {
 	u := us.u
 	if len(b) != u.N || len(x) != u.N {
-		return fmt.Errorf("solve: vector lengths %d/%d, want %d", len(x), len(b), u.N)
+		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), u.N)
 	}
 	opts = opts.withDefaults()
 	if opts.Workers == 1 || us.s.NumSuperRows() == 1 {

@@ -1,0 +1,165 @@
+// Package krylov provides preconditioned Krylov-subspace solvers over
+// stsk plans — the application that motivates fast sparse triangular
+// solution (paper §1). Every iteration of a preconditioned conjugate
+// gradient applies one forward and one backward triangular sweep; with an
+// stsk.Preconditioner riding a persistent stsk.Solver, those sweeps run
+// pack-parallel on a parked worker pool, so the triangular solution
+// dominates each iteration exactly as in a production PCG.
+//
+// The package follows the facade's v2 conventions: functional options,
+// context cancellation checked every iteration, and sentinel errors —
+// a solve that exhausts its iteration budget reports
+// stsk.ErrNotConverged via errors.Is.
+//
+//	solver := plan.NewSolver()
+//	defer solver.Close()
+//	x, stats, err := krylov.CG(ctx, plan, b,
+//	    krylov.WithPreconditioner(stsk.NewSGS(solver)),
+//	    krylov.WithTolerance(1e-8))
+package krylov
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"stsk"
+)
+
+// Iteration is a per-iteration progress report delivered to the
+// WithCallback observer.
+type Iteration struct {
+	K        int     // iteration number, starting at 1
+	Residual float64 // relative residual ‖rₖ‖₂ / ‖b‖₂
+}
+
+// Stats summarises a finished (or abandoned) Krylov solve.
+type Stats struct {
+	Iterations int     // iterations performed
+	Residual   float64 // final relative residual ‖r‖₂ / ‖b‖₂
+}
+
+// Option configures a Krylov solve.
+type Option func(*config)
+
+type config struct {
+	tol      float64
+	maxIter  int
+	precond  stsk.Preconditioner
+	callback func(Iteration)
+}
+
+// WithPreconditioner sets the preconditioner M applied as z = M⁻¹r each
+// iteration; nil (the default) runs the unpreconditioned method.
+func WithPreconditioner(m stsk.Preconditioner) Option {
+	return func(c *config) { c.precond = m }
+}
+
+// WithTolerance sets the convergence tolerance on the relative residual
+// ‖r‖₂/‖b‖₂; the default is 1e-8.
+func WithTolerance(rtol float64) Option {
+	return func(c *config) { c.tol = rtol }
+}
+
+// WithMaxIterations bounds the iteration count; the default is 1000.
+// Exceeding it returns an error matching stsk.ErrNotConverged.
+func WithMaxIterations(n int) Option {
+	return func(c *config) { c.maxIter = n }
+}
+
+// WithCallback installs a per-iteration observer, called synchronously
+// after each iteration's residual update — progress bars, convergence
+// traces, adaptive monitoring.
+func WithCallback(fn func(Iteration)) Option {
+	return func(c *config) { c.callback = fn }
+}
+
+func applyOptions(opts []Option) config {
+	c := config{tol: 1e-8, maxIter: 1000}
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// CG solves A′x = b by the (optionally preconditioned) conjugate gradient
+// method, where A′ is the plan's symmetric matrix and both vectors are in
+// plan order. The context is checked every iteration: a cancelled or
+// expired ctx abandons the solve and returns the iterate so far together
+// with ctx.Err(). A right-hand side of the wrong length returns
+// stsk.ErrDimension; exhausting the iteration budget returns the iterate
+// with an error matching stsk.ErrNotConverged.
+//
+// A zero right-hand side returns the exact solution x = 0 immediately.
+func CG(ctx context.Context, plan *stsk.Plan, b []float64, opts ...Option) ([]float64, Stats, error) {
+	c := applyOptions(opts)
+	n := plan.N()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("%w: rhs length %d, want %d", stsk.ErrDimension, len(b), n)
+	}
+	x := make([]float64, n)
+	bnorm := math.Sqrt(dot(b, b))
+	if bnorm == 0 {
+		return x, Stats{}, nil
+	}
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	applyM := func() error {
+		if c.precond == nil {
+			copy(z, r)
+			return nil
+		}
+		return c.precond.Apply(z, r)
+	}
+	if err := applyM(); err != nil {
+		return nil, Stats{}, err
+	}
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	st := Stats{Residual: 1}
+	for k := 1; k <= c.maxIter; k++ {
+		if err := ctx.Err(); err != nil {
+			return x, st, err
+		}
+		plan.ApplySymmetric(ap, p)
+		alpha := rz / dot(p, ap)
+		axpy(x, alpha, p)
+		axpy(r, -alpha, ap)
+		st.Iterations = k
+		st.Residual = math.Sqrt(dot(r, r)) / bnorm
+		if c.callback != nil {
+			c.callback(Iteration{K: k, Residual: st.Residual})
+		}
+		if st.Residual <= c.tol {
+			return x, st, nil
+		}
+		if err := applyM(); err != nil {
+			return x, st, err
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, st, fmt.Errorf("%w: CG at relative residual %.3g after %d iterations (tol %.3g)",
+		stsk.ErrNotConverged, st.Residual, st.Iterations, c.tol)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y []float64, alpha float64, x []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}

@@ -1,0 +1,104 @@
+package stsk
+
+import "stsk/internal/solve"
+
+// Option configures the v2 facade entry points. One option vocabulary
+// serves the whole API: Build reads the ordering options (WithRowsPerSuper,
+// WithLevels, WithSloanInPack), while NewSolver, SolveWith and
+// SolveUpperWith read the scheduling options (WithWorkers, WithSchedule,
+// WithChunk). Options irrelevant to an entry point are ignored, so a
+// single options slice can be threaded through an entire pipeline.
+type Option func(*config)
+
+// config is the merged option state; the zero value means "paper
+// defaults" everywhere.
+type config struct {
+	// Ordering pipeline (Build).
+	rowsPerSuper int
+	levels       int
+	sloanInPack  bool
+
+	// Solve scheduling (NewSolver, SolveWith, SolveUpperWith).
+	workers  int
+	schedule ScheduleChoice
+	chunk    int
+}
+
+func applyOptions(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithRowsPerSuper sets the super-row size for the k-level methods; the
+// paper uses 80 (Intel, 256 KiB L2) and 320 (AMD, 512 KiB L2). 0 selects
+// the default (80).
+func WithRowsPerSuper(rows int) Option {
+	return func(c *config) { c.rowsPerSuper = rows }
+}
+
+// WithLevels selects the structural depth k for the k-level methods: 0 or
+// 3 is the paper's STS-3; 4 adds a second coarsening round (the §5
+// extension for deeper NUMA hierarchies).
+func WithLevels(k int) Option {
+	return func(c *config) { c.levels = k }
+}
+
+// WithSloanInPack reorders each pack's DAR graph with Sloan's
+// profile-reducing ordering instead of the paper's RCM (§3.4 names
+// alternative bandwidth-reducing orderings as future work).
+func WithSloanInPack() Option {
+	return func(c *config) { c.sloanInPack = true }
+}
+
+// WithWorkers fixes the number of solver goroutines; 0 (the default)
+// means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithSchedule selects the OpenMP-style loop schedule; DefaultSchedule
+// (the zero value) picks the paper's pairing for the plan's method.
+func WithSchedule(s ScheduleChoice) Option {
+	return func(c *config) { c.schedule = s }
+}
+
+// WithChunk sets the schedule granularity in super-rows; 0 selects the
+// paper default for the chosen schedule.
+func WithChunk(n int) Option {
+	return func(c *config) { c.chunk = n }
+}
+
+// ScheduleChoice selects an OpenMP-style loop schedule; DefaultSchedule
+// picks the paper's pairing for the plan's method (dynamic,32 for
+// row-level schemes, guided,1 for k-level schemes).
+type ScheduleChoice int
+
+const (
+	DefaultSchedule ScheduleChoice = iota
+	StaticSchedule
+	DynamicSchedule
+	GuidedSchedule
+)
+
+// lowerSolve maps the facade's scheduling options onto the internal
+// solver options, applying the paper's per-method schedule defaults.
+func (p *Plan) lowerSolve(c config) solve.Options {
+	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), c.workers)
+	if c.chunk > 0 {
+		opts.Chunk = c.chunk
+	}
+	switch c.schedule {
+	case StaticSchedule:
+		opts.Schedule = solve.Static
+	case DynamicSchedule:
+		opts.Schedule = solve.Dynamic
+	case GuidedSchedule:
+		opts.Schedule = solve.Guided
+	}
+	return opts
+}

@@ -1,6 +1,9 @@
 package stsk
 
 import (
+	"context"
+	"fmt"
+	"iter"
 	"runtime"
 	"sync"
 
@@ -23,8 +26,17 @@ import (
 //   - Batched solves (SolveBatch, SolveBatchInto, ApplySGSBatch): many
 //     independent right-hand sides pipelined through the pack levels, one
 //     vector per worker with no barriers.
-//   - Streaming solves (SolveMany): batch semantics over a channel, with
-//     results in input order and bounded in-flight memory.
+//   - Streaming solves (SolveMany, SolveSeq): batch semantics over a
+//     channel or iterator, with results in input order and bounded
+//     in-flight memory.
+//
+// Each shape has a context-aware form (SolveCtx, SolveUpperCtx,
+// SolveBatchCtx, SolveManyCtx, SolveSeq) that honors cancellation and
+// deadlines: a dead context stops new work from being dispatched and the
+// call returns ctx.Err(), leaving the Solver fully usable. Right-hand
+// sides of the wrong length are rejected with ErrDimension before any
+// work is dispatched, and solves issued after Close return ErrClosed;
+// both match with errors.Is.
 //
 // All shapes produce results bitwise identical to Plan.SolveSequential.
 // A Solver is safe for concurrent use from multiple goroutines. Close
@@ -38,17 +50,14 @@ type Solver struct {
 	closeOnce sync.Once
 }
 
-// NewSolver starts a persistent solve engine for the plan. The variadic
-// options fix the pool size and schedule for the solver's lifetime; when
-// omitted, the paper's per-method defaults apply (dynamic,32 for the
-// row-level schemes, guided,1 for the k-level schemes, GOMAXPROCS
-// workers). Callers should Close the solver when done with it, though an
-// unreferenced Solver cleans up after itself at the next GC.
-func (p *Plan) NewSolver(so ...SolveOptions) *Solver {
-	var opts SolveOptions
-	if len(so) > 0 {
-		opts = so[0]
-	}
+// NewSolver starts a persistent solve engine for the plan. The scheduling
+// options (WithWorkers, WithSchedule, WithChunk) fix the pool size and
+// schedule for the solver's lifetime; when omitted, the paper's
+// per-method defaults apply (dynamic,32 for the row-level schemes,
+// guided,1 for the k-level schemes, GOMAXPROCS workers). Callers should
+// Close the solver when done with it, though an unreferenced Solver
+// cleans up after itself at the next GC.
+func (p *Plan) NewSolver(opts ...Option) *Solver {
 	// Every solver of this plan lazily shares the plan's single validated
 	// transpose for backward sweeps, instead of each engine building its
 	// own O(nnz) copy. The closure captures only the upperLazy cache —
@@ -61,7 +70,7 @@ func (p *Plan) NewSolver(so ...SolveOptions) *Solver {
 			return nil, err
 		}
 		return us.Transposed(), nil
-	}, p.solveOptions(opts))
+	}, p.lowerSolve(applyOptions(opts)))
 	s := &Solver{plan: p, eng: eng}
 	s.scratch.New = func() any { return make([]float64, p.N()) }
 	// If the Solver is dropped without Close, release the parked workers
@@ -78,8 +87,8 @@ func (s *Solver) Workers() int { return s.eng.Workers() }
 func (s *Solver) Plan() *Plan { return s.plan }
 
 // Close stops the worker pool and waits for the workers to exit. Solves
-// already in flight complete, solves issued after Close fail; Close is
-// idempotent.
+// already in flight complete, solves issued after Close fail with
+// ErrClosed; Close is idempotent.
 func (s *Solver) Close() {
 	s.closeOnce.Do(func() {
 		s.cleanup.Stop()
@@ -89,35 +98,167 @@ func (s *Solver) Close() {
 
 // Solve solves L′x = b (both in plan order) pack-parallel on the pooled
 // workers and returns x.
-func (s *Solver) Solve(b []float64) ([]float64, error) { return s.eng.Solve(b) }
+func (s *Solver) Solve(b []float64) ([]float64, error) {
+	if err := s.plan.checkDim(b); err != nil {
+		return nil, err
+	}
+	return s.eng.Solve(b)
+}
+
+// SolveCtx is Solve honoring a context: cancellation and deadline are
+// checked before the sweep is dispatched (a sweep already running is
+// never preempted), returning ctx.Err() without touching the pool.
+func (s *Solver) SolveCtx(ctx context.Context, b []float64) ([]float64, error) {
+	if err := s.plan.checkDim(b); err != nil {
+		return nil, err
+	}
+	x := make([]float64, s.plan.N())
+	if err := s.eng.SolveIntoCtx(ctx, x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
 
 // SolveInto is Solve writing into a caller-provided vector.
-func (s *Solver) SolveInto(x, b []float64) error { return s.eng.SolveInto(x, b) }
+func (s *Solver) SolveInto(x, b []float64) error {
+	if err := s.checkDims(x, b); err != nil {
+		return err
+	}
+	return s.eng.SolveInto(x, b)
+}
+
+// SolveIntoCtx is SolveInto honoring a context, with the same
+// dispatch-boundary semantics as SolveCtx — the allocation-free form for
+// context-aware solve loops over a reused solution buffer.
+func (s *Solver) SolveIntoCtx(ctx context.Context, x, b []float64) error {
+	if err := s.checkDims(x, b); err != nil {
+		return err
+	}
+	return s.eng.SolveIntoCtx(ctx, x, b)
+}
 
 // SolveUpper solves the transposed system L′ᵀx = b pack-parallel, packs
 // in reverse order — the second sweep of a symmetric Gauss–Seidel or
 // incomplete-Cholesky preconditioner.
-func (s *Solver) SolveUpper(b []float64) ([]float64, error) { return s.eng.SolveUpper(b) }
+func (s *Solver) SolveUpper(b []float64) ([]float64, error) {
+	if err := s.plan.checkDim(b); err != nil {
+		return nil, err
+	}
+	return s.eng.SolveUpper(b)
+}
+
+// SolveUpperCtx is SolveUpper honoring a context, with the same
+// dispatch-boundary semantics as SolveCtx.
+func (s *Solver) SolveUpperCtx(ctx context.Context, b []float64) ([]float64, error) {
+	if err := s.plan.checkDim(b); err != nil {
+		return nil, err
+	}
+	x := make([]float64, s.plan.N())
+	if err := s.eng.SolveUpperIntoCtx(ctx, x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
 
 // SolveUpperInto is SolveUpper writing into a caller-provided vector.
-func (s *Solver) SolveUpperInto(x, b []float64) error { return s.eng.SolveUpperInto(x, b) }
+func (s *Solver) SolveUpperInto(x, b []float64) error {
+	if err := s.checkDims(x, b); err != nil {
+		return err
+	}
+	return s.eng.SolveUpperInto(x, b)
+}
+
+// SolveUpperIntoCtx is SolveUpperInto honoring a context, with the same
+// dispatch-boundary semantics as SolveCtx.
+func (s *Solver) SolveUpperIntoCtx(ctx context.Context, x, b []float64) error {
+	if err := s.checkDims(x, b); err != nil {
+		return err
+	}
+	return s.eng.SolveUpperIntoCtx(ctx, x, b)
+}
 
 // SolveBatch solves L′xᵢ = bᵢ for every right-hand side of B and returns
 // the solutions in order. Each vector is swept start-to-finish by one
 // pooled worker with no inter-pack barriers, so up to Workers independent
 // right-hand sides travel the pack levels concurrently — the highest-
 // throughput path for iterative-solver and multi-scenario traffic.
-func (s *Solver) SolveBatch(B [][]float64) ([][]float64, error) { return s.eng.SolveBatch(B) }
+func (s *Solver) SolveBatch(B [][]float64) ([][]float64, error) {
+	return s.SolveBatchCtx(context.Background(), B)
+}
+
+// SolveBatchCtx is SolveBatch honoring a context: a cancelled or expired
+// context stops the dispatch loop — no further right-hand sides are
+// handed to the pool — and the call returns ctx.Err() once the solves
+// already in flight drain. The Solver stays fully usable afterwards.
+// Every right-hand side is validated up front, so a single short vector
+// fails the whole batch with ErrDimension before any work is dispatched.
+func (s *Solver) SolveBatchCtx(ctx context.Context, B [][]float64) ([][]float64, error) {
+	if err := s.checkBatchDims(B); err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, s.plan.N())
+	}
+	if err := s.eng.SolveBatchIntoCtx(ctx, X, B); err != nil {
+		return nil, err
+	}
+	return X, nil
+}
 
 // SolveBatchInto is SolveBatch writing into caller-provided solution
-// vectors; X[i] may alias B[i] for in-place solves.
-func (s *Solver) SolveBatchInto(X, B [][]float64) error { return s.eng.SolveBatchInto(X, B) }
+// vectors; X[i] may alias B[i] for in-place solves. Like SolveBatchCtx,
+// the whole batch is validated before any work is dispatched.
+func (s *Solver) SolveBatchInto(X, B [][]float64) error {
+	if err := s.checkBatchPairs(X, B); err != nil {
+		return err
+	}
+	return s.eng.SolveBatchInto(X, B)
+}
 
 // SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side,
 // pipelined like SolveBatch.
-func (s *Solver) SolveUpperBatchInto(X, B [][]float64) error { return s.eng.SolveUpperBatchInto(X, B) }
+func (s *Solver) SolveUpperBatchInto(X, B [][]float64) error {
+	if err := s.checkBatchPairs(X, B); err != nil {
+		return err
+	}
+	return s.eng.SolveUpperBatchInto(X, B)
+}
 
-// SolveResult is one solved right-hand side from SolveMany.
+// checkDims validates a solution/right-hand-side pair at the facade.
+func (s *Solver) checkDims(x, b []float64) error {
+	n := s.plan.N()
+	if len(x) != n || len(b) != n {
+		return dimErr(len(x), len(b), n)
+	}
+	return nil
+}
+
+// checkBatchDims validates a whole batch at the facade, reporting the
+// first offending vector.
+func (s *Solver) checkBatchDims(B [][]float64) error {
+	n := s.plan.N()
+	for i, b := range B {
+		if len(b) != n {
+			return fmt.Errorf("%w: rhs %d has length %d, want %d", ErrDimension, i, len(b), n)
+		}
+	}
+	return nil
+}
+
+// checkBatchPairs validates caller-provided solution and right-hand-side
+// batches together before anything is dispatched.
+func (s *Solver) checkBatchPairs(X, B [][]float64) error {
+	if len(X) != len(B) {
+		return fmt.Errorf("%w: batch lengths %d/%d differ", ErrDimension, len(X), len(B))
+	}
+	if err := s.checkBatchDims(B); err != nil {
+		return err
+	}
+	return s.checkBatchDims(X)
+}
+
+// SolveResult is one solved right-hand side from SolveMany and SolveSeq.
 type SolveResult struct {
 	X   []float64
 	Err error
@@ -134,16 +275,75 @@ type SolveResult struct {
 // short tail (up to 2×Workers results) flush without a consumer — enough
 // for the stop-on-first-error pattern — but a stream abandoned with more
 // work outstanding blocks the internal goroutines, and the producer,
-// until the output is drained.
+// until the output is drained. SolveManyCtx and SolveSeq tie the stream
+// to a context instead, which is the easier lifecycle to get right.
 func (s *Solver) SolveMany(bs <-chan []float64) <-chan SolveResult {
+	return s.SolveManyCtx(context.Background(), bs)
+}
+
+// SolveManyCtx is SolveMany honoring a context: when ctx is cancelled the
+// stream stops reading bs and dispatching solves, the in-flight tail
+// drains in order, a final SolveResult carrying ctx.Err() is delivered,
+// and the channel closes — even if bs is never closed. The Solver stays
+// fully usable afterwards.
+func (s *Solver) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan SolveResult {
 	out := make(chan SolveResult, 2*s.eng.Workers())
 	go func() {
 		defer close(out)
-		for r := range s.eng.SolveMany(bs) {
+		for r := range s.eng.SolveManyCtx(ctx, bs) {
 			out <- SolveResult{X: r.X, Err: r.Err}
 		}
 	}()
 	return out
+}
+
+// SolveSeq streams right-hand sides through the pool and returns the
+// results as an iterator over (index, result) pairs, in input order —
+// SolveMany without the channel boilerplate:
+//
+//	for i, res := range solver.SolveSeq(ctx, slices.Values(B)) {
+//	    if res.Err != nil { ... }
+//	    use(i, res.X)
+//	}
+//
+// Up to 2×Workers solves are pipelined ahead of the consumer, so ranging
+// over an unbounded sequence runs in bounded memory. Breaking out of the
+// range loop cancels the stream's internal context, stops the producer,
+// and releases every in-flight solve; cancelling ctx does the same and
+// additionally yields a final result carrying ctx.Err().
+func (s *Solver) SolveSeq(ctx context.Context, bs iter.Seq[[]float64]) iter.Seq2[int, SolveResult] {
+	return func(yield func(int, SolveResult) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		in := make(chan []float64)
+		go func() {
+			defer close(in)
+			for b := range bs {
+				select {
+				case in <- b:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		out := s.eng.SolveManyCtx(ctx, in)
+		// Any exit — early break, panic, or Goexit in the caller's loop
+		// body — must first cancel (so the producer stops and out closes)
+		// and then drain the bounded in-flight tail, or the pool would be
+		// left feeding an abandoned stream.
+		defer func() {
+			cancel()
+			for range out {
+			}
+		}()
+		i := 0
+		for r := range out {
+			if !yield(i, SolveResult{X: r.X, Err: r.Err}) {
+				return
+			}
+			i++
+		}
+	}
 }
 
 // ApplySGS applies the symmetric Gauss–Seidel preconditioner
@@ -152,6 +352,9 @@ func (s *Solver) SolveMany(bs <-chan []float64) <-chan SolveResult {
 // pooled workers — one PCG preconditioner application with no goroutine
 // spawns and no allocations beyond the result.
 func (s *Solver) ApplySGS(r []float64) ([]float64, error) {
+	if err := s.plan.checkDim(r); err != nil {
+		return nil, err
+	}
 	z := make([]float64, s.plan.N())
 	if err := s.ApplySGSInto(z, r); err != nil {
 		return nil, err
@@ -161,6 +364,9 @@ func (s *Solver) ApplySGS(r []float64) ([]float64, error) {
 
 // ApplySGSInto is ApplySGS writing into a caller-provided vector.
 func (s *Solver) ApplySGSInto(z, r []float64) error {
+	if err := s.checkDims(z, r); err != nil {
+		return err
+	}
 	y := s.scratch.Get().([]float64)
 	defer s.scratch.Put(y)
 	if err := s.eng.SolveInto(y, r); err != nil {
@@ -177,6 +383,9 @@ func (s *Solver) ApplySGSInto(z, r []float64) error {
 // vector of R, pipelined: one worker performs both sweeps of a vector back
 // to back, keeping the intermediate in its own preallocated scratch.
 func (s *Solver) ApplySGSBatch(R [][]float64) ([][]float64, error) {
+	if err := s.checkBatchDims(R); err != nil {
+		return nil, err
+	}
 	Z := make([][]float64, len(R))
 	for i := range Z {
 		Z[i] = make([]float64, s.plan.N())

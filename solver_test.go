@@ -58,12 +58,12 @@ func TestSolverBatchMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, m := range Methods() {
-			plan, err := Build(mat, m, BuildOptions{RowsPerSuper: 8})
+			plan, err := Build(mat, m, WithRowsPerSuper(8))
 			if err != nil {
 				t.Fatalf("%s/%v: %v", class, m, err)
 			}
 			B, want := manufactured(t, plan, nrhs, 17)
-			solver := plan.NewSolver(SolveOptions{Workers: 4})
+			solver := plan.NewSolver(WithWorkers(4))
 			X, err := solver.SolveBatch(B)
 			if err != nil {
 				t.Fatalf("%s/%v: %v", class, m, err)
@@ -82,12 +82,12 @@ func TestSolverSolveManyMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range Methods() {
-		plan, err := Build(mat, m, BuildOptions{RowsPerSuper: 8})
+		plan, err := Build(mat, m, WithRowsPerSuper(8))
 		if err != nil {
 			t.Fatal(err)
 		}
 		B, want := manufactured(t, plan, 40, 29)
-		solver := plan.NewSolver(SolveOptions{Workers: 3})
+		solver := plan.NewSolver(WithWorkers(3))
 		bs := make(chan []float64)
 		go func() {
 			for _, b := range B {
@@ -115,12 +115,12 @@ func TestSolverPooledSingleSolvesMatchSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	plan, err := Build(mat, STS3, WithRowsPerSuper(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	B, want := manufactured(t, plan, 5, 3)
-	solver := plan.NewSolver(SolveOptions{Workers: 4})
+	solver := plan.NewSolver(WithWorkers(4))
 	defer solver.Close()
 	x := make([]float64, plan.N())
 	for rep := 0; rep < 3; rep++ { // pool reuse across repeats
@@ -146,7 +146,7 @@ func TestSolverApplySGSMatchesManualSweeps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	plan, err := Build(mat, STS3, WithRowsPerSuper(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +167,11 @@ func TestSolverApplySGSMatchesManualSweeps(t *testing.T) {
 		for i := range y {
 			y[i] *= d[i]
 		}
-		if want[r], err = plan.SolveUpperWith(y, SolveOptions{Workers: 1}); err != nil {
+		if want[r], err = plan.SolveUpperWith(y, WithWorkers(1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	solver := plan.NewSolver(SolveOptions{Workers: 3})
+	solver := plan.NewSolver(WithWorkers(3))
 	defer solver.Close()
 	for r := range R {
 		z, err := solver.ApplySGS(R[r])
@@ -196,12 +196,12 @@ func TestSolverConcurrentUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	plan, err := Build(mat, STS3, WithRowsPerSuper(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	B, want := manufactured(t, plan, 8, 59)
-	solver := plan.NewSolver(SolveOptions{Workers: 4})
+	solver := plan.NewSolver(WithWorkers(4))
 	defer solver.Close()
 	var wg sync.WaitGroup
 	for g := 0; g < 10; g++ {
@@ -261,7 +261,7 @@ func TestPlanConcurrentLazyInit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	plan, err := Build(mat, STS3, WithRowsPerSuper(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,11 +273,11 @@ func TestPlanConcurrentLazyInit(t *testing.T) {
 			defer wg.Done()
 			switch g % 4 {
 			case 0:
-				if _, err := plan.SolveUpperWith(b, SolveOptions{Workers: 2}); err != nil {
+				if _, err := plan.SolveUpperWith(b, WithWorkers(2)); err != nil {
 					t.Error(err)
 				}
 			case 1:
-				s := plan.NewSolver(SolveOptions{Workers: 2})
+				s := plan.NewSolver(WithWorkers(2))
 				if _, err := s.SolveUpper(b); err != nil {
 					t.Error(err)
 				}
@@ -301,6 +301,13 @@ func TestPlanConcurrentLazyInit(t *testing.T) {
 // the Solver (through the Plan), the cleanup never fires and this test
 // times out its GC budget.
 func TestSharedSolverReleasedByGC(t *testing.T) {
+	// Earlier tests may have pinned shared pools on plans they dropped;
+	// flush those cleanups first so the baseline is a settled count and a
+	// mid-test GC cannot deflate it under us.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
 	base := runtime.NumGoroutine()
 	func() {
 		mat, err := Generate("grid2d", 2000)
@@ -335,11 +342,11 @@ func TestSolverClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := Build(mat, STS3, BuildOptions{RowsPerSuper: 8})
+	plan, err := Build(mat, STS3, WithRowsPerSuper(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver := plan.NewSolver(SolveOptions{Workers: 2})
+	solver := plan.NewSolver(WithWorkers(2))
 	b := make([]float64, plan.N())
 	if _, err := solver.Solve(b); err != nil {
 		t.Fatal(err)

@@ -18,19 +18,34 @@
 // Quick start:
 //
 //	mat, _ := stsk.Generate("trimesh", 20000)
-//	plan, _ := stsk.Build(mat, stsk.STS3)
+//	plan, _ := stsk.Build(mat, stsk.STS3, stsk.WithRowsPerSuper(80))
 //	xTrue := make([]float64, plan.N())  // any target solution, in plan order
 //	b := plan.RHSFor(xTrue)             // manufactured right-hand side b = L′·xTrue
 //	x, _ := plan.Solve(b)
 //
+// Every entry point takes the same functional options: Build reads the
+// ordering options (WithRowsPerSuper, WithLevels, WithSloanInPack), while
+// NewSolver and SolveWith read the scheduling options (WithWorkers,
+// WithSchedule, WithChunk).
+//
 // For repeated solves against the same plan — the iterative-solver traffic
 // the paper targets — create a Solver once and stream right-hand sides
-// through its persistent worker pool:
+// through its persistent worker pool, with context-aware forms for
+// cancellation and deadlines:
 //
-//	solver := plan.NewSolver()
+//	solver := plan.NewSolver(stsk.WithWorkers(8))
 //	defer solver.Close()
-//	x, _ = solver.Solve(b)              // pooled pack-parallel solve
-//	X, _ := solver.SolveBatch(manyRHS)  // pipelined, one worker per RHS
+//	x, _ = solver.Solve(b)                    // pooled pack-parallel solve
+//	X, _ := solver.SolveBatchCtx(ctx, manyRHS) // pipelined, one worker per RHS
+//	for i, res := range solver.SolveSeq(ctx, slices.Values(manyRHS)) {
+//	    _ = i // ordered streaming without channel boilerplate
+//	    _ = res.X
+//	}
+//
+// Failures are matched with errors.Is against the package sentinels
+// ErrClosed, ErrDimension and ErrNotConverged. The krylov package builds
+// a full preconditioned conjugate-gradient solver on top of this facade
+// through the Preconditioner interface.
 //
 // See DESIGN.md for the build pipeline and the solver-engine lifecycle.
 package stsk
@@ -155,24 +170,6 @@ func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
 	return &Matrix{a: a}, nil
 }
 
-// BuildOptions tune the ordering pipeline beyond the method choice.
-type BuildOptions struct {
-	// RowsPerSuper is the super-row size for the k-level methods; the
-	// paper uses 80 (Intel, 256 KiB L2) and 320 (AMD, 512 KiB L2).
-	// 0 selects the default (80).
-	RowsPerSuper int
-
-	// Levels selects the structural depth k for the k-level methods:
-	// 0 or 3 is the paper's STS-3; 4 adds a second coarsening round (the
-	// §5 extension for deeper NUMA hierarchies).
-	Levels int
-
-	// SloanInPack reorders each pack's DAR graph with Sloan's
-	// profile-reducing ordering instead of the paper's RCM (§3.4 names
-	// alternative bandwidth-reducing orderings as future work).
-	SloanInPack bool
-}
-
 // Plan is a built STS-k ordering: the permuted triangular system plus the
 // pack/super-row structure, ready to solve repeatedly for many right-hand
 // sides (the pre-processing the paper amortises, §4.1).
@@ -264,8 +261,13 @@ func (p *Plan) Diagonal() []float64 {
 // or incomplete-Cholesky preconditioner whose first sweep is the plan's
 // forward solve. It runs on the plan's shared persistent Solver, so
 // repeated calls reuse one parked worker pool, with the same
-// serialisation and pool-lifetime behavior as Solve.
+// serialisation and pool-lifetime behavior as Solve. A right-hand side of
+// the wrong length returns ErrDimension before the shared pool is even
+// created.
 func (p *Plan) SolveUpper(b []float64) ([]float64, error) {
+	if err := p.checkDim(b); err != nil {
+		return nil, err
+	}
 	return p.sharedSolver().SolveUpper(b)
 }
 
@@ -273,31 +275,26 @@ func (p *Plan) SolveUpper(b []float64) ([]float64, error) {
 // SolveUpper it is always one-shot: it spins goroutines up and down
 // around the call, so option experiments never pin a pool and timings of
 // this path measure the same engine for every option value. Hold a
-// Plan.NewSolver(opts) for repeated non-default solves.
-func (p *Plan) SolveUpperWith(b []float64, so SolveOptions) ([]float64, error) {
+// Plan.NewSolver(opts...) for repeated non-default solves.
+func (p *Plan) SolveUpperWith(b []float64, opts ...Option) ([]float64, error) {
+	if err := p.checkDim(b); err != nil {
+		return nil, err
+	}
 	us, err := p.upperCache.get()
 	if err != nil {
 		return nil, err
 	}
-	return us.Solve(b, p.solveOptions(so))
+	return us.Solve(b, p.lowerSolve(applyOptions(opts)))
 }
 
-// solveOptions lowers the facade's SolveOptions onto the internal solver
-// options, applying the paper's per-method schedule defaults.
-func (p *Plan) solveOptions(so SolveOptions) solve.Options {
-	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), so.Workers)
-	if so.Chunk > 0 {
-		opts.Chunk = so.Chunk
+// checkDim validates one plan-order vector length at the facade, so a
+// short or long right-hand side fails fast with ErrDimension instead of
+// reaching a solve kernel.
+func (p *Plan) checkDim(v []float64) error {
+	if len(v) != p.N() {
+		return fmt.Errorf("%w: vector length %d, want %d", ErrDimension, len(v), p.N())
 	}
-	switch so.Schedule {
-	case StaticSchedule:
-		opts.Schedule = solve.Static
-	case DynamicSchedule:
-		opts.Schedule = solve.Dynamic
-	case GuidedSchedule:
-		opts.Schedule = solve.Guided
-	}
-	return opts
+	return nil
 }
 
 // IC0 computes the zero-fill incomplete Cholesky factor of the plan's
@@ -326,18 +323,18 @@ func (p *Plan) IC0() (*Plan, error) {
 	return newPlan(inner2), nil
 }
 
-// Build runs the ordering pipeline for the given method.
-func Build(m *Matrix, method Method, opts ...BuildOptions) (*Plan, error) {
-	var bo BuildOptions
-	if len(opts) > 0 {
-		bo = opts[0]
-	}
+// Build runs the ordering pipeline for the given method. The ordering
+// options (WithRowsPerSuper, WithLevels, WithSloanInPack) tune the
+// pipeline beyond the method choice; scheduling options are ignored here
+// and read by NewSolver/SolveWith instead.
+func Build(m *Matrix, method Method, opts ...Option) (*Plan, error) {
+	c := applyOptions(opts)
 	oo := order.Options{
 		Method:       method,
-		RowsPerSuper: bo.RowsPerSuper,
-		Levels:       bo.Levels,
+		RowsPerSuper: c.rowsPerSuper,
+		Levels:       c.levels,
 	}
-	if bo.SloanInPack {
+	if c.sloanInPack {
 		oo.InPackOrder = order.InPackSloan
 	}
 	p, err := order.Build(m.a, oo)
@@ -380,25 +377,6 @@ func (p *Plan) Residual(x, b []float64) float64 {
 	return sparse.Residual(p.inner.S.L, x, b)
 }
 
-// ScheduleChoice selects an OpenMP-style loop schedule; DefaultSchedule
-// picks the paper's pairing for the plan's method (dynamic,32 for
-// row-level schemes, guided,1 for k-level schemes).
-type ScheduleChoice int
-
-const (
-	DefaultSchedule ScheduleChoice = iota
-	StaticSchedule
-	DynamicSchedule
-	GuidedSchedule
-)
-
-// SolveOptions tune the parallel solver.
-type SolveOptions struct {
-	Workers  int            // goroutines; 0 = GOMAXPROCS
-	Schedule ScheduleChoice // loop schedule; DefaultSchedule = per-method default
-	Chunk    int            // schedule granularity; 0 = paper default
-}
-
 // Solve solves L′x = b (both in plan order) with the paper's default
 // schedule for the plan's method and returns x. It runs on the plan's
 // shared persistent Solver, so repeated calls reuse one parked worker
@@ -406,18 +384,26 @@ type SolveOptions struct {
 // Cooperative solves on one pool are serialised, so concurrent Solve
 // calls on one Plan queue rather than run side by side — goroutines
 // needing independent parallel solves should each hold a Plan.NewSolver,
-// which is also the route to batches and explicit lifecycle control.
+// which is also the route to batches, contexts, and explicit lifecycle
+// control. A right-hand side of the wrong length returns ErrDimension
+// before the shared pool is even created.
 func (p *Plan) Solve(b []float64) ([]float64, error) {
+	if err := p.checkDim(b); err != nil {
+		return nil, err
+	}
 	return p.sharedSolver().Solve(b)
 }
 
 // SolveWith is Solve with explicit scheduling options. Unlike Solve it is
 // always one-shot: it spins goroutines up and down around the call, so
 // option experiments never pin a pool and timings of this path measure
-// the same engine for every option value. Hold a Plan.NewSolver(opts)
+// the same engine for every option value. Hold a Plan.NewSolver(opts...)
 // for repeated non-default solves.
-func (p *Plan) SolveWith(b []float64, so SolveOptions) ([]float64, error) {
-	return solve.Parallel(p.inner.S, b, p.solveOptions(so))
+func (p *Plan) SolveWith(b []float64, opts ...Option) ([]float64, error) {
+	if err := p.checkDim(b); err != nil {
+		return nil, err
+	}
+	return solve.Parallel(p.inner.S, b, p.lowerSolve(applyOptions(opts)))
 }
 
 // SolveSequential solves L′x = b on one core — the baseline T(·, ·, 1).

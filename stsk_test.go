@@ -48,7 +48,7 @@ func TestBuildSolveRoundTripAllMethods(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(3))
 	for _, method := range Methods() {
-		p, err := Build(m, method, BuildOptions{RowsPerSuper: 10})
+		p, err := Build(m, method, WithRowsPerSuper(10))
 		if err != nil {
 			t.Fatalf("%v: %v", method, err)
 		}
@@ -91,7 +91,7 @@ func TestSolveWithSchedules(t *testing.T) {
 	}
 	b := p.RHSFor(xTrue)
 	for _, sched := range []ScheduleChoice{DefaultSchedule, StaticSchedule, DynamicSchedule, GuidedSchedule} {
-		x, err := p.SolveWith(b, SolveOptions{Workers: 3, Schedule: sched, Chunk: 2})
+		x, err := p.SolveWith(b, WithWorkers(3), WithSchedule(sched), WithChunk(2))
 		if err != nil {
 			t.Fatalf("schedule %d: %v", sched, err)
 		}
@@ -130,7 +130,7 @@ func TestPermutationHelpers(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	m, _ := Generate("trimesh", 1200)
-	col, _ := Build(m, STS3, BuildOptions{RowsPerSuper: 10})
+	col, _ := Build(m, STS3, WithRowsPerSuper(10))
 	ls, _ := Build(m, CSRLS)
 	sc, sl := col.Stats(), ls.Stats()
 	if sc.NumPacks >= sl.NumPacks {
@@ -146,7 +146,7 @@ func TestStats(t *testing.T) {
 
 func TestSimulate(t *testing.T) {
 	m, _ := Generate("trimesh", 1000)
-	p, err := Build(m, STS3, BuildOptions{RowsPerSuper: 10})
+	p, err := Build(m, STS3, WithRowsPerSuper(10))
 	if err != nil {
 		t.Fatal(err)
 	}
