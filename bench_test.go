@@ -14,6 +14,7 @@ import (
 
 	"stsk/internal/bench"
 	"stsk/internal/dar"
+	"stsk/internal/gen"
 	"stsk/internal/order"
 	"stsk/internal/solve"
 )
@@ -29,6 +30,7 @@ func newBenchRunner(b *testing.B) *bench.Runner {
 
 func runExperiment(b *testing.B, name string) {
 	r := newBenchRunner(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := r.Run(name); err != nil {
@@ -91,6 +93,7 @@ func benchSolve(b *testing.B, method Method, workers int) {
 		b.Fatalf("residual %g", r)
 	}
 	b.SetBytes(int64(mat.NNZ()) * 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.SolveWith(rhs, WithWorkers(workers)); err != nil {
@@ -148,6 +151,7 @@ func BenchmarkMultiRHSGrid3D(b *testing.B) {
 	}
 	b.Run("one-shot", func(b *testing.B) {
 		// SolveWith is always one-shot: this measures spawn-per-solve.
+		b.ReportAllocs()
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
 			for _, rhs := range B {
@@ -158,25 +162,41 @@ func BenchmarkMultiRHSGrid3D(b *testing.B) {
 		}
 		perRHS(b, time.Since(start))
 	})
-	solver := plan.NewSolver(WithWorkers(workers))
-	defer solver.Close()
-	b.Run("pooled", func(b *testing.B) {
-		x := make([]float64, plan.N())
-		start := time.Now()
-		for i := 0; i < b.N; i++ {
-			for _, rhs := range B {
-				if err := solver.SolveInto(x, rhs); err != nil {
-					b.Fatal(err)
+	// The barrier/graph pair is the tentpole acceptance comparison: same
+	// pool, same packed kernels, only the inter-pack synchronisation
+	// differs — condition-variable barriers vs dependency-driven
+	// point-to-point counters.
+	for _, sched := range []struct {
+		name   string
+		choice ScheduleChoice
+	}{
+		{"pooled-barrier", GuidedSchedule},
+		{"pooled-graph", GraphSchedule},
+	} {
+		solver := plan.NewSolver(WithWorkers(workers), WithSchedule(sched.choice))
+		b.Run(sched.name, func(b *testing.B) {
+			x := make([]float64, plan.N())
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for _, rhs := range B {
+					if err := solver.SolveInto(x, rhs); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
-		}
-		perRHS(b, time.Since(start))
-	})
+			perRHS(b, time.Since(start))
+		})
+		solver.Close()
+	}
+	solver := plan.NewSolver(WithWorkers(workers))
+	defer solver.Close()
 	b.Run("batched", func(b *testing.B) {
 		X := make([][]float64, nrhs)
 		for r := range X {
 			X[r] = make([]float64, plan.N())
 		}
+		b.ReportAllocs()
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
 			if err := solver.SolveBatchInto(X, B); err != nil {
@@ -185,6 +205,65 @@ func BenchmarkMultiRHSGrid3D(b *testing.B) {
 		}
 		perRHS(b, time.Since(start))
 	})
+}
+
+// BenchmarkWideDAGSchedules is the wide-DAG acceptance benchmark: a
+// block-diagonal matrix of independent grid blocks, where every pack
+// mixes super-rows from blocks that share no data. The barrier schedule
+// still synchronises all workers after every pack; the graph schedule
+// lets each block's chain of tasks flow through the workers untouched by
+// the others. Reported as solves/s like the MultiRHS benchmark.
+func BenchmarkWideDAGSchedules(b *testing.B) {
+	mat := blockDiagMatrix(8, gen.Grid2D(50, 50))
+	plan, err := Build(mat, STS3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	xTrue := make([]float64, plan.N())
+	for i := range xTrue {
+		xTrue[i] = float64(i%13) - 6
+	}
+	rhs := plan.RHSFor(xTrue)
+	want, err := plan.SolveSequential(rhs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sched := range []struct {
+		name   string
+		choice ScheduleChoice
+	}{
+		{"sequential", DefaultSchedule}, // workers=1 short-circuits to the packed sequential sweep
+		{"barrier", GuidedSchedule},
+		{"graph", GraphSchedule},
+	} {
+		w := workers
+		if sched.name == "sequential" {
+			w = 1
+		}
+		solver := plan.NewSolver(WithWorkers(w), WithSchedule(sched.choice))
+		b.Run(sched.name, func(b *testing.B) {
+			x := make([]float64, plan.N())
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := solver.SolveInto(x, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perSolve := float64(b.N) / time.Since(start).Seconds()
+			b.ReportMetric(perSolve, "solves/s")
+			for i := range x {
+				if x[i] != want[i] {
+					b.Fatalf("%s: result differs from Sequential at %d", sched.name, i)
+				}
+			}
+		})
+		solver.Close()
+	}
 }
 
 // BenchmarkOrderingPipeline measures the pre-processing cost the paper
@@ -196,6 +275,7 @@ func BenchmarkOrderingPipeline(b *testing.B) {
 	}
 	for _, m := range Methods() {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Build(mat, m); err != nil {
 					b.Fatal(err)
@@ -224,8 +304,10 @@ func BenchmarkSchedules(b *testing.B) {
 		{"static", []Option{WithSchedule(StaticSchedule)}},
 		{"dynamic32", []Option{WithSchedule(DynamicSchedule), WithChunk(32)}},
 		{"guided1", []Option{WithSchedule(GuidedSchedule), WithChunk(1)}},
+		{"graph", []Option{WithSchedule(GraphSchedule)}},
 	} {
 		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := plan.SolveWith(rhs, sc.opts...); err != nil {
 					b.Fatal(err)
@@ -248,6 +330,7 @@ func BenchmarkInPackSchedulers(b *testing.B) {
 
 func benchDarScheduler(b *testing.B, f func(*dar.Instance) []int) {
 	in := dar.LineInstance(4096, 16, 5, 1, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		assign := f(in)
@@ -277,6 +360,7 @@ func BenchmarkAblationInPackRCM(b *testing.B) {
 			rhs := make([]float64, p.S.L.N)
 			x := make([]float64, p.S.L.N)
 			opts := solve.DefaultsFor(true, 0)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := solve.ParallelInto(x, p.S, rhs, opts); err != nil {

@@ -19,6 +19,8 @@
 //	stssolve -class trimesh -n 100000 -method sts3 -workers 8
 //	stssolve -file matrix.mtx -method csr-col -repeats 20
 //	stssolve -class grid3d -n 100000 -rhs 256 -timeout 30s
+//	stssolve -class grid3d -n 100000 -schedule graph   # force the P2P schedule
+//	                                                   # (barrier: -schedule guided)
 package main
 
 import (
@@ -41,6 +43,7 @@ func main() {
 		file    = flag.String("file", "", "Matrix Market file (overrides -class)")
 		n       = flag.Int("n", 50000, "target rows for generated matrices")
 		method  = flag.String("method", "sts3", "csr-ls | csr-3-ls | csr-col | sts3")
+		sched   = flag.String("schedule", "default", "default | static | dynamic | guided | graph")
 		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		repeats = flag.Int("repeats", 10, "timed solve repetitions (averaged, as in §4.1)")
 		rhs     = flag.Int("rhs", 0, "stream this many right-hand sides through the solve engines instead of the single-RHS run")
@@ -58,6 +61,10 @@ func main() {
 	}
 
 	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	schedule, err := parseSchedule(*sched)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,7 +95,7 @@ func main() {
 		plan.Method(), plan.NumPacks(), time.Since(buildStart).Round(time.Microsecond))
 
 	if *rhs > 0 {
-		runMultiRHS(ctx, plan, *rhs, *workers)
+		runMultiRHS(ctx, plan, *rhs, *workers, schedule)
 		return
 	}
 
@@ -99,13 +106,13 @@ func main() {
 	b := plan.RHSFor(xTrue)
 
 	// Warm-up + correctness.
-	x, err := plan.SolveWith(b, stsk.WithWorkers(*workers))
+	x, err := plan.SolveWith(b, stsk.WithWorkers(*workers), stsk.WithSchedule(schedule))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("residual: %.3g\n", plan.Residual(x, b))
 
-	solver := plan.NewSolver(stsk.WithWorkers(*workers))
+	solver := plan.NewSolver(stsk.WithWorkers(*workers), stsk.WithSchedule(schedule))
 	defer solver.Close()
 	start := time.Now()
 	for i := 0; i < *repeats; i++ {
@@ -130,7 +137,7 @@ func main() {
 // the batched path (persistent Solver, RHSs pipelined one per worker),
 // and the streamed path (the SolveSeq iterator, results in input order).
 // All paths run under ctx, so a -timeout deadline cancels them mid-batch.
-func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int) {
+func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int, schedule stsk.ScheduleChoice) {
 	w := workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -145,13 +152,13 @@ func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int) {
 	}
 	fmt.Printf("streaming %d right-hand sides, %d workers\n", n, w)
 
-	solver := plan.NewSolver(stsk.WithWorkers(w))
+	solver := plan.NewSolver(stsk.WithWorkers(w), stsk.WithSchedule(schedule))
 	defer solver.Close()
 
 	// One-shot: the Plan.SolveWith path, fresh goroutines per solve.
 	start := time.Now()
 	for _, b := range B {
-		if _, err := plan.SolveWith(b, stsk.WithWorkers(w)); err != nil {
+		if _, err := plan.SolveWith(b, stsk.WithWorkers(w), stsk.WithSchedule(schedule)); err != nil {
 			fatal(err)
 		}
 	}
@@ -201,6 +208,22 @@ func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int) {
 	report("pooled", pooled)
 	report("batched", batched)
 	report("streamed", streamed)
+}
+
+func parseSchedule(s string) (stsk.ScheduleChoice, error) {
+	switch strings.ToLower(s) {
+	case "default", "":
+		return stsk.DefaultSchedule, nil
+	case "static":
+		return stsk.StaticSchedule, nil
+	case "dynamic":
+		return stsk.DynamicSchedule, nil
+	case "guided":
+		return stsk.GuidedSchedule, nil
+	case "graph":
+		return stsk.GraphSchedule, nil
+	}
+	return 0, fmt.Errorf("unknown schedule %q", s)
 }
 
 func parseMethod(s string) (stsk.Method, error) {

@@ -1,0 +1,243 @@
+package stsk
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+// blockDiagMatrix tiles `blocks` disjoint copies of a along the diagonal:
+// a matrix whose dependency DAG is `blocks` independent subtrees — the
+// wide-DAG shape where barrier scheduling synchronises workers that share
+// no data at all.
+func blockDiagMatrix(blocks int, a *sparse.CSR) *Matrix {
+	n := a.N * blocks
+	out := &sparse.CSR{N: n, RowPtr: make([]int, n+1)}
+	out.Col = make([]int, 0, a.NNZ()*blocks)
+	out.Val = make([]float64, 0, a.NNZ()*blocks)
+	for blk := 0; blk < blocks; blk++ {
+		off := blk * a.N
+		for i := 0; i < a.N; i++ {
+			cols, vals := a.Row(i)
+			for k, j := range cols {
+				out.Col = append(out.Col, j+off)
+				out.Val = append(out.Val, vals[k])
+			}
+			out.RowPtr[off+i+1] = len(out.Col)
+		}
+	}
+	return &Matrix{a: out}
+}
+
+func manufacturedRHS(p *Plan, nrhs int) ([][]float64, [][]float64) {
+	B := make([][]float64, nrhs)
+	want := make([][]float64, nrhs)
+	xTrue := make([]float64, p.N())
+	for r := range B {
+		for i := range xTrue {
+			xTrue[i] = float64((i+3*r)%11) - 5
+		}
+		B[r] = p.RHSFor(xTrue)
+		x, err := p.SolveSequential(B[r])
+		if err != nil {
+			panic(err)
+		}
+		want[r] = x
+	}
+	return B, want
+}
+
+// TestGraphScheduleBitwiseAllMethods is the facade acceptance gate: for
+// all four methods on grid3d and trimesh, graph-scheduled solves — single
+// and batched — must equal Plan.SolveSequential bit for bit.
+func TestGraphScheduleBitwiseAllMethods(t *testing.T) {
+	for _, class := range []string{"grid3d", "trimesh"} {
+		mat, err := Generate(class, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range Methods() {
+			p, err := Build(mat, m)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", class, m, err)
+			}
+			B, want := manufacturedRHS(p, 4)
+			s := p.NewSolver(WithWorkers(4), WithSchedule(GraphSchedule))
+			for r := range B {
+				x, err := s.Solve(B[r])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range x {
+					if x[i] != want[r][i] {
+						t.Fatalf("%s/%v: x[%d] = %v, want bitwise %v", class, m, i, x[i], want[r][i])
+					}
+				}
+			}
+			X, err := s.SolveBatch(B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range X {
+				for i := range X[r] {
+					if X[r][i] != want[r][i] {
+						t.Fatalf("%s/%v: batch rhs %d differs at %d", class, m, r, i)
+					}
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestGraphScheduleConcurrentBatches hammers one graph-scheduled Solver
+// with concurrent batches from many goroutines — the facade race gate.
+func TestGraphScheduleConcurrentBatches(t *testing.T) {
+	mat, err := Generate("trimesh", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(mat, STS3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, want := manufacturedRHS(p, 6)
+	s := p.NewSolver(WithWorkers(4), WithSchedule(GraphSchedule))
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				if g%2 == 0 {
+					X, err := s.SolveBatchCtx(context.Background(), B)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for r := range X {
+						for i := range X[r] {
+							if X[r][i] != want[r][i] {
+								t.Errorf("batch rhs %d differs at %d", r, i)
+								return
+							}
+						}
+					}
+				} else {
+					x, err := s.Solve(B[it%len(B)])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := range x {
+						if x[i] != want[it%len(B)][i] {
+							t.Errorf("coop solve differs at %d", i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDefaultScheduleResolvesToGraph checks the "default when it wins"
+// rule on a matrix whose DAG is unmistakably wide (independent diagonal
+// blocks): with several workers the default must pick the graph schedule,
+// and with one worker it must not.
+func TestDefaultScheduleResolvesToGraph(t *testing.T) {
+	mat := blockDiagMatrix(8, gen.Grid2D(30, 30))
+	p, err := Build(mat, STS3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi := p.taskDAG().Parallelism(); pi < 1.5 {
+		t.Fatalf("block-diagonal DAG parallelism %.2f, want >= 1.5", pi)
+	}
+	if !p.graphWins() {
+		t.Fatal("graphWins false on a block-diagonal DAG")
+	}
+	if opts := p.lowerSolve(applyOptions([]Option{WithWorkers(4)})); opts.Schedule.String() != "graph" {
+		t.Fatalf("default schedule %v with 4 workers, want graph", opts.Schedule)
+	}
+	if opts := p.lowerSolve(applyOptions([]Option{WithWorkers(1)})); opts.Schedule.String() == "graph" {
+		t.Fatal("graph schedule chosen for a single worker")
+	}
+	// Explicit choices always pass through.
+	if opts := p.lowerSolve(applyOptions([]Option{WithWorkers(1), WithSchedule(GraphSchedule)})); opts.Schedule.String() != "graph" {
+		t.Fatalf("explicit GraphSchedule ignored: %v", opts.Schedule)
+	}
+	if opts := p.lowerSolve(applyOptions([]Option{WithWorkers(4), WithSchedule(GuidedSchedule)})); opts.Schedule.String() != "guided" {
+		t.Fatalf("explicit GuidedSchedule ignored: %v", opts.Schedule)
+	}
+}
+
+// TestSolverSteadyStateAllocs asserts the facade satellite: warm solvers
+// run Into-style solves — cooperative and batched, barrier and graph —
+// without allocating.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	mat, err := Generate("grid3d", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(mat, STS3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B, _ := manufacturedRHS(p, 8)
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, p.N())
+	}
+	x := make([]float64, p.N())
+	z := make([]float64, p.N())
+	for _, tc := range []struct {
+		name string
+		s    *Solver
+	}{
+		{"barrier", p.NewSolver(WithWorkers(4), WithSchedule(GuidedSchedule))},
+		{"graph", p.NewSolver(WithWorkers(4), WithSchedule(GraphSchedule))},
+	} {
+		for i := 0; i < 3; i++ { // warm pools, scratch, lazy transpose
+			if err := tc.s.SolveInto(x, B[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.s.SolveBatchInto(X, B); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.s.ApplySGSInto(z, B[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := tc.s.SolveInto(x, B[0]); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: SolveInto allocates %.1f/op, want 0", tc.name, n)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := tc.s.SolveBatchInto(X, B); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: SolveBatchInto allocates %.1f/op, want 0", tc.name, n)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := tc.s.ApplySGSInto(z, B[0]); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: ApplySGSInto allocates %.1f/op, want 0", tc.name, n)
+		}
+		tc.s.Close()
+	}
+}

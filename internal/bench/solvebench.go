@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"stsk/internal/csrk"
+	"stsk/internal/gen"
+	"stsk/internal/order"
+	"stsk/internal/solve"
+	"stsk/internal/sparse"
+)
+
+// SolveBenchResult is one measured (matrix, method, schedule) cell of the
+// wall-clock solve benchmark — the machine-readable perf trajectory
+// recorded as BENCH_stsk.json across PRs.
+type SolveBenchResult struct {
+	Matrix       string  `json:"matrix"`
+	N            int     `json:"n"`
+	NNZ          int     `json:"nnz"`
+	Method       string  `json:"method"`
+	Schedule     string  `json:"schedule"`
+	Workers      int     `json:"workers"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	SolvesPerSec float64 `json:"solves_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Tasks        int     `json:"tasks,omitempty"`       // graph schedule: DAG size
+	Edges        int     `json:"edges,omitempty"`       // graph schedule: sparsified deps
+	Parallelism  float64 `json:"parallelism,omitempty"` // graph schedule: tasks / critical path
+}
+
+// SolveBenchReport is the BENCH_stsk.json document.
+type SolveBenchReport struct {
+	GOOS    string             `json:"goos"`
+	GOARCH  string             `json:"goarch"`
+	CPUs    int                `json:"cpus"`
+	Scale   int                `json:"scale"`
+	Results []SolveBenchResult `json:"results"`
+}
+
+// solveBenchMatrix builds one wall-clock benchmark matrix near n rows.
+func solveBenchMatrix(class string, n int) (*sparse.CSR, error) {
+	switch class {
+	case "grid3d":
+		s := 2
+		for (s+1)*(s+1)*(s+1) <= n {
+			s++
+		}
+		return gen.Grid3D(s, s, s), nil
+	case "trimesh":
+		s := 2
+		for (s+1)*(s+1) <= n {
+			s++
+		}
+		return gen.TriMesh(s, s, 7), nil
+	}
+	return nil, fmt.Errorf("bench: unknown solve-bench matrix class %q", class)
+}
+
+// SolveBench measures wall-clock forward solves for every method on the
+// standard benchmark matrices under three schedules — sequential (one
+// worker), the paper's barrier pairing, and the dependency-driven graph
+// schedule — reporting throughput and steady-state allocations. A
+// human-readable table goes to r.Out; the returned report is what
+// stsbench serialises to BENCH_stsk.json.
+func (r *Runner) SolveBench() (*SolveBenchReport, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	report := &SolveBenchReport{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Scale:  r.Scale,
+	}
+	fmt.Fprintf(r.Out, "Solve benchmark (wall-clock, %d workers)\n", workers)
+	fmt.Fprintf(r.Out, "%-8s %-9s %-10s %12s %14s %10s\n", "matrix", "method", "schedule", "ns/op", "solves/s", "allocs/op")
+	for _, class := range []string{"grid3d", "trimesh"} {
+		mat, err := solveBenchMatrix(class, r.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methodOrder {
+			p, err := order.Build(mat, order.Options{Method: m})
+			if err != nil {
+				return nil, fmt.Errorf("bench: solvebench plan %s/%v: %w", class, m, err)
+			}
+			dag := order.BuildTaskDAG(p.S, order.TaskDAGOptions{})
+			rhs := sparse.RHSForSolution(p.S.L, make([]float64, p.S.L.N))
+			for _, sc := range []struct {
+				name string
+				opts solve.Options
+			}{
+				{"sequential", solve.Options{Workers: 1}},
+				{"barrier", solve.DefaultsFor(m.UsesSuperRows(), workers)},
+				{"graph", solve.Options{Workers: workers, Schedule: solve.Graph, Graph: dag}},
+			} {
+				res, err := measureSolve(p.S, rhs, sc.opts)
+				if err != nil {
+					return nil, err
+				}
+				res.Matrix, res.N, res.NNZ = class, mat.N, mat.NNZ()
+				res.Method, res.Schedule = m.String(), sc.name
+				if sc.name == "graph" {
+					res.Tasks = dag.NumTasks()
+					res.Edges = dag.NumEdges()
+					res.Parallelism = dag.Parallelism()
+				}
+				report.Results = append(report.Results, res)
+				fmt.Fprintf(r.Out, "%-8s %-9s %-10s %12.0f %14.0f %10.2f\n",
+					class, m, sc.name, res.NsPerOp, res.SolvesPerSec, res.AllocsPerOp)
+			}
+		}
+	}
+	return report, nil
+}
+
+// measureSolve times repeated cooperative solves on a persistent engine
+// until enough samples accumulate, and reads steady-state allocations
+// from the runtime's malloc counter (warm-up solves are excluded, so a
+// healthy engine reports ~0).
+func measureSolve(st *csrk.Structure, rhs []float64, opts solve.Options) (SolveBenchResult, error) {
+	e := solve.NewEngine(st, opts)
+	defer e.Close()
+	x := make([]float64, st.L.N)
+	for i := 0; i < 3; i++ { // warm pools and per-worker scratch
+		if err := e.SolveInto(x, rhs); err != nil {
+			return SolveBenchResult{}, err
+		}
+	}
+	const minDuration = 150 * time.Millisecond
+	const maxOps = 50000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < minDuration && ops < maxOps {
+		if err := e.SolveInto(x, rhs); err != nil {
+			return SolveBenchResult{}, err
+		}
+		ops++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(ops)
+	return SolveBenchResult{
+		Workers:      e.Workers(),
+		NsPerOp:      ns,
+		SolvesPerSec: 1e9 / ns,
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}, nil
+}
+
+// WriteSolveBenchJSON runs SolveBench and serialises the report.
+func (r *Runner) WriteSolveBenchJSON(w io.Writer) error {
+	report, err := r.SolveBench()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

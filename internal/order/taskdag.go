@@ -1,0 +1,200 @@
+package order
+
+import (
+	"sort"
+
+	"stsk/internal/csrk"
+)
+
+// TaskDAGOptions tunes the dependency-DAG construction for the
+// point-to-point graph schedule.
+type TaskDAGOptions struct {
+	// SplitPerPack caps the number of tasks carved from one pack, so wide
+	// packs keep intra-pack parallelism under the graph schedule instead
+	// of collapsing onto a single worker. Defaults to 8. The split is
+	// deterministic (never tied to GOMAXPROCS) so a plan built on one
+	// machine schedules identically everywhere.
+	SplitPerPack int
+
+	// MinTaskNNZ is the minimum work (stored entries) worth a scheduling
+	// unit; packs smaller than SplitPerPack×MinTaskNNZ are carved into
+	// proportionally fewer tasks. Defaults to 2048.
+	MinTaskNNZ int
+
+	// SparsifyLimit bounds the task count for full transitive reduction
+	// (the ancestor bitsets cost O(tasks²/64) words). DAGs larger than the
+	// limit keep their deduplicated direct edges, which is correct but
+	// synchronises more than necessary. Defaults to 16384.
+	SparsifyLimit int
+}
+
+func (o TaskDAGOptions) withDefaults() TaskDAGOptions {
+	if o.SplitPerPack <= 0 {
+		o.SplitPerPack = 8
+	}
+	if o.MinTaskNNZ <= 0 {
+		o.MinTaskNNZ = 2048
+	}
+	if o.SparsifyLimit <= 0 {
+		o.SparsifyLimit = 16384
+	}
+	return o
+}
+
+// BuildTaskDAG derives the pack-to-pack dependency DAG of a structure for
+// the point-to-point graph schedule (the barrier-free counterpart of
+// Algorithm 1's pack loop):
+//
+//  1. Each pack is split into up to SplitPerPack contiguous super-row
+//     chunks of roughly equal nonzero count — the tasks. A task never
+//     splits a super-row and never crosses a pack, so tasks inherit the
+//     structure's independence guarantees: all dependencies point to
+//     earlier packs.
+//  2. Every task's direct dependencies are read off the matrix: a task
+//     depends on the task owning each column its rows reference below its
+//     own row range.
+//  3. The dependency lists are transitively sparsified: an edge p→t is
+//     dropped when p is already an ancestor of another predecessor of t,
+//     so each task waits only on its direct unsatisfied predecessors and
+//     a finishing task notifies the minimum set of successors.
+//
+// The result is built once at plan time and reused by every solve.
+func BuildTaskDAG(s *csrk.Structure, opts TaskDAGOptions) *csrk.TaskDAG {
+	opts = opts.withDefaults()
+	l := s.L
+
+	// Stage 1: carve packs into nnz-balanced contiguous super-row chunks.
+	taskPtr := []int32{0}
+	for p := 0; p < s.NumPacks(); p++ {
+		slo, shi := s.PackSuperRows(p)
+		rlo, rhi := s.PackRows(p)
+		packNNZ := l.RowPtr[rhi] - l.RowPtr[rlo]
+		k := packNNZ / opts.MinTaskNNZ
+		if k > opts.SplitPerPack {
+			k = opts.SplitPerPack
+		}
+		if k > shi-slo {
+			k = shi - slo
+		}
+		if k < 1 {
+			k = 1
+		}
+		// Walk the super-rows, cutting whenever the accumulated nonzeros
+		// pass the next of k equal marks.
+		cut := slo
+		done := 0
+		for c := 1; c < k; c++ {
+			target := packNNZ * c / k
+			for cut < shi-(k-c) && done < target {
+				lo, hi := s.SuperRowRows(cut)
+				done += l.RowPtr[hi] - l.RowPtr[lo]
+				cut++
+			}
+			if cut > int(taskPtr[len(taskPtr)-1]) {
+				taskPtr = append(taskPtr, int32(cut))
+			}
+		}
+		taskPtr = append(taskPtr, int32(shi))
+	}
+	nt := len(taskPtr) - 1
+
+	// Row ranges and row→task ownership.
+	rowPtr := make([]int32, nt+1)
+	rowTask := make([]int32, l.N)
+	for t := 0; t < nt; t++ {
+		rlo := s.SuperPtr[taskPtr[t]]
+		rhi := s.SuperPtr[taskPtr[t+1]]
+		rowPtr[t] = int32(rlo)
+		rowPtr[t+1] = int32(rhi)
+		for i := rlo; i < rhi; i++ {
+			rowTask[i] = int32(t)
+		}
+	}
+
+	// Stage 2: direct dependencies from the matrix structure.
+	direct := make([][]int32, nt)
+	stamp := make([]int32, nt)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for t := 0; t < nt; t++ {
+		rlo, rhi := int(rowPtr[t]), int(rowPtr[t+1])
+		for i := rlo; i < rhi; i++ {
+			for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+				j := l.Col[k]
+				if j >= rlo {
+					continue // own task (rows of a task are contiguous)
+				}
+				pt := rowTask[j]
+				if stamp[pt] != int32(t) {
+					stamp[pt] = int32(t)
+					direct[t] = append(direct[t], pt)
+				}
+			}
+		}
+		sort.Slice(direct[t], func(a, b int) bool { return direct[t][a] > direct[t][b] }) // descending
+	}
+
+	// Stage 3: transitive sparsification. anc[t] is the full ancestor set
+	// of task t as a bitset; scanning the direct predecessors in
+	// descending order, an edge is kept only when its target is not
+	// already reachable through a kept one.
+	pred := []int32{}
+	predPtr := make([]int32, nt+1)
+	if nt <= opts.SparsifyLimit {
+		words := (nt + 63) / 64
+		anc := make([]uint64, nt*words)
+		for t := 0; t < nt; t++ {
+			reach := anc[t*words : (t+1)*words]
+			for _, p := range direct[t] {
+				if reach[p>>6]&(1<<(uint(p)&63)) != 0 {
+					continue // implied by a kept predecessor
+				}
+				pred = append(pred, p)
+				pa := anc[int(p)*words : (int(p)+1)*words]
+				for w := range reach {
+					reach[w] |= pa[w]
+				}
+				reach[p>>6] |= 1 << (uint(p) & 63)
+			}
+			predPtr[t+1] = int32(len(pred))
+		}
+	} else {
+		for t := 0; t < nt; t++ {
+			pred = append(pred, direct[t]...)
+			predPtr[t+1] = int32(len(pred))
+		}
+	}
+
+	// Ascending predecessor order reads more naturally downstream.
+	for t := 0; t < nt; t++ {
+		seg := pred[predPtr[t]:predPtr[t+1]]
+		for a, b := 0, len(seg)-1; a < b; a, b = a+1, b-1 {
+			seg[a], seg[b] = seg[b], seg[a]
+		}
+	}
+
+	// Successor lists by a counting transpose of Pred.
+	succPtr := make([]int32, nt+1)
+	for _, p := range pred {
+		succPtr[p+1]++
+	}
+	for t := 0; t < nt; t++ {
+		succPtr[t+1] += succPtr[t]
+	}
+	succ := make([]int32, len(pred))
+	next := append([]int32(nil), succPtr[:nt]...)
+	for t := 0; t < nt; t++ {
+		for _, p := range pred[predPtr[t]:predPtr[t+1]] {
+			succ[next[p]] = int32(t)
+			next[p]++
+		}
+	}
+
+	return &csrk.TaskDAG{
+		TaskPtr: taskPtr,
+		RowPtr:  rowPtr,
+		Pred:    pred, PredPtr: predPtr,
+		Succ: succ, SuccPtr: succPtr,
+	}
+}

@@ -1,0 +1,143 @@
+package order
+
+import (
+	"testing"
+
+	"stsk/internal/csrk"
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+// ancestorSets recomputes the full reachability closure of the DAG.
+func ancestorSets(d *csrk.TaskDAG) [][]uint64 {
+	nt := d.NumTasks()
+	words := (nt + 63) / 64
+	anc := make([][]uint64, nt)
+	for t := 0; t < nt; t++ {
+		anc[t] = make([]uint64, words)
+		for _, p := range d.Preds(t) {
+			anc[t][p>>6] |= 1 << (uint(p) & 63)
+			for w := range anc[t] {
+				anc[t][w] |= anc[p][w]
+			}
+		}
+	}
+	return anc
+}
+
+func has(set []uint64, t int32) bool { return set[t>>6]&(1<<(uint(t)&63)) != 0 }
+
+// TestTaskDAGCoversMatrixDependencies builds DAGs for every method over a
+// couple of mesh matrices and checks the scheduler contract: the DAG is
+// structurally valid, and every matrix entry crossing a task boundary is
+// covered by reachability — a task transitively waits on every task whose
+// rows it reads.
+func TestTaskDAGCoversMatrixDependencies(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"grid3d":  gen.Grid3D(6, 6, 6),
+		"trimesh": gen.TriMesh(13, 13, 3),
+	}
+	for name, a := range mats {
+		for _, m := range Methods() {
+			p, err := Build(a, Options{Method: m})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			d := BuildTaskDAG(p.S, TaskDAGOptions{SplitPerPack: 4, MinTaskNNZ: 16})
+			if err := d.Validate(p.S); err != nil {
+				t.Fatalf("%s/%v: %v", name, m, err)
+			}
+			anc := ancestorSets(d)
+			rowTask := make([]int32, p.S.L.N)
+			for task := 0; task < d.NumTasks(); task++ {
+				lo, hi := d.TaskRows(task)
+				for i := lo; i < hi; i++ {
+					rowTask[i] = int32(task)
+				}
+			}
+			l := p.S.L
+			for i := 0; i < l.N; i++ {
+				cols, _ := l.Row(i)
+				for _, j := range cols {
+					ti, tj := rowTask[i], rowTask[j]
+					if ti == tj {
+						continue
+					}
+					if !has(anc[ti], tj) {
+						t.Fatalf("%s/%v: row %d (task %d) reads row %d (task %d) with no dependency path",
+							name, m, i, j, ti, tj)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTaskDAGSparsified checks the transitive reduction: no direct edge
+// may be implied by the rest of the task's predecessors.
+func TestTaskDAGSparsified(t *testing.T) {
+	a := gen.TriMesh(12, 12, 3)
+	p, err := Build(a, Options{Method: STS3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BuildTaskDAG(p.S, TaskDAGOptions{SplitPerPack: 4, MinTaskNNZ: 16})
+	anc := ancestorSets(d)
+	for task := 0; task < d.NumTasks(); task++ {
+		preds := d.Preds(task)
+		for _, q := range preds {
+			for _, other := range preds {
+				if other != q && has(anc[other], q) {
+					t.Fatalf("task %d: edge to %d is implied by predecessor %d", task, q, other)
+				}
+			}
+		}
+	}
+}
+
+// TestTaskDAGSplitsWidePacks checks that a wide pack is carved into
+// several independent tasks (the intra-pack parallelism the graph
+// schedule needs), and that the resulting DAG reports parallelism > 1.
+func TestTaskDAGSplitsWidePacks(t *testing.T) {
+	a := gen.Grid3D(7, 7, 7)
+	p, err := Build(a, Options{Method: CSR3LS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BuildTaskDAG(p.S, TaskDAGOptions{SplitPerPack: 4, MinTaskNNZ: 16})
+	if d.NumTasks() <= p.S.NumPacks() {
+		t.Fatalf("no pack was split: %d tasks over %d packs", d.NumTasks(), p.S.NumPacks())
+	}
+	// The pack sequence is sorted by size, not by dependency, so the
+	// critical path may be shorter than the pack count — that slack is
+	// precisely what the graph schedule exploits — but it can never
+	// exceed it: a task chain crosses each pack at most once.
+	if cp := d.CriticalPath(); cp > p.S.NumPacks() || cp < 1 {
+		t.Fatalf("critical path %d outside [1,%d]", cp, p.S.NumPacks())
+	}
+	if pi := d.Parallelism(); pi <= 1 {
+		t.Fatalf("parallelism %.2f, want > 1", pi)
+	}
+}
+
+// TestTaskDAGDefaults exercises the default splitting thresholds on a
+// larger matrix and the no-sparsification fallback path.
+func TestTaskDAGDefaults(t *testing.T) {
+	a := gen.Grid2D(40, 40)
+	p, err := Build(a, Options{Method: CSRLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BuildTaskDAG(p.S, TaskDAGOptions{})
+	if err := d.Validate(p.S); err != nil {
+		t.Fatal(err)
+	}
+	dense := BuildTaskDAG(p.S, TaskDAGOptions{SparsifyLimit: 1, MinTaskNNZ: 1, SplitPerPack: 4})
+	if err := dense.Validate(p.S); err != nil {
+		t.Fatal(err)
+	}
+	sparse := BuildTaskDAG(p.S, TaskDAGOptions{MinTaskNNZ: 1, SplitPerPack: 4})
+	if sparse.NumEdges() > dense.NumEdges() {
+		t.Fatalf("sparsified DAG has more edges (%d) than the raw one (%d)", sparse.NumEdges(), dense.NumEdges())
+	}
+}

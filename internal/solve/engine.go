@@ -53,7 +53,8 @@ var (
 // ErrClosed.
 type Engine struct {
 	s    *csrk.Structure
-	l    *sparse.CSR // s.L, diagonal last in each row
+	l    *sparse.CSR    // s.L, diagonal last in each row
+	pk   *sparse.Packed // compact int32-index layout of l (nil on overflow)
 	opts Options
 
 	// Backward-sweep state, built on demand by ensureUpper — either by
@@ -61,7 +62,8 @@ type Engine struct {
 	// engines over one structure share a single transpose).
 	upperOnce sync.Once
 	upperFn   func() (*sparse.CSR, error)
-	u         *sparse.CSR // L′ᵀ, diagonal first in each row
+	u         *sparse.CSR    // L′ᵀ, diagonal first in each row
+	upk       *sparse.Packed // compact layout of u (nil on overflow)
 	upperErr  error
 
 	// Diagonal of L′, built on demand by the fused SGS sweep.
@@ -73,24 +75,63 @@ type Engine struct {
 	closeMu  sync.RWMutex
 	closed   bool
 
+	// Steady-state allocation elimination: whole-RHS jobs, batch
+	// completion trackers and stream completion channels are pooled per
+	// engine, so batch and stream solves stop allocating once warm.
+	jobPool  sync.Pool // *wholeJob
+	runPool  sync.Pool // *batchRun
+	errcPool sync.Pool // chan error, cap 1
+
 	// Cooperative-solve state, reused across solves under solveMu.
 	solveMu sync.Mutex
 	run     coopRun
+	graph   graphRun // dependency-driven schedule state; valid when opts.Graph != nil
 }
 
-// job is one unit handed to a parked worker: either a share of a
-// cooperative solve or a whole independent right-hand side.
+// job is one unit handed to a parked worker: a share of a barrier-style
+// cooperative solve, a share of a graph-scheduled solve, or a whole
+// independent right-hand side.
 type job struct {
 	coop  *coopRun
 	id    int // worker index within the cooperative solve
+	graph *graphRun
 	whole *wholeJob
 }
 
-// wholeJob is an independent full sweep of one right-hand side.
+// wholeJob is an independent full sweep of one right-hand side. Exactly
+// one of run (batch member) and errc (stream member) is set.
 type wholeJob struct {
 	kind sweepKind
 	x, b []float64
+	run  *batchRun
 	errc chan<- error
+}
+
+// batchRun tracks one batch's completion without allocating a channel per
+// call: workers decrement remaining, record the first error, and the last
+// one signals done (capacity 1, reused across batches via runPool).
+type batchRun struct {
+	remaining atomic.Int32
+	mu        sync.Mutex
+	err       error
+	done      chan struct{}
+}
+
+// finish records one completed batch member. The error write is sequenced
+// before the decrement, so whoever observes remaining hit zero (the done
+// receiver or the dispatcher folding in undispatched members) sees every
+// error.
+func (r *batchRun) finish(err error) {
+	if err != nil {
+		r.mu.Lock()
+		if r.err == nil {
+			r.err = err
+		}
+		r.mu.Unlock()
+	}
+	if r.remaining.Add(-1) == 0 {
+		r.done <- struct{}{}
+	}
 }
 
 type sweepKind int
@@ -122,6 +163,22 @@ func NewEngineWithUpper(s *csrk.Structure, upper func() (*sparse.CSR, error), op
 // newEngine optionally adopts a pre-built validated transpose u, so the
 // UpperSolver compatibility path does not re-transpose per solve.
 func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
+	// A DAG built for a different structure cannot schedule this one: its
+	// task boundaries would not respect this structure's independence
+	// guarantees, silently racing dependent rows. A mismatched DAG is
+	// dropped and the schedule falls back to Guided (withDefaults).
+	// Persistent engines run the full structural validation once; one-shot
+	// wrappers (an engine per solve) only pay the O(1) span check — their
+	// DAGs come from the facade, which always pairs a plan with its own.
+	if opts.Graph != nil {
+		if opts.oneShot {
+			if int(opts.Graph.RowPtr[opts.Graph.NumTasks()]) != s.L.N {
+				opts.Graph = nil
+			}
+		} else if opts.Graph.Validate(s) != nil {
+			opts.Graph = nil
+		}
+	}
 	opts = opts.withDefaults()
 	e := &Engine{
 		s:    s,
@@ -129,13 +186,29 @@ func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
 		opts: opts,
 		jobs: make(chan job),
 	}
-	if u != nil {
-		e.upperOnce.Do(func() { e.u = u })
+	if !opts.oneShot {
+		// The packed conversion costs an O(nnz) copy — worth it once per
+		// persistent engine, pure overhead for a single-solve wrapper.
+		e.pk, _ = sparse.PackLower(s.L)
 	}
+	if u != nil {
+		e.upperOnce.Do(func() {
+			e.u = u
+			if !opts.oneShot {
+				e.upk, _ = sparse.PackUpper(u)
+			}
+		})
+	}
+	e.jobPool.New = func() any { return new(wholeJob) }
+	e.runPool.New = func() any { return &batchRun{done: make(chan struct{}, 1)} }
+	e.errcPool.New = func() any { return make(chan error, 1) }
 	e.run.e = e
 	e.run.barrier.size = opts.Workers
 	e.run.barrier.cond = sync.NewCond(&e.run.barrier.mu)
 	e.run.counters = make([]atomic.Int64, s.NumPacks())
+	if e.opts.Graph != nil {
+		e.graph.init(e, e.opts.Graph)
+	}
 	for w := 0; w < opts.Workers; w++ {
 		e.workerWG.Add(1)
 		go e.worker()
@@ -196,10 +269,25 @@ func (e *Engine) worker() {
 	for j := range e.jobs {
 		switch {
 		case j.whole != nil:
-			if j.whole.kind == sweepSGS && scratch == nil {
+			w := j.whole
+			if w.kind == sweepSGS && scratch == nil {
 				scratch = make([]float64, e.l.N)
 			}
-			j.whole.errc <- e.sweepWhole(j.whole, scratch)
+			err := e.sweepWhole(w, scratch)
+			// Recycle the job before signalling: once the completion is
+			// visible the dispatcher may return, and the pooled job must
+			// already be free of references.
+			run, errc := w.run, w.errc
+			w.x, w.b, w.run, w.errc = nil, nil, nil, nil
+			e.jobPool.Put(w)
+			if run != nil {
+				run.finish(err)
+			} else {
+				errc <- err
+			}
+		case j.graph != nil:
+			j.graph.work()
+			j.graph.wg.Done()
 		case j.coop != nil:
 			j.coop.work(j.id)
 			j.coop.wg.Done()
@@ -217,16 +305,16 @@ func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
 	}
 	switch w.kind {
 	case sweepForward:
-		solveRows(e.l.RowPtr, e.l.Col, e.l.Val, w.x, w.b, 0, n)
+		e.forwardRows(w.x, w.b, 0, n)
 	case sweepBackward:
-		solveUpperRows(e.u.RowPtr, e.u.Col, e.u.Val, w.x, w.b, 0, n)
+		e.backwardRows(w.x, w.b, 0, n)
 	case sweepSGS:
 		d := e.diagonal()
-		solveRows(e.l.RowPtr, e.l.Col, e.l.Val, scratch, w.b, 0, n)
+		e.forwardRows(scratch, w.b, 0, n)
 		for i := 0; i < n; i++ {
 			scratch[i] *= d[i]
 		}
-		solveUpperRows(e.u.RowPtr, e.u.Col, e.u.Val, w.x, scratch, 0, n)
+		e.backwardRows(w.x, scratch, 0, n)
 	}
 	return nil
 }
@@ -235,6 +323,11 @@ func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
 // sweeps on first use.
 func (e *Engine) ensureUpper() error {
 	e.upperOnce.Do(func() {
+		defer func() {
+			if e.upperErr == nil && e.u != nil && !e.opts.oneShot {
+				e.upk, _ = sparse.PackUpper(e.u)
+			}
+		}()
 		if e.upperFn != nil {
 			e.u, e.upperErr = e.upperFn()
 			return
@@ -260,9 +353,14 @@ func (e *Engine) ensureUpper() error {
 // shared engine state: callers must treat it as read-only.
 func (e *Engine) Diagonal() []float64 { return e.diagonal() }
 
-// diagonal returns (building once) the diagonal of L′.
+// diagonal returns (building once) the diagonal of L′. The packed layout
+// already carries it.
 func (e *Engine) diagonal() []float64 {
 	e.diagOnce.Do(func() {
+		if e.pk != nil {
+			e.diag = e.pk.Diag
+			return
+		}
 		l := e.l
 		e.diag = make([]float64, l.N)
 		for i := 0; i < l.N; i++ {
@@ -344,9 +442,9 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 			return ErrClosed
 		}
 		if reverse {
-			solveUpperRows(e.u.RowPtr, e.u.Col, e.u.Val, x, b, 0, n)
+			e.backwardRows(x, b, 0, n)
 		} else {
-			solveRows(e.l.RowPtr, e.l.Col, e.l.Val, x, b, 0, n)
+			e.forwardRows(x, b, 0, n)
 		}
 		return nil
 	}
@@ -356,6 +454,9 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 	// re-check before committing the pool.
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if e.opts.Schedule == Graph {
+		return e.graphSolve(x, b, reverse)
 	}
 	r := &e.run
 	r.x, r.b, r.reverse = x, b, reverse
@@ -383,6 +484,31 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 	e.closeMu.RUnlock()
 	r.wg.Wait()
 	r.x, r.b = nil, nil
+	return nil
+}
+
+// graphSolve runs one dependency-driven cooperative solve (see graphRun).
+// Called under solveMu; the dispatch discipline mirrors the barrier path:
+// workers claim ready tasks point-to-point instead of meeting at a
+// barrier, but the job tokens go out under one read-lock all the same.
+// Unlike the barrier path the graph loop tolerates fewer live workers
+// than tokens — any subset of workers drains the ready queue — but
+// dispatch is still all-or-nothing for simplicity.
+func (e *Engine) graphSolve(x, b []float64, reverse bool) error {
+	g := &e.graph
+	g.reset(x, b, reverse)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return ErrClosed
+	}
+	for w := 0; w < e.opts.Workers; w++ {
+		g.wg.Add(1)
+		e.jobs <- job{graph: g}
+	}
+	e.closeMu.RUnlock()
+	g.wg.Wait()
+	g.x, g.b = nil, nil
 	return nil
 }
 
@@ -446,11 +572,18 @@ func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
 // batch fans the (X[i], B[i]) pairs out as independent whole-RHS jobs and
 // gathers the first error. Cancellation wins over per-solve errors: a
 // dead context stops dispatch immediately and the batch reports ctx.Err().
+// Completion is tracked by a pooled batchRun counter instead of a
+// per-call channel, so a warm engine runs batches without allocating.
 func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) error {
 	if len(X) != len(B) {
 		return fmt.Errorf("%w: batch lengths %d/%d differ", ErrDimension, len(X), len(B))
 	}
-	errc := make(chan error, len(B))
+	if len(B) == 0 {
+		return nil
+	}
+	run := e.runPool.Get().(*batchRun)
+	run.err = nil
+	run.remaining.Store(int32(len(B)))
 	issued := 0
 	var first error
 	for i := range B {
@@ -458,16 +591,28 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 			first = err
 			break
 		}
-		if err := e.submitCtx(ctx, job{whole: &wholeJob{kind: kind, x: X[i], b: B[i], errc: errc}}); err != nil {
+		j := e.jobPool.Get().(*wholeJob)
+		j.kind, j.x, j.b, j.run, j.errc = kind, X[i], B[i], run, nil
+		if err := e.submitCtx(ctx, job{whole: j}); err != nil {
+			j.x, j.b, j.run = nil, nil, nil
+			e.jobPool.Put(j)
 			first = err
 			break
 		}
 		issued++
 	}
-	for i := 0; i < issued; i++ {
-		if err := <-errc; err != nil && first == nil {
-			first = err
-		}
+	// Fold undispatched members into the counter; whoever takes it to
+	// zero owns the completion. If that is a worker it signals done, if it
+	// is this Add no signal was (or will be) sent — in-flight workers only
+	// ever saw a positive count.
+	if skipped := len(B) - issued; skipped == 0 || run.remaining.Add(-int32(skipped)) > 0 {
+		<-run.done
+	}
+	err := run.err
+	run.err = nil
+	e.runPool.Put(run)
+	if first == nil {
+		first = err
 	}
 	return first
 }
@@ -508,7 +653,7 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 	out := make(chan Result, 2*e.opts.Workers)
 	inflight := make(chan pending, 2*e.opts.Workers)
 	fail := func(err error) pending {
-		ec := make(chan error, 1)
+		ec := e.errcPool.Get().(chan error)
 		ec <- err
 		return pending{errc: ec}
 	}
@@ -523,15 +668,22 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 				if !ok {
 					return
 				}
-				p := pending{x: make([]float64, e.l.N), errc: make(chan error, 1)}
+				// The result vector is handed to the consumer and cannot be
+				// pooled; the completion channel comes from (and returns to)
+				// the engine pool.
+				p := pending{x: make([]float64, e.l.N), errc: e.errcPool.Get().(chan error)}
 				inflight <- p // bound the pipeline before enqueueing work
-				if err := e.submitCtx(ctx, job{whole: &wholeJob{kind: sweepForward, x: p.x, b: b, errc: p.errc}}); err != nil {
+				j := e.jobPool.Get().(*wholeJob)
+				j.kind, j.x, j.b, j.run, j.errc = sweepForward, p.x, b, nil, p.errc
+				if err := e.submitCtx(ctx, job{whole: j}); err != nil {
 					// Report the failure in order but keep draining bs, so a
 					// producer that never watches ctx (plain SolveMany racing
 					// Close) is not stranded blocked on a send; each further
 					// vector yields its own error result until bs closes. A
 					// cancelled ctx instead exits through the Done case above,
 					// where producers are documented to select on ctx.
+					j.x, j.b, j.errc = nil, nil, nil
+					e.jobPool.Put(j)
 					p.errc <- err
 				}
 			}
@@ -540,7 +692,9 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 	go func() {
 		defer close(out)
 		for p := range inflight {
-			if err := <-p.errc; err != nil {
+			err := <-p.errc
+			e.errcPool.Put(p.errc)
+			if err != nil {
 				out <- Result{Err: err}
 			} else {
 				out <- Result{X: p.x}
@@ -668,10 +822,8 @@ func (r *coopRun) grabGuided(p, hi int) (from, to int, ok bool) {
 func (r *coopRun) solveSuper(sr int) {
 	lo, hi := r.e.s.SuperRowRows(sr)
 	if r.reverse {
-		u := r.e.u
-		solveUpperRows(u.RowPtr, u.Col, u.Val, r.x, r.b, lo, hi)
+		r.e.backwardRows(r.x, r.b, lo, hi)
 	} else {
-		l := r.e.l
-		solveRows(l.RowPtr, l.Col, l.Val, r.x, r.b, lo, hi)
+		r.e.forwardRows(r.x, r.b, lo, hi)
 	}
 }

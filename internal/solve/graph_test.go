@@ -1,0 +1,254 @@
+package solve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"stsk/internal/gen"
+	"stsk/internal/order"
+	"stsk/internal/sparse"
+)
+
+// graphEngine builds an engine on the dependency-driven schedule with a
+// fine-grained DAG so even small test matrices exercise real task graphs.
+func graphEngine(p *order.Plan, workers int) *Engine {
+	dag := order.BuildTaskDAG(p.S, order.TaskDAGOptions{SplitPerPack: 4, MinTaskNNZ: 16})
+	return NewEngine(p.S, Options{Workers: workers, Schedule: Graph, Graph: dag})
+}
+
+// TestGraphSolveMatchesSequentialBitwise is the core correctness gate of
+// the point-to-point scheduler: for every method and several worker
+// counts, graph-scheduled solves must equal Sequential bit for bit.
+func TestGraphSolveMatchesSequentialBitwise(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"grid3d":  gen.Grid3D(6, 6, 6),
+		"trimesh": gen.TriMesh(14, 14, 3),
+	}
+	for name, a := range mats {
+		for _, m := range order.Methods() {
+			p := planFor(t, a, m)
+			B, want := randomRHS(p, 3, 17)
+			for _, workers := range []int{2, 3, 8} {
+				e := graphEngine(p, workers)
+				for r := range B {
+					x, err := e.Solve(B[r])
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertBitwise(t, name+"/"+m.String()+"/graph", x, want[r])
+				}
+				e.Close()
+			}
+		}
+	}
+}
+
+// TestGraphSolveUpperBitwise checks the reverse sweep: the graph schedule
+// runs the DAG backwards (successors become prerequisites) and must match
+// the single-worker backward solve bitwise.
+func TestGraphSolveUpperBitwise(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	for _, m := range order.Methods() {
+		p := planFor(t, a, m)
+		us, err := NewUpperSolver(p.S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		b := make([]float64, a.N)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := us.Solve(b, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := graphEngine(p, 4)
+		x, err := e.SolveUpper(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, m.String()+"/graph-upper", x, want)
+		e.Close()
+	}
+}
+
+// TestGraphScheduleFallsBackWithoutDAG: the Graph schedule without a DAG
+// must demote itself to the barrier Guided schedule and still solve.
+func TestGraphScheduleFallsBackWithoutDAG(t *testing.T) {
+	a := gen.Grid2D(10, 10)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 3, Schedule: Graph})
+	defer e.Close()
+	if e.opts.Schedule != Guided {
+		t.Fatalf("schedule %v, want fallback to Guided", e.opts.Schedule)
+	}
+	B, want := randomRHS(p, 1, 9)
+	x, err := e.Solve(B[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "fallback", x, want[0])
+}
+
+// TestGraphScheduleRejectsForeignDAG: a DAG built for another structure
+// must be dropped rather than drive an out-of-bounds schedule.
+func TestGraphScheduleRejectsForeignDAG(t *testing.T) {
+	small := planFor(t, gen.Grid2D(8, 8), order.STS3)
+	big := planFor(t, gen.Grid2D(12, 12), order.STS3)
+	dag := order.BuildTaskDAG(big.S, order.TaskDAGOptions{})
+	e := NewEngine(small.S, Options{Workers: 2, Schedule: Graph, Graph: dag})
+	defer e.Close()
+	if e.opts.Graph != nil || e.opts.Schedule != Guided {
+		t.Fatalf("foreign DAG accepted: schedule %v", e.opts.Schedule)
+	}
+}
+
+// TestGraphConcurrentSolves hammers one graph-scheduled engine with a mix
+// of cooperative forward/backward solves and batches from many
+// goroutines — the race-detector gate for the P2P scheduler state.
+func TestGraphConcurrentSolves(t *testing.T) {
+	a := gen.TriMesh(12, 12, 3)
+	p := planFor(t, a, order.STS3)
+	B, want := randomRHS(p, 6, 29)
+	e := graphEngine(p, 4)
+	defer e.Close()
+	if err := e.ensureUpper(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				switch g % 3 {
+				case 0:
+					x, err := e.Solve(B[it%len(B)])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := range x {
+						if x[i] != want[it%len(B)][i] {
+							t.Errorf("graph coop mismatch at %d", i)
+							return
+						}
+					}
+				case 1:
+					if _, err := e.SolveUpper(B[it%len(B)]); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					X, err := e.SolveBatch(B)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for r := range X {
+						for i := range X[r] {
+							if X[r][i] != want[r][i] {
+								t.Errorf("batch mismatch rhs %d at %d", r, i)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestGraphCloseRacingSolves closes graph-scheduled engines while solves
+// are in flight: complete or ErrClosed, never a deadlock.
+func TestGraphCloseRacingSolves(t *testing.T) {
+	a := gen.Grid2D(10, 10)
+	p := planFor(t, a, order.STS3)
+	B, _ := randomRHS(p, 2, 3)
+	for trial := 0; trial < 20; trial++ {
+		e := graphEngine(p, 4)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					var err error
+					if g%2 == 0 {
+						_, err = e.Solve(B[i%2])
+					} else {
+						_, err = e.SolveBatch(B)
+					}
+					if err != nil {
+						if err != ErrClosed {
+							t.Error(err)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		e.Close()
+		wg.Wait()
+	}
+}
+
+// TestEngineSteadyStateAllocs asserts the satellite acceptance: once the
+// pools are warm, Into-style solves — cooperative barrier, cooperative
+// graph, and batches — allocate nothing per call.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+	a := gen.Grid3D(6, 6, 6)
+	p := planFor(t, a, order.STS3)
+	B, _ := randomRHS(p, 8, 41)
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, p.S.L.N)
+	}
+	x := make([]float64, p.S.L.N)
+
+	check := func(name string, e *Engine) {
+		t.Helper()
+		defer e.Close()
+		// Warm the worker scratch, pools, and lazy transpose.
+		for i := 0; i < 3; i++ {
+			if err := e.SolveInto(x, B[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SolveBatchInto(X, B); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SolveUpperInto(x, B[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := e.SolveInto(x, B[0]); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: SolveInto allocates %.1f/op, want 0", name, n)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := e.SolveBatchInto(X, B); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: SolveBatchInto allocates %.1f/op, want 0", name, n)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := e.SolveUpperInto(x, B[0]); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: SolveUpperInto allocates %.1f/op, want 0", name, n)
+		}
+	}
+	check("barrier", NewEngine(p.S, Options{Workers: 4}))
+	check("graph", graphEngine(p, 4))
+}

@@ -28,6 +28,12 @@ const (
 	// Guided hands out shrinking chunks (remaining / workers, floored at
 	// the chunk size), the OpenMP guided policy.
 	Guided
+	// Graph replaces the barrier between packs with dependency-driven
+	// point-to-point scheduling over a csrk.TaskDAG: tasks carry atomic
+	// completion counters and a worker finishing a task immediately claims
+	// any task it makes ready, so independent subtrees never synchronise.
+	// Requires Options.Graph; falls back to Guided without one.
+	Graph
 )
 
 func (s Schedule) String() string {
@@ -38,6 +44,8 @@ func (s Schedule) String() string {
 		return "dynamic"
 	case Guided:
 		return "guided"
+	case Graph:
+		return "graph"
 	}
 	return fmt.Sprintf("Schedule(%d)", int(s))
 }
@@ -49,7 +57,17 @@ type Options struct {
 	// Schedule is the loop schedule; defaults to Guided.
 	Schedule Schedule
 	// Chunk is the schedule granularity in super-rows; defaults to 1.
+	// Ignored by the Graph schedule (granularity is fixed in the DAG).
 	Chunk int
+	// Graph is the dependency DAG driving the Graph schedule, built once
+	// at plan time by order.BuildTaskDAG over the same structure.
+	Graph *csrk.TaskDAG
+
+	// oneShot marks an engine that lives for a single solve (the
+	// Parallel/UpperSolver compatibility wrappers): such engines skip the
+	// O(nnz) packed-layout conversion, whose cost only amortises across
+	// repeated solves on a persistent engine.
+	oneShot bool
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Chunk <= 0 {
 		o.Chunk = 1
+	}
+	if o.Schedule == Graph && o.Graph == nil {
+		o.Schedule = Guided
 	}
 	return o
 }
@@ -126,6 +147,7 @@ func ParallelInto(x []float64, s *csrk.Structure, b []float64, opts Options) err
 		solveRows(l.RowPtr, l.Col, l.Val, x, b, 0, l.N)
 		return nil
 	}
+	opts.oneShot = true
 	e := NewEngine(s, opts)
 	defer e.Close()
 	return e.SolveInto(x, b)

@@ -70,6 +70,7 @@ func (us *UpperSolver) SolveInto(x, b []float64, opts Options) error {
 		solveUpperRows(u.RowPtr, u.Col, u.Val, x, b, 0, u.N)
 		return nil
 	}
+	opts.oneShot = true
 	e := newEngine(us.s, us.u, opts)
 	defer e.Close()
 	return e.SolveUpperInto(x, b)

@@ -1,0 +1,64 @@
+package sparse
+
+import "testing"
+
+// lowerFixture is a small lower-triangular system with diagonal last in
+// each row (the csrk invariant).
+func lowerFixture() *CSR {
+	// [ 2 . . ]
+	// [ 1 3 . ]
+	// [ . 4 5 ]
+	return &CSR{
+		N:      3,
+		RowPtr: []int{0, 1, 3, 5},
+		Col:    []int{0, 0, 1, 1, 2},
+		Val:    []float64{2, 1, 3, 4, 5},
+	}
+}
+
+func TestPackLower(t *testing.T) {
+	l := lowerFixture()
+	p, ok := PackLower(l)
+	if !ok {
+		t.Fatal("PackLower refused a small matrix")
+	}
+	if p.N != 3 || p.NNZ() != l.NNZ() {
+		t.Fatalf("N=%d NNZ=%d, want 3/%d", p.N, p.NNZ(), l.NNZ())
+	}
+	wantDiag := []float64{2, 3, 5}
+	for i, d := range wantDiag {
+		if p.Diag[i] != d {
+			t.Fatalf("Diag[%d] = %v, want %v", i, p.Diag[i], d)
+		}
+	}
+	wantPtr := []int32{0, 0, 1, 2}
+	for i, w := range wantPtr {
+		if p.RowPtr[i] != w {
+			t.Fatalf("RowPtr[%d] = %d, want %d", i, p.RowPtr[i], w)
+		}
+	}
+	if p.Col[0] != 0 || p.Val[0] != 1 || p.Col[1] != 1 || p.Val[1] != 4 {
+		t.Fatalf("off-diagonals %v/%v wrong", p.Col, p.Val)
+	}
+}
+
+func TestPackUpper(t *testing.T) {
+	u := lowerFixture().Transpose() // diagonal first in each row
+	p, ok := PackUpper(u)
+	if !ok {
+		t.Fatal("PackUpper refused a small matrix")
+	}
+	wantDiag := []float64{2, 3, 5}
+	for i, d := range wantDiag {
+		if p.Diag[i] != d {
+			t.Fatalf("Diag[%d] = %v, want %v", i, p.Diag[i], d)
+		}
+	}
+	// Row 0 of the transpose holds the off-diagonal (0,1)=1; row 1 holds (1,2)=4.
+	if p.Col[0] != 1 || p.Val[0] != 1 || p.Col[1] != 2 || p.Val[1] != 4 {
+		t.Fatalf("off-diagonals %v/%v wrong", p.Col, p.Val)
+	}
+	if p.RowPtr[3] != 2 {
+		t.Fatalf("RowPtr end %d, want 2", p.RowPtr[3])
+	}
+}

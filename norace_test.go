@@ -1,0 +1,5 @@
+//go:build !race
+
+package stsk
+
+const raceEnabled = false

@@ -1,6 +1,10 @@
 package stsk
 
-import "stsk/internal/solve"
+import (
+	"runtime"
+
+	"stsk/internal/solve"
+)
 
 // Option configures the v2 facade entry points. One option vocabulary
 // serves the whole API: Build reads the ordering options (WithRowsPerSuper,
@@ -61,21 +65,29 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
 }
 
-// WithSchedule selects the OpenMP-style loop schedule; DefaultSchedule
-// (the zero value) picks the paper's pairing for the plan's method.
+// WithSchedule selects the solve schedule; DefaultSchedule (the zero
+// value) picks the graph schedule when the plan's dependency DAG offers
+// real concurrency, and the paper's barrier pairing otherwise.
 func WithSchedule(s ScheduleChoice) Option {
 	return func(c *config) { c.schedule = s }
 }
 
-// WithChunk sets the schedule granularity in super-rows; 0 selects the
-// paper default for the chosen schedule.
+// WithChunk sets the barrier-schedule granularity in super-rows; 0
+// selects the paper default for the chosen schedule. The graph schedule
+// ignores it (task granularity is fixed in the plan's DAG).
 func WithChunk(n int) Option {
 	return func(c *config) { c.chunk = n }
 }
 
-// ScheduleChoice selects an OpenMP-style loop schedule; DefaultSchedule
-// picks the paper's pairing for the plan's method (dynamic,32 for
-// row-level schemes, guided,1 for k-level schemes).
+// ScheduleChoice selects how packs are handed to workers during a
+// cooperative solve. Static/Dynamic/Guided are the OpenMP-style barrier
+// schedules of the paper: every pack ends at a global barrier.
+// GraphSchedule replaces the barriers with dependency-driven
+// point-to-point scheduling over the plan's task DAG. DefaultSchedule
+// picks GraphSchedule when the DAG offers real concurrency (see
+// Plan.NewSolver) and otherwise the paper's pairing for the plan's
+// method (dynamic,32 for row-level schemes, guided,1 for k-level
+// schemes).
 type ScheduleChoice int
 
 const (
@@ -83,10 +95,15 @@ const (
 	StaticSchedule
 	DynamicSchedule
 	GuidedSchedule
+	GraphSchedule
 )
 
 // lowerSolve maps the facade's scheduling options onto the internal
-// solver options, applying the paper's per-method schedule defaults.
+// solver options: the explicit schedule choices pass through, and
+// DefaultSchedule resolves to the graph schedule when it wins — more than
+// one effective worker and a dependency DAG with enough parallel slack to
+// beat the barrier pairing. The plan's lazily built task DAG is attached
+// whenever the graph schedule is selected.
 func (p *Plan) lowerSolve(c config) solve.Options {
 	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), c.workers)
 	if c.chunk > 0 {
@@ -99,6 +116,24 @@ func (p *Plan) lowerSolve(c config) solve.Options {
 		opts.Schedule = solve.Dynamic
 	case GuidedSchedule:
 		opts.Schedule = solve.Guided
+	case GraphSchedule:
+		opts.Schedule = solve.Graph
+	case DefaultSchedule:
+		if effectiveWorkers(c.workers) > 1 && p.graphWins() {
+			opts.Schedule = solve.Graph
+		}
+	}
+	if opts.Schedule == solve.Graph {
+		opts.Graph = p.taskDAG()
 	}
 	return opts
+}
+
+// effectiveWorkers resolves the WithWorkers default the same way the
+// engine will.
+func effectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }

@@ -87,8 +87,9 @@ func (m *IC0Preconditioner) Close() { m.solver.Close() }
 // Solver's Into methods validate both vectors and report ErrDimension.
 // The intermediate rides the factor Solver's own scratch pool.
 func (m *IC0Preconditioner) Apply(z, r []float64) error {
-	y := m.solver.scratch.Get().([]float64)
-	defer m.solver.scratch.Put(y)
+	yp := m.solver.scratch.Get().(*[]float64)
+	y := *yp
+	defer m.solver.scratch.Put(yp)
 	if err := m.solver.SolveInto(y, r); err != nil {
 		return err
 	}

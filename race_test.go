@@ -1,0 +1,8 @@
+//go:build race
+
+package stsk
+
+// raceEnabled reports that this build runs under the race detector, where
+// sync.Pool deliberately drops puts and allocation-free assertions cannot
+// hold.
+const raceEnabled = true

@@ -72,7 +72,9 @@ func (p *Plan) NewSolver(opts ...Option) *Solver {
 		return us.Transposed(), nil
 	}, p.lowerSolve(applyOptions(opts)))
 	s := &Solver{plan: p, eng: eng}
-	s.scratch.New = func() any { return make([]float64, p.N()) }
+	// Pool *[]float64, not []float64: boxing a slice header into the pool's
+	// interface allocates, which would cost one allocation per ApplySGSInto.
+	s.scratch.New = func() any { buf := make([]float64, p.N()); return &buf }
 	// If the Solver is dropped without Close, release the parked workers
 	// once the GC proves it unreachable (the engine never references the
 	// Solver, so this fires).
@@ -99,6 +101,7 @@ func (s *Solver) Close() {
 // Solve solves L′x = b (both in plan order) pack-parallel on the pooled
 // workers and returns x.
 func (s *Solver) Solve(b []float64) ([]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.plan.checkDim(b); err != nil {
 		return nil, err
 	}
@@ -109,6 +112,7 @@ func (s *Solver) Solve(b []float64) ([]float64, error) {
 // checked before the sweep is dispatched (a sweep already running is
 // never preempted), returning ctx.Err() without touching the pool.
 func (s *Solver) SolveCtx(ctx context.Context, b []float64) ([]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.plan.checkDim(b); err != nil {
 		return nil, err
 	}
@@ -121,6 +125,7 @@ func (s *Solver) SolveCtx(ctx context.Context, b []float64) ([]float64, error) {
 
 // SolveInto is Solve writing into a caller-provided vector.
 func (s *Solver) SolveInto(x, b []float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkDims(x, b); err != nil {
 		return err
 	}
@@ -131,6 +136,7 @@ func (s *Solver) SolveInto(x, b []float64) error {
 // dispatch-boundary semantics as SolveCtx — the allocation-free form for
 // context-aware solve loops over a reused solution buffer.
 func (s *Solver) SolveIntoCtx(ctx context.Context, x, b []float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkDims(x, b); err != nil {
 		return err
 	}
@@ -141,6 +147,7 @@ func (s *Solver) SolveIntoCtx(ctx context.Context, x, b []float64) error {
 // in reverse order — the second sweep of a symmetric Gauss–Seidel or
 // incomplete-Cholesky preconditioner.
 func (s *Solver) SolveUpper(b []float64) ([]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.plan.checkDim(b); err != nil {
 		return nil, err
 	}
@@ -150,6 +157,7 @@ func (s *Solver) SolveUpper(b []float64) ([]float64, error) {
 // SolveUpperCtx is SolveUpper honoring a context, with the same
 // dispatch-boundary semantics as SolveCtx.
 func (s *Solver) SolveUpperCtx(ctx context.Context, b []float64) ([]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.plan.checkDim(b); err != nil {
 		return nil, err
 	}
@@ -162,6 +170,7 @@ func (s *Solver) SolveUpperCtx(ctx context.Context, b []float64) ([]float64, err
 
 // SolveUpperInto is SolveUpper writing into a caller-provided vector.
 func (s *Solver) SolveUpperInto(x, b []float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkDims(x, b); err != nil {
 		return err
 	}
@@ -171,6 +180,7 @@ func (s *Solver) SolveUpperInto(x, b []float64) error {
 // SolveUpperIntoCtx is SolveUpperInto honoring a context, with the same
 // dispatch-boundary semantics as SolveCtx.
 func (s *Solver) SolveUpperIntoCtx(ctx context.Context, x, b []float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkDims(x, b); err != nil {
 		return err
 	}
@@ -193,6 +203,7 @@ func (s *Solver) SolveBatch(B [][]float64) ([][]float64, error) {
 // Every right-hand side is validated up front, so a single short vector
 // fails the whole batch with ErrDimension before any work is dispatched.
 func (s *Solver) SolveBatchCtx(ctx context.Context, B [][]float64) ([][]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkBatchDims(B); err != nil {
 		return nil, err
 	}
@@ -210,6 +221,7 @@ func (s *Solver) SolveBatchCtx(ctx context.Context, B [][]float64) ([][]float64,
 // vectors; X[i] may alias B[i] for in-place solves. Like SolveBatchCtx,
 // the whole batch is validated before any work is dispatched.
 func (s *Solver) SolveBatchInto(X, B [][]float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkBatchPairs(X, B); err != nil {
 		return err
 	}
@@ -219,6 +231,7 @@ func (s *Solver) SolveBatchInto(X, B [][]float64) error {
 // SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side,
 // pipelined like SolveBatch.
 func (s *Solver) SolveUpperBatchInto(X, B [][]float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkBatchPairs(X, B); err != nil {
 		return err
 	}
@@ -364,11 +377,13 @@ func (s *Solver) ApplySGS(r []float64) ([]float64, error) {
 
 // ApplySGSInto is ApplySGS writing into a caller-provided vector.
 func (s *Solver) ApplySGSInto(z, r []float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkDims(z, r); err != nil {
 		return err
 	}
-	y := s.scratch.Get().([]float64)
-	defer s.scratch.Put(y)
+	yp := s.scratch.Get().(*[]float64)
+	y := *yp
+	defer s.scratch.Put(yp)
 	if err := s.eng.SolveInto(y, r); err != nil {
 		return err
 	}
@@ -383,6 +398,7 @@ func (s *Solver) ApplySGSInto(z, r []float64) error {
 // vector of R, pipelined: one worker performs both sweeps of a vector back
 // to back, keeping the intermediate in its own preallocated scratch.
 func (s *Solver) ApplySGSBatch(R [][]float64) ([][]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkBatchDims(R); err != nil {
 		return nil, err
 	}

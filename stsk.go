@@ -7,7 +7,10 @@
 // packs of independent super-rows via graph colouring or level sets, packs
 // sorted by increasing size, and RCM on each pack's data-affinity-and-reuse
 // (DAR) graph for temporal locality — and solves the resulting triangular
-// system L′x = b pack-parallel with OpenMP-style schedules.
+// system L′x = b pack-parallel, either under the paper's OpenMP-style
+// barrier schedules or under a dependency-driven point-to-point schedule
+// (GraphSchedule) that replaces the inter-pack barriers with per-task
+// atomic completion counters over a transitively-sparsified task DAG.
 //
 // Because the Go runtime offers no thread pinning or NUMA placement, the
 // paper's hardware timings are reproduced on a deterministic trace-driven
@@ -179,7 +182,9 @@ type Plan struct {
 	// lazyMu guards the lazily built caches below; Plans are documented as
 	// safe for concurrent solving, so lazy construction must be too.
 	lazyMu sync.Mutex
-	aSym   *sparse.CSR // plan-ordered symmetric matrix A′
+	aSym   *sparse.CSR   // plan-ordered symmetric matrix A′
+	dag    *csrk.TaskDAG // dependency DAG for the graph schedule
+	dagPar float64       // cached dag.Parallelism()
 
 	// upperCache owns the plan's single validated transpose, shared by
 	// every solve engine. It lives in its own allocation (never pointing
@@ -227,6 +232,33 @@ func newPlan(inner *order.Plan) *Plan {
 func (p *Plan) sharedSolver() *Solver {
 	p.sharedOnce.Do(func() { p.shared = p.NewSolver() })
 	return p.shared
+}
+
+// taskDAG returns (building lazily, concurrency-safe) the plan's
+// dependency DAG for the point-to-point graph schedule: packs carved into
+// nnz-balanced super-row chunks, direct dependencies read off the matrix,
+// transitively sparsified so each task waits only on its direct
+// unsatisfied predecessors. Built once and shared by every Solver of the
+// plan.
+func (p *Plan) taskDAG() *csrk.TaskDAG {
+	p.lazyMu.Lock()
+	defer p.lazyMu.Unlock()
+	if p.dag == nil {
+		p.dag = order.BuildTaskDAG(p.inner.S, order.TaskDAGOptions{})
+		p.dagPar = p.dag.Parallelism()
+	}
+	return p.dag
+}
+
+// graphWins reports whether the graph schedule should be the default for
+// this plan: the DAG must offer enough parallel slack (tasks per critical
+// path) that point-to-point scheduling beats the barrier pairing rather
+// than merely matching it.
+func (p *Plan) graphWins() bool {
+	p.taskDAG()
+	p.lazyMu.Lock()
+	defer p.lazyMu.Unlock()
+	return p.dagPar >= 1.5
 }
 
 // symmetric returns (building lazily) A′ = L′ + L′ᵀ − D in plan order.

@@ -90,7 +90,7 @@ func TestSolveWithSchedules(t *testing.T) {
 		xTrue[i] = 1.5
 	}
 	b := p.RHSFor(xTrue)
-	for _, sched := range []ScheduleChoice{DefaultSchedule, StaticSchedule, DynamicSchedule, GuidedSchedule} {
+	for _, sched := range []ScheduleChoice{DefaultSchedule, StaticSchedule, DynamicSchedule, GuidedSchedule, GraphSchedule} {
 		x, err := p.SolveWith(b, WithWorkers(3), WithSchedule(sched), WithChunk(2))
 		if err != nil {
 			t.Fatalf("schedule %d: %v", sched, err)
