@@ -7,6 +7,7 @@ package stsk
 // same drivers at full scale. See DESIGN.md for the experiment index.
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -200,6 +201,28 @@ func BenchmarkMultiRHSGrid3D(b *testing.B) {
 		start := time.Now()
 		for i := 0; i < b.N; i++ {
 			if err := solver.SolveBatchInto(X, B); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perRHS(b, time.Since(start))
+	})
+	// pooled-block is the panel-kernel acceptance variant: same pool, same
+	// packed layout, but the 32 right-hand sides travel as four 8-wide
+	// row-major panels, so the matrix (indices and values) is loaded four
+	// times instead of 32 — the per-RHS throughput must be ≥ batched.
+	// Width pinned to 8, the acceptance width (also the default).
+	blockSolver := plan.NewSolver(WithWorkers(workers), WithBlockWidth(8))
+	defer blockSolver.Close()
+	b.Run("pooled-block", func(b *testing.B) {
+		ctx := context.Background()
+		X := make([][]float64, nrhs)
+		for r := range X {
+			X[r] = make([]float64, plan.N())
+		}
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := blockSolver.SolveBlockInto(ctx, X, B); err != nil {
 				b.Fatal(err)
 			}
 		}

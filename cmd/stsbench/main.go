@@ -6,7 +6,9 @@
 //
 //	stsbench -experiment all            # the full evaluation
 //	stsbench -experiment fig9 -scale 20000
-//	stsbench -experiment solvebench     # wall-clock method × schedule matrix,
+//	stsbench -experiment solvebench     # wall-clock method × schedule matrix plus
+//	                                    # the multi-RHS blocksolve cells (batched
+//	                                    # vs panel widths 2/4/8, per-RHS solves/s);
 //	                                    # machine-readable copy in BENCH_stsk.json
 //	stsbench -list
 //

@@ -4,10 +4,11 @@
 // residual, wall-clock timing over repeats, and the modeled NUMA cycles.
 //
 // With -rhs N it instead streams N right-hand sides through the same plan
-// and compares the four solve paths: one-shot (fresh goroutines per
+// and compares the five solve paths: one-shot (fresh goroutines per
 // solve), pooled (persistent Solver, pack-parallel per RHS), batched
 // (persistent Solver, one worker pipelining each RHS through the packs),
-// and streamed (the SolveSeq iterator, results in input order).
+// streamed (the SolveSeq iterator, results in input order), and blocked
+// (panel kernels sweeping the matrix once per RHS panel).
 //
 // -timeout bounds the whole run with a context deadline: an expired
 // deadline cancels the in-flight batch or stream, which reports
@@ -132,10 +133,11 @@ func main() {
 }
 
 // runMultiRHS streams n manufactured right-hand sides through the plan
-// four ways and reports throughput: the one-shot path (goroutines spawned
+// five ways and reports throughput: the one-shot path (goroutines spawned
 // per solve), the pooled path (persistent Solver, whole pool per RHS),
 // the batched path (persistent Solver, RHSs pipelined one per worker),
-// and the streamed path (the SolveSeq iterator, results in input order).
+// the streamed path (the SolveSeq iterator, results in input order), and
+// the blocked path (panel kernels, one matrix sweep per RHS panel).
 // All paths run under ctx, so a -timeout deadline cancels them mid-batch.
 func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int, schedule stsk.ScheduleChoice) {
 	w := workers
@@ -193,13 +195,33 @@ func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int, schedule 
 	}
 	streamed := time.Since(start)
 
+	// Blocked: the panel kernels — RHSs grouped into row-major panels and
+	// the matrix swept once per panel instead of once per vector. One
+	// untimed pass first: the pooled n×8 panel scratch is faulted in on
+	// first touch, which would otherwise dominate a single cold pass at
+	// large n (the other solver lanes inherit a warm pool the same way).
+	if _, err := solver.SolveBlock(ctx, B); err != nil {
+		fatal(err)
+	}
+	start = time.Now()
+	P, err := solver.SolveBlock(ctx, B)
+	if err != nil {
+		fatal(err)
+	}
+	blocked := time.Since(start)
+
 	worst := 0.0
 	for r := range B {
 		if rr := plan.Residual(X[r], B[r]); rr > worst {
 			worst = rr
 		}
+		for i := range P[r] {
+			if P[r][i] != X[r][i] {
+				fatal(fmt.Errorf("blocked solve differs from batched at rhs %d index %d", r, i))
+			}
+		}
 	}
-	fmt.Printf("worst batched residual: %.3g\n", worst)
+	fmt.Printf("worst batched residual: %.3g (blocked bitwise equal)\n", worst)
 	report := func(name string, d time.Duration) {
 		fmt.Printf("%-9s %10.1f solves/s  (%v total, %.2fx vs one-shot)\n",
 			name, float64(n)/d.Seconds(), d.Round(time.Millisecond), oneShot.Seconds()/d.Seconds())
@@ -208,6 +230,7 @@ func runMultiRHS(ctx context.Context, plan *stsk.Plan, n, workers int, schedule 
 	report("pooled", pooled)
 	report("batched", batched)
 	report("streamed", streamed)
+	report("blocked", blocked)
 }
 
 func parseSchedule(s string) (stsk.ScheduleChoice, error) {

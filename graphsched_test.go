@@ -7,29 +7,15 @@ import (
 
 	"stsk/internal/gen"
 	"stsk/internal/sparse"
+	"stsk/internal/testmat"
 )
 
-// blockDiagMatrix tiles `blocks` disjoint copies of a along the diagonal:
-// a matrix whose dependency DAG is `blocks` independent subtrees — the
+// blockDiagMatrix wraps the shared corpus block-diagonal builder as a
+// facade Matrix: `blocks` disjoint copies of a along the diagonal, the
 // wide-DAG shape where barrier scheduling synchronises workers that share
 // no data at all.
 func blockDiagMatrix(blocks int, a *sparse.CSR) *Matrix {
-	n := a.N * blocks
-	out := &sparse.CSR{N: n, RowPtr: make([]int, n+1)}
-	out.Col = make([]int, 0, a.NNZ()*blocks)
-	out.Val = make([]float64, 0, a.NNZ()*blocks)
-	for blk := 0; blk < blocks; blk++ {
-		off := blk * a.N
-		for i := 0; i < a.N; i++ {
-			cols, vals := a.Row(i)
-			for k, j := range cols {
-				out.Col = append(out.Col, j+off)
-				out.Val = append(out.Val, vals[k])
-			}
-			out.RowPtr[off+i+1] = len(out.Col)
-		}
-	}
-	return &Matrix{a: out}
+	return &Matrix{a: testmat.BlockDiag(blocks, a)}
 }
 
 func manufacturedRHS(p *Plan, nrhs int) ([][]float64, [][]float64) {

@@ -11,14 +11,14 @@ import (
 	"math/rand"
 	"testing"
 
-	"stsk/internal/gen"
 	"stsk/internal/sparse"
+	"stsk/internal/testmat"
 )
 
 func TestEndToEndMatrixMarketPipeline(t *testing.T) {
-	// Serialise a generated suite matrix, reload it through the public
-	// API, and run the complete STS-3 flow.
-	a := gen.TriMesh(24, 24, 3)
+	// Serialise a corpus matrix, reload it through the public API, and run
+	// the complete STS-3 flow.
+	a := testmat.TriMesh(24)
 	var buf bytes.Buffer
 	if err := sparse.WriteMatrixMarket(&buf, a); err != nil {
 		t.Fatal(err)

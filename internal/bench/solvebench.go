@@ -24,6 +24,8 @@ type SolveBenchResult struct {
 	Method       string  `json:"method"`
 	Schedule     string  `json:"schedule"`
 	Workers      int     `json:"workers"`
+	Width        int     `json:"width,omitempty"` // blocksolve cells: RHS panel width (1 = scalar batched)
+	NRHS         int     `json:"nrhs,omitempty"`  // blocksolve cells: batch size per op
 	NsPerOp      float64 `json:"ns_per_op"`
 	SolvesPerSec float64 `json:"solves_per_sec"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
@@ -63,9 +65,11 @@ func solveBenchMatrix(class string, n int) (*sparse.CSR, error) {
 // SolveBench measures wall-clock forward solves for every method on the
 // standard benchmark matrices under three schedules — sequential (one
 // worker), the paper's barrier pairing, and the dependency-driven graph
-// schedule — reporting throughput and steady-state allocations. A
-// human-readable table goes to r.Out; the returned report is what
-// stsbench serialises to BENCH_stsk.json.
+// schedule — plus the multi-RHS blocksolve cells: a 32-RHS batch driven
+// through the scalar batched path (width 1) and the blocked panel
+// kernels at widths 2, 4 and 8, reported as per-RHS throughput and
+// steady-state allocations. A human-readable table goes to r.Out; the
+// returned report is what stsbench serialises to BENCH_stsk.json.
 func (r *Runner) SolveBench() (*SolveBenchReport, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 2 {
@@ -114,9 +118,83 @@ func (r *Runner) SolveBench() (*SolveBenchReport, error) {
 				fmt.Fprintf(r.Out, "%-8s %-9s %-10s %12.0f %14.0f %10.2f\n",
 					class, m, sc.name, res.NsPerOp, res.SolvesPerSec, res.AllocsPerOp)
 			}
+			for _, width := range []int{1, 2, 4, 8} {
+				res, err := measureBlockSolve(p.S, workers, width)
+				if err != nil {
+					return nil, err
+				}
+				res.Matrix, res.N, res.NNZ = class, mat.N, mat.NNZ()
+				res.Method = m.String()
+				report.Results = append(report.Results, res)
+				label := fmt.Sprintf("%s-w%d", res.Schedule, width)
+				fmt.Fprintf(r.Out, "%-8s %-9s %-10s %12.0f %14.0f %10.2f\n",
+					class, m, label, res.NsPerOp, res.SolvesPerSec, res.AllocsPerOp)
+			}
 		}
 	}
 	return report, nil
+}
+
+// measureBlockSolve times a 32-RHS batch through the block path at the
+// given panel width on a persistent engine (width 1 measures the scalar
+// batched path as the baseline the panels amortise against). Reported
+// ns/op and solves/s are per right-hand side.
+func measureBlockSolve(st *csrk.Structure, workers, width int) (SolveBenchResult, error) {
+	const nrhs = 32
+	e := solve.NewEngine(st, solve.Options{Workers: workers, BlockWidth: width})
+	defer e.Close()
+	n := st.L.N
+	B := make([][]float64, nrhs)
+	X := make([][]float64, nrhs)
+	for i := range B {
+		x := make([]float64, n)
+		for j := range x {
+			x[j] = float64((j+3*i)%11) - 5
+		}
+		B[i] = sparse.RHSForSolution(st.L, x)
+		X[i] = make([]float64, n)
+	}
+	run := func() error {
+		if width == 1 {
+			return e.SolveBatchInto(X, B)
+		}
+		return e.SolveBlockInto(X, B, width)
+	}
+	for i := 0; i < 3; i++ { // warm pools and panel scratch
+		if err := run(); err != nil {
+			return SolveBenchResult{}, err
+		}
+	}
+	const minDuration = 150 * time.Millisecond
+	const maxOps = 5000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < minDuration && ops < maxOps {
+		if err := run(); err != nil {
+			return SolveBenchResult{}, err
+		}
+		ops++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	// Everything per right-hand side (including allocations), so the
+	// blocksolve cells compare directly against the scalar schedule rows.
+	perRHS := float64(elapsed.Nanoseconds()) / float64(ops*nrhs)
+	sched := "block"
+	if width == 1 {
+		sched = "batched"
+	}
+	return SolveBenchResult{
+		Schedule:     sched,
+		Workers:      e.Workers(),
+		Width:        width,
+		NRHS:         nrhs,
+		NsPerOp:      perRHS,
+		SolvesPerSec: 1e9 / perRHS,
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(ops*nrhs),
+	}, nil
 }
 
 // measureSolve times repeated cooperative solves on a persistent engine

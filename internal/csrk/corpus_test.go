@@ -1,0 +1,62 @@
+package csrk_test
+
+// Corpus-driven structural tests: for every shared-corpus matrix and
+// method, the task DAG built by the ordering layer must satisfy every
+// TaskDAG.Validate invariant against its structure, and its shape
+// measures must reflect the matrix's known dependency geometry (a chain
+// has no task parallelism; independent diagonal blocks have plenty).
+// Lives in an external test package because the builder (internal/order)
+// imports csrk.
+
+import (
+	"testing"
+
+	"stsk/internal/order"
+	"stsk/internal/testmat"
+)
+
+func TestTaskDAGValidatesOnCorpus(t *testing.T) {
+	for _, ent := range testmat.Corpus() {
+		for _, m := range order.Methods() {
+			p, err := order.Build(ent.A, order.Options{Method: m, RowsPerSuper: 8})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", ent.Name, m, err)
+			}
+			for _, opts := range []order.TaskDAGOptions{
+				{},
+				{SplitPerPack: 4, MinTaskNNZ: 16},
+			} {
+				dag := order.BuildTaskDAG(p.S, opts)
+				if err := dag.Validate(p.S); err != nil {
+					t.Errorf("%s/%v (%+v): %v", ent.Name, m, opts, err)
+				}
+				if cp := dag.CriticalPath(); cp < 1 || cp > dag.NumTasks() {
+					t.Errorf("%s/%v: critical path %d outside [1, %d]", ent.Name, m, cp, dag.NumTasks())
+				}
+			}
+		}
+	}
+}
+
+func TestTaskDAGShapeMeasures(t *testing.T) {
+	// A pure chain serialises completely: the critical path spans every
+	// task, so parallelism is exactly 1.
+	chain, err := order.Build(testmat.Chain(101), order.Options{Method: order.STS3, RowsPerSuper: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag := order.BuildTaskDAG(chain.S, order.TaskDAGOptions{})
+	if pi := dag.Parallelism(); pi != 1 {
+		t.Errorf("chain parallelism %.2f, want exactly 1", pi)
+	}
+	// Independent diagonal blocks must expose their block count as slack
+	// once packs are carved finely enough for tasks to see the blocks.
+	bd, err := order.Build(testmat.BlockDiag(4, testmat.Grid3D(5)), order.Options{Method: order.STS3, RowsPerSuper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag = order.BuildTaskDAG(bd.S, order.TaskDAGOptions{SplitPerPack: 4, MinTaskNNZ: 16})
+	if pi := dag.Parallelism(); pi < 1.5 {
+		t.Errorf("block-diagonal parallelism %.2f, want >= 1.5", pi)
+	}
+}

@@ -76,11 +76,13 @@ type Engine struct {
 	closed   bool
 
 	// Steady-state allocation elimination: whole-RHS jobs, batch
-	// completion trackers and stream completion channels are pooled per
-	// engine, so batch and stream solves stop allocating once warm.
-	jobPool  sync.Pool // *wholeJob
-	runPool  sync.Pool // *batchRun
-	errcPool sync.Pool // chan error, cap 1
+	// completion trackers, stream completion channels and panel scratch
+	// are pooled per engine, so batch, stream and block solves stop
+	// allocating once warm.
+	jobPool   sync.Pool // *wholeJob
+	runPool   sync.Pool // *batchRun
+	errcPool  sync.Pool // chan error, cap 1
+	panelPool sync.Pool // *[]float64, len N·maxBlockWidth row-major panel scratch
 
 	// Cooperative-solve state, reused across solves under solveMu.
 	solveMu sync.Mutex
@@ -98,13 +100,26 @@ type job struct {
 	whole *wholeJob
 }
 
-// wholeJob is an independent full sweep of one right-hand side. Exactly
-// one of run (batch member) and errc (stream member) is set.
+// wholeJob is an independent full sweep of one right-hand side, or — when
+// kw > 1 — of one row-major panel of kw right-hand sides (xs/bs set
+// instead of x/b): the worker packs the panel into pooled scratch, sweeps
+// it with the blocked kernel in sequential row order, and scatters the
+// solutions back. Exactly one of run (batch member) and errc (stream
+// member) is set.
 type wholeJob struct {
-	kind sweepKind
-	x, b []float64
-	run  *batchRun
-	errc chan<- error
+	kind   sweepKind
+	x, b   []float64
+	xs, bs [][]float64
+	kw     int
+	run    *batchRun
+	errc   chan<- error
+}
+
+// reset clears every reference and the panel width before the job returns
+// to the pool; all recycle sites use it so a pooled job can never carry a
+// stale panel configuration into its next use.
+func (w *wholeJob) reset() {
+	w.x, w.b, w.xs, w.bs, w.kw, w.run, w.errc = nil, nil, nil, nil, 0, nil, nil
 }
 
 // batchRun tracks one batch's completion without allocating a channel per
@@ -202,6 +217,10 @@ func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
 	e.jobPool.New = func() any { return new(wholeJob) }
 	e.runPool.New = func() any { return &batchRun{done: make(chan struct{}, 1)} }
 	e.errcPool.New = func() any { return make(chan error, 1) }
+	e.panelPool.New = func() any {
+		buf := make([]float64, s.L.N*maxBlockWidth)
+		return &buf
+	}
 	e.run.e = e
 	e.run.barrier.size = opts.Workers
 	e.run.barrier.cond = sync.NewCond(&e.run.barrier.mu)
@@ -278,7 +297,7 @@ func (e *Engine) worker() {
 			// visible the dispatcher may return, and the pooled job must
 			// already be free of references.
 			run, errc := w.run, w.errc
-			w.x, w.b, w.run, w.errc = nil, nil, nil, nil
+			w.reset()
 			e.jobPool.Put(w)
 			if run != nil {
 				run.finish(err)
@@ -300,6 +319,11 @@ func (e *Engine) worker() {
 // Sequential.
 func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
 	n := e.l.N
+	if w.kw > 1 {
+		// Panel job: lengths were validated eagerly by the block dispatcher.
+		e.sweepPanel(w)
+		return nil
+	}
 	if len(w.b) != n || len(w.x) != n {
 		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(w.x), len(w.b), n)
 	}
@@ -425,6 +449,18 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), n)
 	}
+	return e.panelSolve(ctx, x, b, 1, reverse)
+}
+
+// panelSolve runs one cooperative sweep under the engine's schedule —
+// scalar when kw == 1, a row-major n×kw panel otherwise. Rows are claimed
+// exactly as in the scalar sweep (same packs, same super-row schedule,
+// same task DAG); the only difference is that each claimed row applies its
+// (col, val) entries across all kw panel columns, so the matrix is
+// traversed once per panel instead of once per vector. X may alias B.
+// Callers validate lengths (n·kw each).
+func (e *Engine) panelSolve(ctx context.Context, X, B []float64, kw int, reverse bool) error {
+	n := e.l.N
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -441,10 +477,15 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 		if closed {
 			return ErrClosed
 		}
-		if reverse {
-			e.backwardRows(x, b, 0, n)
-		} else {
-			e.forwardRows(x, b, 0, n)
+		switch {
+		case kw > 1 && reverse:
+			e.backwardRowsBlock(X, B, kw, 0, n)
+		case kw > 1:
+			e.forwardRowsBlock(X, B, kw, 0, n)
+		case reverse:
+			e.backwardRows(X, B, 0, n)
+		default:
+			e.forwardRows(X, B, 0, n)
 		}
 		return nil
 	}
@@ -456,10 +497,10 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 		return err
 	}
 	if e.opts.Schedule == Graph {
-		return e.graphSolve(x, b, reverse)
+		return e.graphSolve(X, B, kw, reverse)
 	}
 	r := &e.run
-	r.x, r.b, r.reverse = x, b, reverse
+	r.x, r.b, r.kw, r.reverse = X, B, kw, reverse
 	for p := range r.counters {
 		if reverse {
 			r.counters[p].Store(int64(e.s.PackPtr[p+1]))
@@ -487,16 +528,16 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 	return nil
 }
 
-// graphSolve runs one dependency-driven cooperative solve (see graphRun).
-// Called under solveMu; the dispatch discipline mirrors the barrier path:
-// workers claim ready tasks point-to-point instead of meeting at a
-// barrier, but the job tokens go out under one read-lock all the same.
-// Unlike the barrier path the graph loop tolerates fewer live workers
-// than tokens — any subset of workers drains the ready queue — but
-// dispatch is still all-or-nothing for simplicity.
-func (e *Engine) graphSolve(x, b []float64, reverse bool) error {
+// graphSolve runs one dependency-driven cooperative solve (see graphRun),
+// scalar or panel. Called under solveMu; the dispatch discipline mirrors
+// the barrier path: workers claim ready tasks point-to-point instead of
+// meeting at a barrier, but the job tokens go out under one read-lock all
+// the same. Unlike the barrier path the graph loop tolerates fewer live
+// workers than tokens — any subset of workers drains the ready queue —
+// but dispatch is still all-or-nothing for simplicity.
+func (e *Engine) graphSolve(x, b []float64, kw int, reverse bool) error {
 	g := &e.graph
-	g.reset(x, b, reverse)
+	g.reset(x, b, kw, reverse)
 	e.closeMu.RLock()
 	if e.closed {
 		e.closeMu.RUnlock()
@@ -570,13 +611,16 @@ func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
 }
 
 // batch fans the (X[i], B[i]) pairs out as independent whole-RHS jobs and
-// gathers the first error. Cancellation wins over per-solve errors: a
-// dead context stops dispatch immediately and the batch reports ctx.Err().
-// Completion is tracked by a pooled batchRun counter instead of a
-// per-call channel, so a warm engine runs batches without allocating.
+// gathers the first error. Every pair is validated before anything is
+// dispatched, so a ragged or wrong-length member fails the whole batch
+// with ErrDimension and no work reaches the pool. Cancellation wins over
+// per-solve errors: a dead context stops dispatch immediately and the
+// batch reports ctx.Err(). Completion is tracked by a pooled batchRun
+// counter instead of a per-call channel, so a warm engine runs batches
+// without allocating.
 func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) error {
-	if len(X) != len(B) {
-		return fmt.Errorf("%w: batch lengths %d/%d differ", ErrDimension, len(X), len(B))
+	if err := e.checkPanelDims(X, B); err != nil {
+		return err
 	}
 	if len(B) == 0 {
 		return nil
@@ -594,18 +638,24 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 		j := e.jobPool.Get().(*wholeJob)
 		j.kind, j.x, j.b, j.run, j.errc = kind, X[i], B[i], run, nil
 		if err := e.submitCtx(ctx, job{whole: j}); err != nil {
-			j.x, j.b, j.run = nil, nil, nil
+			j.reset()
 			e.jobPool.Put(j)
 			first = err
 			break
 		}
 		issued++
 	}
-	// Fold undispatched members into the counter; whoever takes it to
-	// zero owns the completion. If that is a worker it signals done, if it
-	// is this Add no signal was (or will be) sent — in-flight workers only
-	// ever saw a positive count.
-	if skipped := len(B) - issued; skipped == 0 || run.remaining.Add(-int32(skipped)) > 0 {
+	return e.finishRun(run, len(B), issued, first)
+}
+
+// finishRun completes a pooled batchRun after a dispatch loop: fold the
+// undispatched members into the counter — whoever takes it to zero owns
+// the completion signal; if that is a worker it signals done, if it is
+// this Add no signal was (or will be) sent, because in-flight workers
+// only ever saw a positive count — then wait, collect the first worker
+// error (dispatch errors win), and recycle the run.
+func (e *Engine) finishRun(run *batchRun, total, issued int, first error) error {
+	if skipped := total - issued; skipped == 0 || run.remaining.Add(-int32(skipped)) > 0 {
 		<-run.done
 	}
 	err := run.err
@@ -682,7 +732,7 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 					// vector yields its own error result until bs closes. A
 					// cancelled ctx instead exits through the Done case above,
 					// where producers are documented to select on ctx.
-					j.x, j.b, j.errc = nil, nil, nil
+					j.reset()
 					e.jobPool.Put(j)
 					p.errc <- err
 				}
@@ -704,10 +754,13 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 	return out
 }
 
-// coopRun is the shared state of one cooperative solve over the pool.
+// coopRun is the shared state of one cooperative solve over the pool. For
+// panel solves x and b hold row-major n×kw panels; kw == 1 is a scalar
+// solve.
 type coopRun struct {
 	e        *Engine
 	x, b     []float64
+	kw       int
 	reverse  bool
 	counters []atomic.Int64 // per-pack next super-row claim
 	barrier  barrier
@@ -821,9 +874,14 @@ func (r *coopRun) grabGuided(p, hi int) (from, to int, ok bool) {
 
 func (r *coopRun) solveSuper(sr int) {
 	lo, hi := r.e.s.SuperRowRows(sr)
-	if r.reverse {
+	switch {
+	case r.kw > 1 && r.reverse:
+		r.e.backwardRowsBlock(r.x, r.b, r.kw, lo, hi)
+	case r.kw > 1:
+		r.e.forwardRowsBlock(r.x, r.b, r.kw, lo, hi)
+	case r.reverse:
 		r.e.backwardRows(r.x, r.b, lo, hi)
-	} else {
+	default:
 		r.e.forwardRows(r.x, r.b, lo, hi)
 	}
 }

@@ -1,0 +1,201 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+
+	"stsk/internal/sparse"
+)
+
+// maxBlockWidth is the widest panel the blocked kernels unroll for, and
+// the size the pooled panel scratch is provisioned at.
+const maxBlockWidth = 8
+
+// SolveBlockInto solves L′xᵢ = bᵢ for every right-hand side of B with the
+// blocked multi-vector kernels: the right-hand sides are grouped into
+// row-major panels of up to width columns and the matrix is traversed
+// once per panel — each (col, val) pair loaded once and applied across
+// all panel columns — instead of once per vector. A batch that forms a
+// single panel is swept cooperatively under the engine's schedule
+// (barrier packs or the graph scheduler's task chunks), so the whole pool
+// shares one panel; a batch that forms several panels pipelines them
+// through the pool like SolveBatch, one worker sweeping each panel start
+// to finish with no barriers. Either way each panel column is bitwise
+// identical to a scalar solve of that column. X[i] may alias B[i].
+//
+// width 0 selects the engine's configured BlockWidth; widths are rounded
+// down to the unrolled kernel widths {8, 4, 2}, with remainder columns
+// falling back to the scalar kernel.
+func (e *Engine) SolveBlockInto(X, B [][]float64, width int) error {
+	return e.block(context.Background(), X, B, width, false)
+}
+
+// SolveBlockIntoCtx is SolveBlockInto honoring a context: cancellation is
+// checked between panels (and before each panel is dispatched), returning
+// ctx.Err() with the remaining panels unsolved. The engine stays fully
+// usable.
+func (e *Engine) SolveBlockIntoCtx(ctx context.Context, X, B [][]float64, width int) error {
+	return e.block(ctx, X, B, width, false)
+}
+
+// SolveUpperBlockInto solves L′ᵀxᵢ = bᵢ for every right-hand side with the
+// blocked backward-substitution kernels, panels swept in reverse pack
+// order.
+func (e *Engine) SolveUpperBlockInto(X, B [][]float64, width int) error {
+	if err := e.ensureUpper(); err != nil {
+		return err
+	}
+	return e.block(context.Background(), X, B, width, true)
+}
+
+// SolveUpperBlockIntoCtx is SolveUpperBlockInto honoring a context, with
+// the same between-panel semantics as SolveBlockIntoCtx.
+func (e *Engine) SolveUpperBlockIntoCtx(ctx context.Context, X, B [][]float64, width int) error {
+	if err := e.ensureUpper(); err != nil {
+		return err
+	}
+	return e.block(ctx, X, B, width, true)
+}
+
+// checkPanelDims validates a solution/right-hand-side batch eagerly: the
+// batch lengths must agree and every vector must match the system
+// dimension, reported with the offending index. Shared by the batch and
+// block paths so ragged input fails with ErrDimension before any work is
+// dispatched.
+func (e *Engine) checkPanelDims(X, B [][]float64) error {
+	if len(X) != len(B) {
+		return fmt.Errorf("%w: batch lengths %d/%d differ", ErrDimension, len(X), len(B))
+	}
+	n := e.l.N
+	for i := range B {
+		if len(X[i]) != n || len(B[i]) != n {
+			return fmt.Errorf("%w: rhs %d vector lengths %d/%d, want %d", ErrDimension, i, len(X[i]), len(B[i]), n)
+		}
+	}
+	return nil
+}
+
+// block gathers right-hand sides into panels and solves them. A batch
+// that fits one panel (or one scalar column) runs cooperatively under the
+// engine's schedule so every worker shares it; a batch that carves into
+// several groups fans them out as independent whole-panel jobs through
+// the same pooled machinery as batch — each panel swept start-to-finish
+// by one worker, distinct panels pipelining through the pack levels with
+// no barriers. All scratch is pooled, so warm block solves allocate
+// nothing.
+func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse bool) error {
+	if err := e.checkPanelDims(X, B); err != nil {
+		return err
+	}
+	if len(B) == 0 {
+		return nil
+	}
+	width = normalizeBlockWidth(width, e.opts.BlockWidth)
+	if len(B) == 1 {
+		return e.panelSolve(ctx, X[0], B[0], 1, reverse)
+	}
+	if kw := panelWidth(len(B), width); kw == len(B) {
+		return e.coopPanel(ctx, X, B, kw, reverse)
+	}
+	kind := sweepForward
+	if reverse {
+		kind = sweepBackward
+	}
+	jobs := 0
+	for rem := len(B); rem > 0; jobs++ {
+		rem -= panelWidth(rem, width)
+	}
+	run := e.runPool.Get().(*batchRun)
+	run.err = nil
+	run.remaining.Store(int32(jobs))
+	issued := 0
+	var first error
+	for i := 0; i < len(B); {
+		if err := ctx.Err(); err != nil {
+			first = err
+			break
+		}
+		kw := panelWidth(len(B)-i, width)
+		j := e.jobPool.Get().(*wholeJob)
+		if kw == 1 {
+			j.kind, j.x, j.b, j.run, j.errc = kind, X[i], B[i], run, nil
+		} else {
+			j.kind, j.kw, j.xs, j.bs, j.run, j.errc = kind, kw, X[i:i+kw], B[i:i+kw], run, nil
+		}
+		if err := e.submitCtx(ctx, job{whole: j}); err != nil {
+			j.reset()
+			e.jobPool.Put(j)
+			first = err
+			break
+		}
+		issued++
+		i += kw
+	}
+	return e.finishRun(run, jobs, issued, first)
+}
+
+// coopPanel runs one panel cooperatively: pack the columns into the
+// pooled row-major scratch, sweep it in place under the engine's schedule
+// (in-place is safe — a row's B entries are read before its X entries are
+// written, and every other access is to already-solved rows), scatter the
+// solutions back out.
+func (e *Engine) coopPanel(ctx context.Context, X, B [][]float64, kw int, reverse bool) error {
+	n := e.l.N
+	bufp := e.panelPool.Get().(*[]float64)
+	buf := (*bufp)[:n*kw]
+	sparse.PackPanel(buf, B[:kw])
+	err := e.panelSolve(ctx, buf, buf, kw, reverse)
+	if err == nil {
+		sparse.UnpackPanel(X[:kw], buf)
+	}
+	e.panelPool.Put(bufp)
+	return err
+}
+
+// sweepPanel is the worker side of a pipelined whole-panel job: pack,
+// one sequential blocked sweep over all rows, scatter. Row order is
+// Sequential's, so every column stays bitwise identical.
+func (e *Engine) sweepPanel(w *wholeJob) {
+	n := e.l.N
+	kw := w.kw
+	bufp := e.panelPool.Get().(*[]float64)
+	buf := (*bufp)[:n*kw]
+	sparse.PackPanel(buf, w.bs)
+	if w.kind == sweepBackward {
+		e.backwardRowsBlock(buf, buf, kw, 0, n)
+	} else {
+		e.forwardRowsBlock(buf, buf, kw, 0, n)
+	}
+	sparse.UnpackPanel(w.xs, buf)
+	e.panelPool.Put(bufp)
+}
+
+// normalizeBlockWidth resolves a requested panel width: non-positive
+// means the engine default, and any width is rounded down to the widths
+// the kernels unroll.
+func normalizeBlockWidth(w, fallback int) int {
+	if w <= 0 {
+		w = fallback
+	}
+	switch {
+	case w >= 8:
+		return 8
+	case w >= 4:
+		return 4
+	case w >= 2:
+		return 2
+	}
+	return 1
+}
+
+// panelWidth picks the widest kernel width ≤ width that the remaining
+// column count fills; the last columns of a batch fall through to 1 (the
+// scalar kernel).
+func panelWidth(rem, width int) int {
+	for w := width; w > 1; w >>= 1 {
+		if rem >= w {
+			return w
+		}
+	}
+	return 1
+}

@@ -8,6 +8,7 @@ import (
 	"stsk/internal/gen"
 	"stsk/internal/order"
 	"stsk/internal/sparse"
+	"stsk/internal/testmat"
 )
 
 // randomRHS manufactures nrhs right-hand sides with known solutions.
@@ -47,13 +48,8 @@ func assertBitwise(t *testing.T, label string, got, want []float64) {
 }
 
 func TestEngineSolveMatchesSequentialBitwise(t *testing.T) {
-	mats := map[string]*sparse.CSR{
-		"grid2d":  gen.Grid2D(13, 11),
-		"grid3d":  gen.Grid3D(6, 6, 6),
-		"trimesh": gen.TriMesh(14, 14, 3),
-		"roadnet": gen.RoadNet(6, 6, 3, 5, 1),
-	}
-	for name, a := range mats {
+	for _, ent := range append(testmat.Corpus(), testmat.Entry{Name: "roadnet", A: gen.RoadNet(6, 6, 3, 5, 1)}) {
+		name, a := ent.Name, ent.A
 		for _, m := range order.Methods() {
 			p := planFor(t, a, m)
 			B, want := randomRHS(p, 3, 11)

@@ -1,0 +1,243 @@
+package solve
+
+import (
+	"math"
+	"testing"
+
+	"stsk/internal/order"
+	"stsk/internal/sparse"
+)
+
+// matrixFromBytes deterministically derives a structurally symmetric,
+// SPD-by-dominance matrix from fuzz input: byte 0 picks the dimension,
+// byte pairs add symmetric off-diagonal entries. Every output satisfies
+// the pipeline invariants, so the fuzzer explores matrix shapes (chains,
+// hubs, near-dense rows, disconnected pieces) rather than input parsing.
+func matrixFromBytes(data []byte) *sparse.CSR {
+	n := 1 + int(data[0])%48
+	coo := sparse.NewCOO(n, 3*n+2*len(data))
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for k := 1; k+1 < len(data); k += 2 {
+		i, j := int(data[k])%n, int(data[k+1])%n
+		if i != j {
+			coo.AddSym(i, j, 1)
+		}
+	}
+	m := coo.ToCSR()
+	if err := sparse.AssignSPDValues(m); err != nil {
+		panic(err) // full diagonal by construction
+	}
+	return m
+}
+
+// rhsFromBytes derives a bounded right-hand side so solutions stay
+// well-scaled no matter what the fuzzer feeds in.
+func rhsFromBytes(data []byte, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		v := 1.0
+		if i < len(data) {
+			v = float64(int(data[i])-128) / 32
+		}
+		b[i] = v
+	}
+	return b
+}
+
+// denseForward is the naive O(n²) reference: expand the permuted factor
+// to a dense lower triangle and run textbook forward substitution.
+func denseForward(l *sparse.CSR, b []float64) []float64 {
+	n := l.N
+	dense := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		cols, vals := l.Row(i)
+		for k, j := range cols {
+			dense[i*n+j] = vals[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < i; j++ {
+			s += dense[i*n+j] * x[j]
+		}
+		x[i] = (b[i] - s) / dense[i*n+i]
+	}
+	return x
+}
+
+// FuzzTriangularSolve feeds random well-conditioned systems through the
+// whole solve stack: Sequential must agree with the dense O(n²) reference
+// to 1e-12, the graph-scheduled engine must agree with Sequential bit for
+// bit, and every column of the blocked panel path must too.
+func FuzzTriangularSolve(f *testing.F) {
+	f.Add([]byte{7})
+	f.Add([]byte{13, 1, 2, 2, 3, 3, 4, 0, 4})
+	f.Add([]byte{47, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 9, 9})
+	f.Add([]byte{32, 250, 1, 17, 30, 2, 9, 4, 4, 11, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		a := matrixFromBytes(data)
+		m := order.Methods()[int(data[0])%4]
+		p, err := order.Build(a, order.Options{Method: m, RowsPerSuper: 1 + int(data[0])%9})
+		if err != nil {
+			t.Fatalf("ordering rejected a valid matrix: %v", err)
+		}
+		b := rhsFromBytes(data, a.N)
+		want, err := Sequential(p.S, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := denseForward(p.S.L, b)
+		for i := range want {
+			if d := math.Abs(want[i] - ref[i]); d > 1e-12*(1+math.Abs(ref[i])) {
+				t.Fatalf("Sequential vs dense reference: x[%d] differs by %g", i, d)
+			}
+		}
+		e := graphEngine(p, 1+int(data[0])%4)
+		defer e.Close()
+		x, err := e.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, "graph-vs-sequential", x, want)
+		// Panel path: three scaled copies of b through the blocked kernels,
+		// each column bitwise equal to its own sequential solve.
+		B := [][]float64{b, make([]float64, a.N), make([]float64, a.N)}
+		for i := range b {
+			B[1][i] = 2 * b[i]
+			B[2][i] = -0.5 * b[i]
+		}
+		X := make([][]float64, len(B))
+		for i := range X {
+			X[i] = make([]float64, a.N)
+		}
+		if err := e.SolveBlockInto(X, B, 0); err != nil {
+			t.Fatal(err)
+		}
+		for r := range B {
+			col, err := Sequential(p.S, B[r])
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitwise(t, "block-vs-sequential", X[r], col)
+		}
+	})
+}
+
+// lowerFromBytes derives a lower-triangular CSR with the csrk invariant
+// (sorted columns, diagonal last in each row) straight from fuzz bytes —
+// no ordering pipeline, so the packed layout is fuzzed directly.
+func lowerFromBytes(data []byte) *sparse.CSR {
+	n := 1 + int(data[0])%40
+	l := &sparse.CSR{N: n, RowPtr: make([]int, n+1)}
+	k := 1
+	for i := 0; i < n; i++ {
+		prev := -1
+		for take := 0; take < 3 && k < len(data) && i > 0; take++ {
+			j := int(data[k]) % i
+			k++
+			if j > prev {
+				l.Col = append(l.Col, j)
+				l.Val = append(l.Val, -1-float64(j%3))
+				prev = j
+			}
+		}
+		l.Col = append(l.Col, i)
+		l.Val = append(l.Val, 4+float64(i%5))
+		l.RowPtr[i+1] = len(l.Col)
+	}
+	return l
+}
+
+// FuzzPackedRoundTrip converts fuzzed lower-triangular factors to the
+// compact 32-bit layout and back through the kernels: PackLower/PackUpper
+// must preserve every entry, and the packed scalar and block kernels must
+// match their CSR counterparts bit for bit.
+func FuzzPackedRoundTrip(f *testing.F) {
+	f.Add([]byte{5})
+	f.Add([]byte{17, 0, 1, 2, 0, 3, 9, 9, 1, 4})
+	f.Add([]byte{39, 250, 0, 0, 1, 1, 2, 30, 17, 8, 4, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		l := lowerFromBytes(data)
+		n := l.N
+		pk, ok := sparse.PackLower(l)
+		if !ok {
+			t.Fatalf("PackLower rejected an in-range factor (n=%d nnz=%d)", n, l.NNZ())
+		}
+		if pk.NNZ() != l.NNZ() {
+			t.Fatalf("packed nnz %d, want %d", pk.NNZ(), l.NNZ())
+		}
+		b := rhsFromBytes(data, n)
+		want := make([]float64, n)
+		solveRows(l.RowPtr, l.Col, l.Val, want, b, 0, n)
+		got := make([]float64, n)
+		solvePackedRows(pk, got, b, 0, n)
+		assertBitwise(t, "packed-forward", got, want)
+
+		u := l.Transpose()
+		upk, ok := sparse.PackUpper(u)
+		if !ok {
+			t.Fatalf("PackUpper rejected an in-range factor")
+		}
+		wantU := make([]float64, n)
+		solveUpperRows(u.RowPtr, u.Col, u.Val, wantU, b, 0, n)
+		gotU := make([]float64, n)
+		solvePackedUpperRows(upk, gotU, b, 0, n)
+		assertBitwise(t, "packed-backward", gotU, wantU)
+
+		// Block kernels against their own CSR fallbacks and against the
+		// scalar per-column results, on a width-4 panel.
+		const kw = 4
+		panelB := make([]float64, n*kw)
+		for j := 0; j < kw; j++ {
+			for i := 0; i < n; i++ {
+				panelB[i*kw+j] = b[i] * float64(j+1)
+			}
+		}
+		packedX := make([]float64, n*kw)
+		solvePackedRowsBlock(pk, packedX, panelB, kw, 0, n)
+		csrX := make([]float64, n*kw)
+		solveRowsBlock(l.RowPtr, l.Col, l.Val, csrX, panelB, kw, 0, n)
+		assertBitwise(t, "block-packed-vs-csr", packedX, csrX)
+		for j := 0; j < kw; j++ {
+			colB := make([]float64, n)
+			for i := 0; i < n; i++ {
+				colB[i] = panelB[i*kw+j]
+			}
+			colX := make([]float64, n)
+			solveRows(l.RowPtr, l.Col, l.Val, colX, colB, 0, n)
+			for i := 0; i < n; i++ {
+				if packedX[i*kw+j] != colX[i] {
+					t.Fatalf("panel column %d row %d: %v, want bitwise %v", j, i, packedX[i*kw+j], colX[i])
+				}
+			}
+		}
+	})
+}
+
+// TestPackedOverflowFallback is the size-capped synthetic check of the
+// int32-overflow fallback: a factor whose dimension cannot be indexed in
+// 32 bits must be rejected before any array is touched (the caller keeps
+// the CSR kernels), and a row missing its trailing diagonal must be
+// rejected too.
+func TestPackedOverflowFallback(t *testing.T) {
+	if _, ok := sparse.PackLower(&sparse.CSR{N: math.MaxInt32}); ok {
+		t.Fatal("PackLower accepted an int32-overflowing dimension")
+	}
+	if _, ok := sparse.PackUpper(&sparse.CSR{N: math.MaxInt32}); ok {
+		t.Fatal("PackUpper accepted an int32-overflowing dimension")
+	}
+	// Missing trailing diagonal: row 1 ends with column 0.
+	bad := &sparse.CSR{N: 2, RowPtr: []int{0, 1, 2}, Col: []int{0, 0}, Val: []float64{1, 1}}
+	if _, ok := sparse.PackLower(bad); ok {
+		t.Fatal("PackLower accepted a factor without trailing diagonals")
+	}
+}

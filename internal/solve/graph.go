@@ -35,7 +35,8 @@ import (
 type graphRun struct {
 	e       *Engine
 	dag     *csrk.TaskDAG
-	x, b    []float64
+	x, b    []float64 // row-major n×kw panels when kw > 1
+	kw      int
 	reverse bool
 
 	remaining []atomic.Int32 // per task: unfinished direct deps (succs when reverse)
@@ -60,8 +61,8 @@ func (g *graphRun) init(e *Engine, dag *csrk.TaskDAG) {
 
 // reset prepares the run for one solve. Called with no workers active
 // (under the engine's solveMu, before dispatch), so plain stores suffice.
-func (g *graphRun) reset(x, b []float64, reverse bool) {
-	g.x, g.b, g.reverse = x, b, reverse
+func (g *graphRun) reset(x, b []float64, kw int, reverse bool) {
+	g.x, g.b, g.kw, g.reverse = x, b, kw, reverse
 	g.head.Store(0)
 	nt := g.dag.NumTasks()
 	for t := 0; t < nt; t++ {
@@ -96,9 +97,14 @@ func (g *graphRun) work() {
 		}
 		t := g.await(h)
 		lo, hi := g.dag.TaskRows(int(t))
-		if g.reverse {
+		switch {
+		case g.kw > 1 && g.reverse:
+			g.e.backwardRowsBlock(g.x, g.b, g.kw, lo, hi)
+		case g.kw > 1:
+			g.e.forwardRowsBlock(g.x, g.b, g.kw, lo, hi)
+		case g.reverse:
 			g.e.backwardRows(g.x, g.b, lo, hi)
-		} else {
+		default:
 			g.e.forwardRows(g.x, g.b, lo, hi)
 		}
 		g.complete(t)

@@ -7,7 +7,7 @@ import (
 
 	"stsk/internal/gen"
 	"stsk/internal/order"
-	"stsk/internal/sparse"
+	"stsk/internal/testmat"
 )
 
 // graphEngine builds an engine on the dependency-driven schedule with a
@@ -21,11 +21,8 @@ func graphEngine(p *order.Plan, workers int) *Engine {
 // the point-to-point scheduler: for every method and several worker
 // counts, graph-scheduled solves must equal Sequential bit for bit.
 func TestGraphSolveMatchesSequentialBitwise(t *testing.T) {
-	mats := map[string]*sparse.CSR{
-		"grid3d":  gen.Grid3D(6, 6, 6),
-		"trimesh": gen.TriMesh(14, 14, 3),
-	}
-	for name, a := range mats {
+	for _, ent := range testmat.Corpus() {
+		name, a := ent.Name, ent.A
 		for _, m := range order.Methods() {
 			p := planFor(t, a, m)
 			B, want := randomRHS(p, 3, 17)

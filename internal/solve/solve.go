@@ -63,6 +63,14 @@ type Options struct {
 	// at plan time by order.BuildTaskDAG over the same structure.
 	Graph *csrk.TaskDAG
 
+	// BlockWidth is the default panel width of the blocked multi-vector
+	// solves (SolveBlockInto and friends): right-hand sides are grouped
+	// into row-major panels of up to this many columns and the matrix is
+	// traversed once per panel instead of once per vector. 0 selects the
+	// widest unrolled kernel (8); widths round down to {8, 4, 2}; 1
+	// disables panelling.
+	BlockWidth int
+
 	// oneShot marks an engine that lives for a single solve (the
 	// Parallel/UpperSolver compatibility wrappers): such engines skip the
 	// O(nnz) packed-layout conversion, whose cost only amortises across
@@ -76,6 +84,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Chunk <= 0 {
 		o.Chunk = 1
+	}
+	if o.BlockWidth <= 0 {
+		o.BlockWidth = maxBlockWidth
 	}
 	if o.Schedule == Graph && o.Graph == nil {
 		o.Schedule = Guided

@@ -1,0 +1,140 @@
+// Package testmat is the shared matrix corpus of the test suite: the
+// structurally symmetric, SPD-by-dominance matrices that the solver,
+// scheduler, facade and benchmark tests all exercise. Every builder
+// returns a fresh matrix (entries are mutable test fixtures), and every
+// matrix satisfies the pipeline's input invariants — full nonzero
+// diagonal, structural symmetry, values assigned by sparse.AssignSPDValues
+// so the lower triangle is a well-conditioned triangular factor.
+//
+// The corpus deliberately spans the shapes that stress different solver
+// paths: mesh-like matrices with real level structure (grid3d, trimesh),
+// a block-diagonal matrix whose dependency DAG is a forest of independent
+// subtrees (the wide-DAG schedule case), an arrow matrix whose final row
+// touches everything (a serialising bottleneck row), a pure chain whose
+// DAG is one critical path (no parallelism at all), a dense-ish banded
+// lower triangle (long rows, heavy per-row arithmetic), a diagonal-only
+// matrix (every row empty apart from its pivot), and a 1×1 system.
+package testmat
+
+import (
+	"stsk/internal/gen"
+	"stsk/internal/sparse"
+)
+
+// Entry is one named corpus matrix.
+type Entry struct {
+	Name string
+	A    *sparse.CSR
+}
+
+// Corpus returns the standard small corpus, freshly built, sized so a
+// test can afford to run every (matrix × method × schedule) combination.
+func Corpus() []Entry {
+	return []Entry{
+		{"grid3d", Grid3D(6)},
+		{"trimesh", TriMesh(14)},
+		{"blockdiag", BlockDiag(4, gen.Grid2D(7, 7))},
+		{"arrow", Arrow(97)},
+		{"chain", Chain(101)},
+		{"denselower", DenseBand(64, 32)},
+		{"diagonly", DiagOnly(33)},
+		{"one", One()},
+	}
+}
+
+// Grid3D returns a side³ 7-point Laplacian — the bread-and-butter mesh
+// matrix of the paper's evaluation.
+func Grid3D(side int) *sparse.CSR { return gen.Grid3D(side, side, side) }
+
+// TriMesh returns a perturbed triangular mesh on a side×side grid.
+func TriMesh(side int) *sparse.CSR { return gen.TriMesh(side, side, 3) }
+
+// BlockDiag tiles `blocks` disjoint copies of a along the diagonal: a
+// matrix whose dependency DAG is `blocks` independent subtrees — the
+// wide-DAG shape where barrier scheduling synchronises workers that share
+// no data at all.
+func BlockDiag(blocks int, a *sparse.CSR) *sparse.CSR {
+	n := a.N * blocks
+	out := &sparse.CSR{N: n, RowPtr: make([]int, n+1)}
+	out.Col = make([]int, 0, a.NNZ()*blocks)
+	out.Val = make([]float64, 0, a.NNZ()*blocks)
+	for blk := 0; blk < blocks; blk++ {
+		off := blk * a.N
+		for i := 0; i < a.N; i++ {
+			cols, vals := a.Row(i)
+			for k, j := range cols {
+				out.Col = append(out.Col, j+off)
+				out.Val = append(out.Val, vals[k])
+			}
+			out.RowPtr[off+i+1] = len(out.Col)
+		}
+	}
+	return out
+}
+
+// Arrow returns an n×n arrow matrix: a full diagonal plus a dense final
+// row and column. The last row depends on every other unknown, so every
+// schedule funnels through one bottleneck task; super-row and pack
+// carving must cope with one pathologically long row.
+func Arrow(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for i := 0; i < n-1; i++ {
+		coo.AddSym(n-1, i, 1)
+	}
+	return spd(coo.ToCSR())
+}
+
+// Chain returns the n-node path graph (a tridiagonal matrix): the
+// dependency DAG is a single chain, the zero-parallelism worst case where
+// every schedule must degenerate gracefully to sequential progress.
+func Chain(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for i := 0; i+1 < n; i++ {
+		coo.AddSym(i, i+1, 1)
+	}
+	return spd(coo.ToCSR())
+}
+
+// DenseBand returns an n×n symmetric band matrix of half-bandwidth bw —
+// with bw near n/2 a dense-ish lower triangle whose long rows stress the
+// inner kernel loop rather than the scheduler.
+func DenseBand(n, bw int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n*(bw+1))
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+		for j := i - bw; j < i; j++ {
+			if j >= 0 {
+				coo.AddSym(i, j, 1)
+			}
+		}
+	}
+	return spd(coo.ToCSR())
+}
+
+// DiagOnly returns an n×n diagonal matrix: every row is "empty" apart
+// from its pivot, the degenerate shape where the whole solve is n
+// independent divisions and any pack structure is pure overhead.
+func DiagOnly(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	return spd(coo.ToCSR())
+}
+
+// One returns the 1×1 system — the smallest input every entry point must
+// survive.
+func One() *sparse.CSR { return DiagOnly(1) }
+
+func spd(m *sparse.CSR) *sparse.CSR {
+	if err := sparse.AssignSPDValues(m); err != nil {
+		panic(err)
+	}
+	return m
+}

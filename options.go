@@ -23,9 +23,10 @@ type config struct {
 	sloanInPack  bool
 
 	// Solve scheduling (NewSolver, SolveWith, SolveUpperWith).
-	workers  int
-	schedule ScheduleChoice
-	chunk    int
+	workers    int
+	schedule   ScheduleChoice
+	chunk      int
+	blockWidth int
 }
 
 func applyOptions(opts []Option) config {
@@ -79,6 +80,16 @@ func WithChunk(n int) Option {
 	return func(c *config) { c.chunk = n }
 }
 
+// WithBlockWidth sets the panel width of the blocked multi-vector solves
+// (Solver.SolveBlock): right-hand sides are grouped into row-major panels
+// of up to k columns and the matrix is traversed once per panel instead of
+// once per vector. 0 (the default) selects the widest unrolled kernel
+// (8); widths round down to the kernel widths {8, 4, 2}; 1 disables
+// panelling and solves column by column.
+func WithBlockWidth(k int) Option {
+	return func(c *config) { c.blockWidth = k }
+}
+
 // ScheduleChoice selects how packs are handed to workers during a
 // cooperative solve. Static/Dynamic/Guided are the OpenMP-style barrier
 // schedules of the paper: every pack ends at a global barrier.
@@ -108,6 +119,9 @@ func (p *Plan) lowerSolve(c config) solve.Options {
 	opts := solve.DefaultsFor(p.inner.Method.UsesSuperRows(), c.workers)
 	if c.chunk > 0 {
 		opts.Chunk = c.chunk
+	}
+	if c.blockWidth > 0 {
+		opts.BlockWidth = c.blockWidth
 	}
 	switch c.schedule {
 	case StaticSchedule:

@@ -238,6 +238,77 @@ func (s *Solver) SolveUpperBatchInto(X, B [][]float64) error {
 	return s.eng.SolveUpperBatchInto(X, B)
 }
 
+// SolveBlock solves L′xᵢ = bᵢ for every right-hand side of xs with the
+// blocked multi-vector (panel) kernels and returns the solutions in
+// order. Where SolveBatch walks the full matrix once per right-hand side,
+// SolveBlock groups the vectors into row-major panels of up to
+// WithBlockWidth columns (default 8) and sweeps each panel in a single
+// matrix traversal under the solver's schedule — barrier packs or the
+// graph scheduler's task chunks — loading each (col, val) pair once and
+// applying it across all panel columns. Index and value traffic per
+// right-hand side drops by the panel width, which is what bounds a
+// cache-resident solve.
+//
+// Every panel column is bitwise identical to Solve on that right-hand
+// side (and so to Plan.SolveSequential). Cancellation is honored between
+// panels: a dead context returns ctx.Err() with the remaining panels
+// unsolved and the Solver fully usable. Ragged or wrong-length
+// right-hand sides fail the whole call with ErrDimension before any work
+// is dispatched; after Close the call fails with ErrClosed.
+func (s *Solver) SolveBlock(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
+	if err := s.checkBatchDims(xs); err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(xs))
+	for i := range X {
+		X[i] = make([]float64, s.plan.N())
+	}
+	if err := s.eng.SolveBlockIntoCtx(ctx, X, xs, 0); err != nil {
+		return nil, err
+	}
+	return X, nil
+}
+
+// SolveBlockInto is SolveBlock writing into caller-provided solution
+// vectors — the allocation-free form once the solver is warm. X[i] may
+// alias B[i] for an in-place solve.
+func (s *Solver) SolveBlockInto(ctx context.Context, X, B [][]float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
+	if err := s.checkBatchPairs(X, B); err != nil {
+		return err
+	}
+	return s.eng.SolveBlockIntoCtx(ctx, X, B, 0)
+}
+
+// SolveUpperBlock solves the transposed system L′ᵀxᵢ = bᵢ for every
+// right-hand side with the blocked backward-substitution kernels, panels
+// swept in reverse pack order — the multi-vector form of SolveUpper.
+func (s *Solver) SolveUpperBlock(ctx context.Context, xs [][]float64) ([][]float64, error) {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
+	if err := s.checkBatchDims(xs); err != nil {
+		return nil, err
+	}
+	X := make([][]float64, len(xs))
+	for i := range X {
+		X[i] = make([]float64, s.plan.N())
+	}
+	if err := s.eng.SolveUpperBlockIntoCtx(ctx, X, xs, 0); err != nil {
+		return nil, err
+	}
+	return X, nil
+}
+
+// SolveUpperBlockInto is SolveUpperBlock writing into caller-provided
+// solution vectors.
+func (s *Solver) SolveUpperBlockInto(ctx context.Context, X, B [][]float64) error {
+	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
+	if err := s.checkBatchPairs(X, B); err != nil {
+		return err
+	}
+	return s.eng.SolveUpperBlockIntoCtx(ctx, X, B, 0)
+}
+
 // checkDims validates a solution/right-hand-side pair at the facade.
 func (s *Solver) checkDims(x, b []float64) error {
 	n := s.plan.N()

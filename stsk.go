@@ -40,6 +40,7 @@
 //	defer solver.Close()
 //	x, _ = solver.Solve(b)                    // pooled pack-parallel solve
 //	X, _ := solver.SolveBatchCtx(ctx, manyRHS) // pipelined, one worker per RHS
+//	P, _ := solver.SolveBlock(ctx, manyRHS)    // blocked: one matrix sweep per RHS panel
 //	for i, res := range solver.SolveSeq(ctx, slices.Values(manyRHS)) {
 //	    _ = i // ordered streaming without channel boilerplate
 //	    _ = res.X
