@@ -10,6 +10,10 @@
 //	                                    # the multi-RHS blocksolve cells (batched
 //	                                    # vs panel widths 2/4/8, per-RHS solves/s);
 //	                                    # machine-readable copy in BENCH_stsk.json
+//	stsbench -experiment servebench     # serving layer: 32 concurrent clients,
+//	                                    # coalesced (panel width 8) vs per-request,
+//	                                    # throughput + achieved mean panel width;
+//	                                    # cells merged into BENCH_stsk.json
 //	stsbench -list
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
@@ -18,9 +22,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"stsk/internal/bench"
@@ -41,19 +48,28 @@ func main() {
 			fmt.Println(e)
 		}
 		fmt.Println("solvebench")
+		fmt.Println("servebench")
 		return
 	}
 	r := bench.New(*scale, os.Stdout)
 	r.Repeats = *repeats
 	start := time.Now()
-	if *experiment == "solvebench" {
+	switch *experiment {
+	case "solvebench":
 		if err := runSolveBench(r, *benchout); err != nil {
 			fmt.Fprintln(os.Stderr, "stsbench:", err)
 			os.Exit(1)
 		}
-	} else if err := r.Run(*experiment); err != nil {
-		fmt.Fprintln(os.Stderr, "stsbench:", err)
-		os.Exit(1)
+	case "servebench":
+		if err := runServeBench(r, *benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "stsbench:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := r.Run(*experiment); err != nil {
+			fmt.Fprintln(os.Stderr, "stsbench:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "stsbench: %s done in %v\n", *experiment, time.Since(start).Round(time.Millisecond))
 }
@@ -70,5 +86,44 @@ func runSolveBench(r *bench.Runner, path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "stsbench: wrote %s\n", path)
+	return f.Close()
+}
+
+// runServeBench measures the serving layer (coalesced vs per-request)
+// and merges its cells into the existing report at path — an earlier
+// solvebench run's kernel cells are preserved, stale serve cells are
+// replaced.
+func runServeBench(r *bench.Runner, path string) error {
+	cells, err := serveBench(r.Scale, os.Stdout)
+	if err != nil {
+		return err
+	}
+	report := &bench.SolveBenchReport{Scale: r.Scale}
+	if raw, err := os.ReadFile(path); err == nil {
+		var existing bench.SolveBenchReport
+		if err := json.Unmarshal(raw, &existing); err == nil {
+			report = &existing
+			kept := report.Results[:0]
+			for _, res := range report.Results {
+				if !strings.HasPrefix(res.Schedule, "serve-") {
+					kept = append(kept, res)
+				}
+			}
+			report.Results = kept
+		}
+	}
+	report.GOOS, report.GOARCH, report.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+	report.Results = append(report.Results, cells...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stsbench: merged %d serve cells into %s\n", len(cells), path)
 	return f.Close()
 }

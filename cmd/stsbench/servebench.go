@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"stsk/internal/bench"
+	"stsk/serve"
+)
+
+// serveBenchClients is the concurrent client count of the serving
+// benchmark — the acceptance shape of the serve subsystem (≥32 in-flight
+// single-RHS requests on one plan). The driver lives in cmd/stsbench
+// rather than internal/bench because the serve package sits above the
+// stsk facade, which internal/bench is itself imported by.
+const serveBenchClients = 32
+
+// serveBench measures the serving layer end to end: serveBenchClients
+// concurrent clients fire single-RHS solve requests at one registry plan,
+// once with coalescing disabled (panel width 1 — every request pays its
+// own matrix traversal) and once with the adaptive coalescer packing
+// requests onto width-8 panels. The cells record per-request throughput
+// and the achieved mean panel width, and land in BENCH_stsk.json next to
+// the kernel-level solvebench cells.
+func serveBench(scale int, out io.Writer) ([]bench.SolveBenchResult, error) {
+	fmt.Fprintf(out, "Serve benchmark (%d concurrent clients, one grid3d/sts3 plan)\n", serveBenchClients)
+	fmt.Fprintf(out, "%-16s %12s %14s %12s\n", "mode", "ns/req", "solves/s", "mean width")
+	var cells []bench.SolveBenchResult
+	for _, mode := range []struct {
+		name  string
+		width int
+	}{
+		{"serve-perreq", 1},
+		{"serve-coalesced", 8},
+	} {
+		res, err := measureServe(scale, mode.width)
+		if err != nil {
+			return nil, err
+		}
+		res.Schedule = mode.name
+		cells = append(cells, res)
+		fmt.Fprintf(out, "%-16s %12.0f %14.0f %12.2f\n",
+			mode.name, res.NsPerOp, res.SolvesPerSec, res.MeanPanelWidth)
+	}
+	return cells, nil
+}
+
+// measureServe drives one registry configuration with the standard
+// concurrent-client load for a fixed duration and reads the throughput
+// and coalescing width off the registry's own metrics.
+func measureServe(scale, width int) (bench.SolveBenchResult, error) {
+	reg := serve.NewRegistry(serve.Config{
+		BlockWidth: width,
+		FlushDelay: 500 * time.Microsecond,
+		QueueCap:   4 * serveBenchClients,
+	})
+	defer reg.Close()
+	info, err := reg.Register(serve.PlanSpec{Name: "bench", Class: "grid3d", N: scale, Method: "sts3"})
+	if err != nil {
+		return bench.SolveBenchResult{}, err
+	}
+	b := make([]float64, info.N)
+	for i := range b {
+		b[i] = float64((i%13)-6) / 3
+	}
+	ctx := context.Background()
+	// Warm: pools, panel scratch, lazy caches.
+	if _, err := reg.Solve(ctx, "bench", serve.VariantDirect, false, b); err != nil {
+		return bench.SolveBenchResult{}, err
+	}
+	base := reg.Metrics().Snapshot()
+
+	const runFor = 400 * time.Millisecond
+	deadline := time.Now().Add(runFor)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, serveBenchClients)
+	for c := 0; c < serveBenchClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, err := reg.Solve(ctx, "bench", serve.VariantDirect, false, b); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return bench.SolveBenchResult{}, err
+	default:
+	}
+	snap := reg.Metrics().Snapshot()
+	solved := snap.Solved - base.Solved
+	if solved == 0 {
+		return bench.SolveBenchResult{}, fmt.Errorf("serve run completed no solves")
+	}
+	perReq := float64(elapsed.Nanoseconds()) / float64(solved)
+	batches := snap.Batches - base.Batches
+	meanWidth := 0.0
+	if batches > 0 {
+		meanWidth = float64(snap.WidthSum-base.WidthSum) / float64(batches)
+	}
+	return bench.SolveBenchResult{
+		Matrix:         "grid3d",
+		N:              info.N,
+		NNZ:            int(info.NNZ),
+		Method:         "STS-3",
+		Workers:        runtime.GOMAXPROCS(0),
+		Width:          width,
+		Clients:        serveBenchClients,
+		NsPerOp:        perReq,
+		SolvesPerSec:   1e9 / perReq,
+		MeanPanelWidth: meanWidth,
+	}, nil
+}

@@ -99,12 +99,7 @@ func main() {
 func loadMatrix(class, suite, file string, n int) (*stsk.Matrix, error) {
 	switch {
 	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return stsk.ReadMatrixMarket(f)
+		return stsk.ReadMatrixMarketFile(file)
 	case suite != "":
 		return stsk.GenerateSuite(suite, n)
 	case class != "":

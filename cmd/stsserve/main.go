@@ -1,0 +1,111 @@
+// Command stsserve runs the solve-as-a-service daemon: an HTTP JSON API
+// over a concurrent plan registry whose coalescer packs concurrent
+// single-RHS solve requests onto the blocked panel kernels — the
+// long-running, many-solves-per-ordering traffic shape the STS-k paper's
+// amortisation argument targets.
+//
+// Usage:
+//
+//	stsserve -addr :8080
+//	stsserve -preload '{"name":"g3","class":"grid3d","n":50000,"method":"sts3"}'
+//	stsserve -budget-mb 512 -flush 1ms -queue 512
+//
+// Then:
+//
+//	curl -X POST localhost:8080/v1/plans -d '{"name":"g3","class":"grid3d","n":50000}'
+//	curl -X POST localhost:8080/v1/solve -d '{"plan":"g3","b":[...]}'
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops, in-flight
+// and queued solves complete, solver pools shut down, and the process
+// exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stsk/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		budgetMB = flag.Int64("budget-mb", 1024, "LRU byte budget for resident plans (MiB)")
+		flush    = flag.Duration("flush", 500*time.Microsecond, "coalescer flush deadline (partial panels ship after this)")
+		queue    = flag.Int("queue", 256, "per-coalescer request queue bound (admission control)")
+		workers  = flag.Int("workers", 0, "default solver goroutines per plan (0 = GOMAXPROCS)")
+		width    = flag.Int("width", 8, "maximum coalesced panel width")
+		drainFor = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+	)
+	var preloads []serve.PlanSpec
+	flag.Func("preload", "plan spec JSON to register at boot (repeatable)", func(v string) error {
+		var spec serve.PlanSpec
+		if err := json.Unmarshal([]byte(v), &spec); err != nil {
+			return err
+		}
+		preloads = append(preloads, spec)
+		return nil
+	})
+	flag.Parse()
+
+	reg := serve.NewRegistry(serve.Config{
+		BudgetBytes: *budgetMB << 20,
+		FlushDelay:  *flush,
+		QueueCap:    *queue,
+		Workers:     *workers,
+		BlockWidth:  *width,
+	})
+	for _, spec := range preloads {
+		start := time.Now()
+		info, err := reg.Register(spec)
+		if err != nil {
+			log.Fatalf("stsserve: preload %q: %v", spec.Name, err)
+		}
+		log.Printf("stsserve: preloaded plan %q (n=%d nnz=%d packs=%d) in %v",
+			spec.Name, info.N, info.NNZ, info.Packs, time.Since(start).Round(time.Millisecond))
+	}
+	srv := serve.NewServer(reg)
+
+	// Header/idle timeouts shed slow-loris connections; the generous
+	// read/write bounds still accommodate multi-megabyte solve bodies.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("stsserve: listening on %s (flush %v, queue %d, width %d, budget %d MiB)",
+		*addr, *flush, *queue, *width, *budgetMB)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("stsserve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("stsserve: %v — draining (bound %v)", s, *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "stsserve: shutdown: %v\n", err)
+		}
+		cancel()
+		srv.Close() // drain coalescers, close solver pools
+		log.Printf("stsserve: drained, exiting")
+	}
+}

@@ -15,6 +15,11 @@
 // context.DeadlineExceeded and exits — the cancellation path a service
 // embedding this library would take.
 //
+// -dump-rhs and -dump-solution write the manufactured b and computed x
+// (plan order, %.17g — exact float64 round-trip) for external
+// verification; the serve e2e smoke compares stsserve responses against
+// them bitwise.
+//
 // Usage:
 //
 //	stssolve -class trimesh -n 100000 -method sts3 -workers 8
@@ -25,6 +30,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -51,6 +57,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "overall deadline for the solve phase (0 = none)")
 		machine = flag.String("machine", "intel", "topology for modeled cycles (intel, amd, uma)")
 		cores   = flag.Int("cores", 16, "modeled cores")
+		dumpRHS = flag.String("dump-rhs", "", "write the manufactured right-hand side b (plan order, %.17g per line) to this file")
+		dumpSol = flag.String("dump-solution", "", "write the computed solution x (plan order, %.17g per line) to this file")
 	)
 	flag.Parse()
 
@@ -61,7 +69,7 @@ func main() {
 		defer cancel()
 	}
 
-	m, err := parseMethod(*method)
+	m, err := stsk.ParseMethod(*method)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,13 +79,7 @@ func main() {
 	}
 	var mat *stsk.Matrix
 	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fatal(err)
-		}
-		mat, err = stsk.ReadMatrixMarket(f)
-		f.Close()
-		if err != nil {
+		if mat, err = stsk.ReadMatrixMarketFile(*file); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -123,6 +125,19 @@ func main() {
 	}
 	wall := time.Since(start) / time.Duration(*repeats)
 	fmt.Printf("wall-clock: %v per solve (mean of %d; unpinned goroutines — noisy)\n", wall, *repeats)
+
+	// Full-precision dumps let external tooling (the serve e2e smoke)
+	// replay exactly this system and compare solutions bitwise.
+	if *dumpRHS != "" {
+		if err := dumpVector(*dumpRHS, b); err != nil {
+			fatal(err)
+		}
+	}
+	if *dumpSol != "" {
+		if err := dumpVector(*dumpSol, x); err != nil {
+			fatal(err)
+		}
+	}
 
 	sim, err := plan.Simulate(*machine, *cores)
 	if err != nil {
@@ -249,18 +264,22 @@ func parseSchedule(s string) (stsk.ScheduleChoice, error) {
 	return 0, fmt.Errorf("unknown schedule %q", s)
 }
 
-func parseMethod(s string) (stsk.Method, error) {
-	switch strings.ToLower(strings.ReplaceAll(s, "_", "-")) {
-	case "csr-ls", "csrls":
-		return stsk.CSRLS, nil
-	case "csr-3-ls", "csr3ls":
-		return stsk.CSR3LS, nil
-	case "csr-col", "csrcol":
-		return stsk.CSRCOL, nil
-	case "sts3", "sts-3", "csr-3-col":
-		return stsk.STS3, nil
+// dumpVector writes one float per line with enough digits (%.17g) that
+// parsing the text reproduces the exact float64 bits.
+func dumpVector(path string, v []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	return 0, fmt.Errorf("unknown method %q", s)
+	w := bufio.NewWriter(f)
+	for _, x := range v {
+		fmt.Fprintf(w, "%.17g\n", x)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the solve-as-a-service daemon:
+# start stsserve, register a generated grid3d plan over HTTP, fire
+# concurrent solve requests, and check every returned solution against
+# the solution cmd/stssolve computes for the identical system (bitwise:
+# both sides print/parse full-precision float64).
+#
+# Run from anywhere inside the repo: bash scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=4000
+ADDR=127.0.0.1:8377
+CLIENTS=48
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/stsserve" ./cmd/stsserve
+go build -o "$TMP/stssolve" ./cmd/stssolve
+
+# Reference: solve the manufactured grid3d system with stssolve and dump
+# the right-hand side and solution at full precision (%.17g round-trips
+# float64 exactly).
+"$TMP/stssolve" -class grid3d -n $N -method sts3 -repeats 1 \
+  -dump-rhs "$TMP/b.txt" -dump-solution "$TMP/x.txt" >/dev/null
+
+"$TMP/stsserve" -addr "$ADDR" -flush 2ms &
+SERVER_PID=$!
+
+for _ in $(seq 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+# Register the same plan the reference used (same deterministic
+# generator, same ordering defaults → the same triangular system).
+curl -fsS -X POST "http://$ADDR/v1/plans" \
+  -d "{\"name\":\"g3\",\"class\":\"grid3d\",\"n\":$N,\"method\":\"sts3\"}" >"$TMP/plan.json"
+grep -q '"loaded":true' "$TMP/plan.json" || { echo "plan not loaded: $(cat "$TMP/plan.json")"; exit 1; }
+
+# One request body, fired by $CLIENTS concurrent clients so the
+# coalescer actually gets to pack panels.
+awk 'BEGIN{printf "{\"plan\":\"g3\",\"b\":["} {printf "%s%s",(NR>1?",":""),$1} END{printf "]}"}' \
+  "$TMP/b.txt" >"$TMP/req.json"
+seq "$CLIENTS" | xargs -P 32 -I{} curl -fsS -X POST "http://$ADDR/v1/solve" \
+  --data-binary @"$TMP/req.json" -o "$TMP/out.{}"
+
+# Every response must match the stssolve solution exactly.
+lines=$(wc -l <"$TMP/x.txt")
+for i in $(seq "$CLIENTS"); do
+  sed 's/.*"x":\[//; s/\].*//' "$TMP/out.$i" | tr ',' '\n' >"$TMP/got.$i"
+  got=$(wc -l <"$TMP/got.$i")
+  [ "$got" = "$lines" ] || { echo "response $i: $got values, want $lines"; exit 1; }
+  paste "$TMP/x.txt" "$TMP/got.$i" | awk '
+    { if ($1+0 != $2+0) { bad++; if (bad<4) printf "  mismatch line %d: %s vs %s\n", NR, $1, $2 } }
+    END { if (bad>0) { printf "response had %d mismatching values\n", bad; exit 1 } }' \
+    || { echo "response $i differs from stssolve output"; exit 1; }
+done
+echo "all $CLIENTS responses match the stssolve solution bitwise"
+
+curl -fsS "http://$ADDR/metrics" | grep -E "stsserve_panel_width_mean|stsserve_requests_solved_total|stsserve_solve_batches_total"
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "serve smoke OK"

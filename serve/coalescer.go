@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"stsk"
+)
+
+// Package sentinels surfaced by the serving layer; the HTTP transport
+// maps them onto status codes. ErrQueueFull is admission control — the
+// bounded coalescer queue bounced the request (HTTP 429) — and
+// ErrDraining reports a registry shutting down (HTTP 503).
+var (
+	ErrUnknownPlan = errors.New("serve: unknown plan")
+	ErrQueueFull   = errors.New("serve: solve queue full")
+	ErrDraining    = errors.New("serve: registry draining")
+)
+
+// errCoalescerClosed reports an enqueue that raced an eviction: the plan's
+// solver is shutting down. It never escapes the registry — Registry.Solve
+// retries against a freshly built plan, and translates the sentinel to a
+// retriable ErrDraining if it loses the race on every attempt.
+var errCoalescerClosed = errors.New("serve: coalescer closed")
+
+// solveReq is one queued single-RHS solve. done is buffered (capacity 1)
+// so a dispatcher can always complete a request whose caller has already
+// given up on its context and gone away.
+type solveReq struct {
+	ctx  context.Context
+	b    []float64
+	x    []float64
+	done chan error
+}
+
+// coalescer converts request concurrency into panel-kernel throughput for
+// one (solver, sweep-direction) key: concurrent single-RHS solve requests
+// queue into a bounded channel, and a dispatcher goroutine packs up to
+// width pending right-hand sides into one blocked panel solve
+// (Solver.SolveBlockInto), flushing early when a small deadline expires —
+// so a lone request still ships promptly, while a burst of 32 requests
+// rides the matrix traversal eight at a time.
+//
+// The adaptive part is free: under light load the flush timer fires with
+// a partial panel (width 1–2, latency-bound); under heavy load the queue
+// always holds a full panel's worth and the timer never fires
+// (throughput-bound). The achieved mean width is exported via Metrics.
+type coalescer struct {
+	solver *stsk.Solver
+	upper  bool // backward sweeps (L′ᵀx = b) instead of forward
+	width  int  // max requests per panel
+	flush  time.Duration
+	met    *Metrics
+
+	mu     sync.Mutex // guards closed vs enqueue
+	closed bool
+
+	queue chan *solveReq
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	// Dispatcher-owned scratch, reused across batches.
+	batch  []*solveReq
+	xs, bs [][]float64
+}
+
+// newCoalescer builds an unstarted coalescer; call start to launch the
+// dispatcher (tests enqueue against an unstarted one for determinism).
+func newCoalescer(solver *stsk.Solver, upper bool, width, queueCap int, flush time.Duration, met *Metrics) *coalescer {
+	return &coalescer{
+		solver: solver,
+		upper:  upper,
+		width:  width,
+		flush:  flush,
+		met:    met,
+		queue:  make(chan *solveReq, queueCap),
+		stop:   make(chan struct{}),
+		batch:  make([]*solveReq, 0, width),
+		xs:     make([][]float64, 0, width),
+		bs:     make([][]float64, 0, width),
+	}
+}
+
+func (c *coalescer) start() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+// depth reports the requests currently queued (a point-in-time gauge).
+func (c *coalescer) depth() int { return len(c.queue) }
+
+// enqueue admits a request or bounces it: a full queue returns
+// ErrQueueFull immediately (admission control — the transport answers
+// 429 rather than building unbounded backlog), and a closed coalescer
+// returns errCoalescerClosed so the registry retries against a rebuilt
+// plan. The closed check and the send share c.mu, so no request can slip
+// into the queue after the dispatcher's final drain.
+func (c *coalescer) enqueue(r *solveReq) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errCoalescerClosed
+	}
+	select {
+	case c.queue <- r:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// solve queues one right-hand side and waits for its panel to complete.
+// The caller's context is honored at every stage: a dead context is
+// dropped at collection time without touching a kernel, and a caller
+// whose context dies while waiting returns promptly — the dispatcher
+// completes the buffered response into the void.
+func (c *coalescer) solve(ctx context.Context, b []float64) ([]float64, error) {
+	// A dead request is never queued: it would only occupy a bounded
+	// admission slot until the dispatcher discards it, starving live
+	// requests into 429s.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &solveReq{ctx: ctx, b: b, x: make([]float64, len(b)), done: make(chan error, 1)}
+	if err := c.enqueue(r); err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-r.done:
+		if err != nil {
+			return nil, err
+		}
+		return r.x, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// close stops the dispatcher after a graceful drain: requests already
+// queued are still solved (their callers are waiting), new enqueues fail,
+// and close returns once the dispatcher has exited. The solver itself is
+// closed by the owner afterwards, so every drained panel runs on a live
+// pool.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// run is the dispatcher loop: park until a request arrives, collect a
+// panel around it, dispatch, repeat. On stop it drains the queue — no
+// request admitted by enqueue is ever stranded.
+func (c *coalescer) run() {
+	defer c.wg.Done()
+	for {
+		select {
+		case r := <-c.queue:
+			c.dispatch(c.collect(r))
+		case <-c.stop:
+			c.drain()
+			return
+		}
+	}
+}
+
+// collect gathers a panel around the first request: up to width requests,
+// flushed early when the deadline expires (partial panels ship — the
+// latency bound) or the coalescer stops. Requests whose context is
+// already dead are answered immediately and excluded, so one cancelled
+// client never occupies a panel slot.
+func (c *coalescer) collect(first *solveReq) []*solveReq {
+	batch := c.batch[:0]
+	if err := first.ctx.Err(); err != nil {
+		first.done <- err
+		return batch
+	}
+	batch = append(batch, first)
+	timer := time.NewTimer(c.flush)
+	defer timer.Stop()
+	for len(batch) < c.width {
+		select {
+		case r := <-c.queue:
+			if err := r.ctx.Err(); err != nil {
+				r.done <- err
+				continue
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-c.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain empties the queue after stop: panels are still coalesced (the
+// queue is a snapshot of waiting callers), but nothing waits on the flush
+// timer — ship what is there and exit.
+func (c *coalescer) drain() {
+	for {
+		batch := c.batch[:0]
+		for len(batch) < c.width {
+			select {
+			case r := <-c.queue:
+				if err := r.ctx.Err(); err != nil {
+					r.done <- err
+					continue
+				}
+				batch = append(batch, r)
+			default:
+				goto ship
+			}
+		}
+	ship:
+		if len(batch) == 0 {
+			return
+		}
+		c.dispatch(batch)
+	}
+}
+
+// dispatch solves one collected panel. A singleton rides the cooperative
+// context-aware path (SolveIntoCtx) so its own deadline gates dispatch; a
+// multi-request panel rides the blocked kernels (SolveBlockInto), one
+// matrix traversal amortised over every member. Either way each member's
+// solution is bitwise identical to Plan.Solve — the panel kernels
+// evaluate every row dot product in the same order as the scalar path.
+func (c *coalescer) dispatch(batch []*solveReq) {
+	if len(batch) == 0 {
+		return
+	}
+	c.met.Batches.Add(1)
+	c.met.WidthSum.Add(int64(len(batch)))
+	if len(batch) == 1 {
+		r := batch[0]
+		var err error
+		if c.upper {
+			err = c.solver.SolveUpperIntoCtx(r.ctx, r.x, r.b)
+		} else {
+			err = c.solver.SolveIntoCtx(r.ctx, r.x, r.b)
+		}
+		r.done <- err
+		batch[0] = nil
+		return
+	}
+	xs, bs := c.xs[:0], c.bs[:0]
+	for _, r := range batch {
+		xs = append(xs, r.x)
+		bs = append(bs, r.b)
+	}
+	// The panel runs under the background context: one member's
+	// cancellation must not void its neighbours' work, and a panel is at
+	// most width solves deep — it completes promptly regardless. Members
+	// whose context died mid-panel simply find no reader on their
+	// buffered done channel.
+	var err error
+	if c.upper {
+		err = c.solver.SolveUpperBlockInto(context.Background(), xs, bs)
+	} else {
+		err = c.solver.SolveBlockInto(context.Background(), xs, bs)
+	}
+	for i := range xs {
+		xs[i], bs[i] = nil, nil
+	}
+	for i, r := range batch {
+		r.done <- err
+		batch[i] = nil // drop the reference so the scratch array pins nothing
+	}
+}

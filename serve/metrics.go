@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, spanning sub-millisecond cache-resident solves up to
+// multi-second cold builds; the implicit final bucket is +Inf.
+var latencyBuckets = [...]float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters —
+// enough for the Prometheus text exposition without any dependency.
+type histogram struct {
+	counts [len(latencyBuckets) + 1]atomic.Int64
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// Metrics is the serving subsystem's shared instrumentation: request
+// outcome counters, coalescing effectiveness (batches vs requests, whose
+// ratio is the achieved mean panel width), registry lifecycle counters,
+// and the end-to-end solve latency histogram. All fields are updated with
+// atomics, so one Metrics value is shared by the registry, every
+// coalescer, and the HTTP layer.
+type Metrics struct {
+	// Request outcomes, counted once per Registry.Solve call.
+	Requests  atomic.Int64 // every solve request received
+	Solved    atomic.Int64 // completed with a solution
+	Cancelled atomic.Int64 // context cancelled or deadline expired
+	Rejected  atomic.Int64 // bounced by admission control (queue full)
+	Failed    atomic.Int64 // any other error (unknown plan, dimension, ...)
+
+	// Coalescing effectiveness: WidthSum/Batches is the achieved mean
+	// panel width — the number of concurrent requests each matrix
+	// traversal was amortised over.
+	Batches  atomic.Int64 // panel dispatches issued to solvers
+	WidthSum atomic.Int64 // total requests carried by those dispatches
+
+	// Registry lifecycle.
+	PlanBuilds atomic.Int64 // plans (or IC0 variants) built
+	Evictions  atomic.Int64 // LRU evictions under the byte budget
+
+	latency histogram
+}
+
+// ObserveLatency records one completed solve's end-to-end latency
+// (queueing + coalescing + panel solve).
+func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observe(d) }
+
+// Snapshot is a point-in-time copy of the counters, for tests and the
+// servebench driver.
+type Snapshot struct {
+	Requests, Solved, Cancelled, Rejected, Failed int64
+	Batches, WidthSum                             int64
+	PlanBuilds, Evictions                         int64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:   m.Requests.Load(),
+		Solved:     m.Solved.Load(),
+		Cancelled:  m.Cancelled.Load(),
+		Rejected:   m.Rejected.Load(),
+		Failed:     m.Failed.Load(),
+		Batches:    m.Batches.Load(),
+		WidthSum:   m.WidthSum.Load(),
+		PlanBuilds: m.PlanBuilds.Load(),
+		Evictions:  m.Evictions.Load(),
+	}
+}
+
+// MeanPanelWidth is the achieved mean panel width so far: requests
+// dispatched / panel dispatches. Zero before the first dispatch.
+func (s Snapshot) MeanPanelWidth() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.WidthSum) / float64(s.Batches)
+}
+
+// writePrometheus renders the metrics in the Prometheus text exposition
+// format. The registry supplies the point-in-time gauges (queue depth,
+// loaded plans, byte usage).
+func (m *Metrics) writePrometheus(w io.Writer, reg *Registry) {
+	s := m.Snapshot()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+	counter("stsserve_requests_total", "Solve requests received.", s.Requests)
+	counter("stsserve_requests_solved_total", "Solve requests completed with a solution.", s.Solved)
+	counter("stsserve_requests_cancelled_total", "Solve requests cancelled or timed out.", s.Cancelled)
+	counter("stsserve_requests_rejected_total", "Solve requests bounced by admission control.", s.Rejected)
+	counter("stsserve_requests_failed_total", "Solve requests failed for other reasons.", s.Failed)
+	counter("stsserve_solve_batches_total", "Coalesced panel dispatches issued to solvers.", s.Batches)
+	counter("stsserve_solve_batched_requests_total", "Requests carried by coalesced dispatches.", s.WidthSum)
+	gauge("stsserve_panel_width_mean", "Achieved mean panel width (batched requests / batches).", "%g", s.MeanPanelWidth())
+	counter("stsserve_plan_builds_total", "Plans and IC0 variants built.", s.PlanBuilds)
+	counter("stsserve_plan_evictions_total", "LRU plan evictions under the byte budget.", s.Evictions)
+	gauge("stsserve_queue_depth", "Requests currently queued across all coalescers.", "%d", reg.QueueDepth())
+	gauge("stsserve_plans_registered", "Plans registered.", "%d", reg.Len())
+	gauge("stsserve_plans_loaded", "Plans currently built and resident.", "%d", reg.Loaded())
+	gauge("stsserve_plan_bytes", "Estimated bytes held by resident plans.", "%d", reg.BytesUsed())
+
+	// Latency histogram.
+	fmt.Fprintf(w, "# HELP stsserve_solve_latency_seconds End-to-end solve latency (queueing + coalescing + solve).\n")
+	fmt.Fprintf(w, "# TYPE stsserve_solve_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latency.counts[i].Load()
+		fmt.Fprintf(w, "stsserve_solve_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latency.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "stsserve_solve_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "stsserve_solve_latency_seconds_sum %g\n", float64(m.latency.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "stsserve_solve_latency_seconds_count %d\n", m.latency.count.Load())
+}

@@ -1,0 +1,651 @@
+// Package serve turns the stsk library into a long-running
+// solve-as-a-service subsystem: a concurrent plan registry that builds
+// and caches Plans with their pooled Solvers behind an LRU byte budget,
+// an adaptive micro-batching coalescer that packs concurrent single-RHS
+// requests onto the blocked panel kernels, and an HTTP JSON transport
+// (see Server) with Prometheus-text metrics — the traffic shape the
+// STS-k paper's amortisation argument was built for, as a daemon
+// (cmd/stsserve).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stsk"
+)
+
+// Variant names accepted by Solve: the empty string solves the plan's own
+// triangular factor; VariantIC0 lazily computes the zero-fill incomplete
+// Cholesky factor of the plan's symmetric matrix and solves that — the
+// preconditioner sweeps of the paper's motivating PCG workload.
+const (
+	VariantDirect = ""
+	VariantIC0    = "ic0"
+)
+
+// ErrPlanExists reports a Register whose name is already taken by a
+// different spec (HTTP 409). Re-registering the identical spec is
+// idempotent and succeeds.
+var ErrPlanExists = errors.New("serve: plan already registered with a different spec")
+
+// PlanSpec names a matrix source and the ordering/solver configuration
+// the registry builds for it. Exactly one of Class, Suite and File must
+// be set; the zero values of the remaining fields select the library
+// defaults (method STS-3, GOMAXPROCS workers, panel width 8).
+type PlanSpec struct {
+	Name string `json:"name"`
+
+	// Matrix source: a synthetic class (stsk.Generate), a paper Table 1
+	// suite id (stsk.GenerateSuite), or a Matrix Market file path
+	// (stsk.ReadMatrixMarketFile).
+	Class string `json:"class,omitempty"`
+	Suite string `json:"suite,omitempty"`
+	File  string `json:"file,omitempty"`
+
+	// N is the target row count for generated sources (default 20000).
+	N int `json:"n,omitempty"`
+
+	// Method is the ordering scheme: csr-ls, csr-col, csr-3-ls, sts3
+	// (default sts3).
+	Method string `json:"method,omitempty"`
+
+	// RowsPerSuper tunes the super-row size (stsk.WithRowsPerSuper).
+	RowsPerSuper int `json:"rowsPerSuper,omitempty"`
+
+	// Workers fixes the solver pool size (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+
+	// BlockWidth caps the coalescer's panel width for this plan
+	// (0 = the registry default, normally 8).
+	BlockWidth int `json:"blockWidth,omitempty"`
+}
+
+// validate checks the spec shape without touching any matrix source.
+func (s PlanSpec) validate() error {
+	if s.Name == "" {
+		return errors.New("serve: plan spec needs a name")
+	}
+	sources := 0
+	for _, src := range []string{s.Class, s.Suite, s.File} {
+		if src != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("serve: plan %q needs exactly one of class, suite, file", s.Name)
+	}
+	if s.Method != "" {
+		if _, err := stsk.ParseMethod(s.Method); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadMatrix obtains the spec's matrix.
+func (s PlanSpec) loadMatrix() (*stsk.Matrix, error) {
+	n := s.N
+	if n <= 0 {
+		n = 20000
+	}
+	switch {
+	case s.Class != "":
+		return stsk.Generate(s.Class, n)
+	case s.Suite != "":
+		return stsk.GenerateSuite(s.Suite, n)
+	default:
+		return stsk.ReadMatrixMarketFile(s.File)
+	}
+}
+
+// method resolves the spec's ordering scheme.
+func (s PlanSpec) method() stsk.Method {
+	if s.Method == "" {
+		return stsk.STS3
+	}
+	m, _ := stsk.ParseMethod(s.Method) // validated at registration
+	return m
+}
+
+// Config tunes a Registry. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// BudgetBytes caps the estimated bytes of resident built plans; the
+	// least-recently-used plan is evicted (coalescers drained, Solver
+	// closed, memory released to the GC) when the budget is exceeded.
+	// A single plan larger than the budget is still admitted — the
+	// budget then holds nothing else. Default 1 GiB.
+	BudgetBytes int64
+
+	// FlushDelay is how long the coalescer holds a partial panel open for
+	// more requests before shipping it. Default 500µs.
+	FlushDelay time.Duration
+
+	// QueueCap bounds each coalescer's request queue; a full queue
+	// rejects with ErrQueueFull (HTTP 429). Default 256.
+	QueueCap int
+
+	// Workers is the default solver pool size for plans whose spec does
+	// not set one (0 = GOMAXPROCS).
+	Workers int
+
+	// BlockWidth is the default maximum panel width (0 = 8, the widest
+	// unrolled kernel).
+	BlockWidth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BudgetBytes <= 0 {
+		c.BudgetBytes = 1 << 30
+	}
+	if c.FlushDelay <= 0 {
+		c.FlushDelay = 500 * time.Microsecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.BlockWidth <= 0 {
+		c.BlockWidth = 8
+	}
+	return c
+}
+
+// variantState is one built, servable triangular system: a Plan, its
+// persistent pooled Solver, and the pair of coalescers (forward and
+// backward sweeps) multiplexing requests onto it.
+type variantState struct {
+	plan         *stsk.Plan
+	solver       *stsk.Solver
+	lower, upper *coalescer
+	bytes        int64
+}
+
+// close drains both coalescers (queued requests still get solved) and
+// then closes the solver — the GC-safe eviction order: no panel is ever
+// dispatched to a closed pool, and once close returns the only thing
+// keeping the plan's memory alive is the garbage collector's next sweep.
+func (v *variantState) close() {
+	v.lower.close()
+	v.upper.close()
+	v.solver.Close()
+}
+
+// planState is the built state of one registry entry: the base variant
+// plus the lazily built IC0 variant. lastUse and bytes are maintained
+// under the registry mutex; ic0 is an atomic pointer so listing and
+// routing never take ic0Mu (which serialises only the build/shutdown
+// path and is never acquired while the registry mutex is held by the
+// same goroutine's callees — eviction reads bytes, not ic0).
+type planState struct {
+	spec    PlanSpec
+	base    variantState
+	lastUse int64
+	bytes   int64 // base + built variants; registry-mutex-guarded
+
+	ic0Mu   sync.Mutex
+	ic0     atomic.Pointer[variantState]
+	evicted bool // under ic0Mu; late IC0 builds bounce and retry
+}
+
+// shutdown gracefully stops everything the state owns. Runs outside the
+// registry mutex (eviction spawns it on a goroutine; Close runs it
+// synchronously after releasing the mutex).
+func (st *planState) shutdown() {
+	st.ic0Mu.Lock()
+	st.evicted = true
+	ic0 := st.ic0.Swap(nil)
+	st.ic0Mu.Unlock()
+	if ic0 != nil {
+		ic0.close()
+	}
+	st.base.close()
+}
+
+// Registry is the concurrent plan cache at the heart of the serving
+// subsystem. Specs are registered by name; the built artifacts (Plan,
+// pooled Solver, coalescers, lazy IC0 variant) are cached behind an LRU
+// byte budget. Eviction only forgets the built state — the spec stays
+// registered, and the next request transparently rebuilds. All methods
+// are safe for concurrent use.
+type Registry struct {
+	cfg Config
+	met *Metrics
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	used    int64
+	clock   int64
+	closed  bool
+
+	// shutdowns tracks eviction-spawned teardown goroutines so Close can
+	// honor its "every pool has exited" contract.
+	shutdowns sync.WaitGroup
+}
+
+// entry is one registered spec plus its cached built state. st and
+// building are guarded by Registry.mu; building is non-nil while one
+// goroutine runs the expensive build, and other requests wait on it
+// instead of duplicating the work.
+type entry struct {
+	spec     PlanSpec
+	st       *planState
+	building chan struct{}
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg.withDefaults(),
+		met:     &Metrics{},
+		entries: make(map[string]*entry),
+	}
+}
+
+// Metrics returns the registry's shared instrumentation.
+func (r *Registry) Metrics() *Metrics { return r.met }
+
+// PlanInfo describes one registered plan for the listing and
+// registration APIs.
+type PlanInfo struct {
+	Spec   PlanSpec `json:"spec"`
+	Loaded bool     `json:"loaded"`
+	N      int      `json:"n,omitempty"`
+	NNZ    int64    `json:"nnz,omitempty"`
+	Packs  int      `json:"packs,omitempty"`
+	Bytes  int64    `json:"bytes,omitempty"`
+	IC0    bool     `json:"ic0,omitempty"` // IC0 variant currently built
+}
+
+// Register stores a spec and eagerly builds its plan, so registration
+// reports build errors (bad file, unknown class) and the plan's
+// statistics synchronously. Registering an identical spec again is
+// idempotent; a name collision with a different spec fails with
+// ErrPlanExists.
+func (r *Registry) Register(spec PlanSpec) (PlanInfo, error) {
+	if err := spec.validate(); err != nil {
+		return PlanInfo{}, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return PlanInfo{}, ErrDraining
+	}
+	inserted := false
+	if e, ok := r.entries[spec.Name]; ok && e.spec != spec {
+		r.mu.Unlock()
+		return PlanInfo{}, fmt.Errorf("%w: %q", ErrPlanExists, spec.Name)
+	} else if !ok {
+		r.entries[spec.Name] = &entry{spec: spec}
+		inserted = true
+	}
+	r.mu.Unlock()
+	if _, err := r.acquire(spec.Name); err != nil {
+		if inserted {
+			// A spec that never built (bad class, unreadable file) does not
+			// stay registered — the name is free for a corrected retry.
+			r.mu.Lock()
+			if e, ok := r.entries[spec.Name]; ok && e.spec == spec && e.st == nil && e.building == nil {
+				delete(r.entries, spec.Name)
+			}
+			r.mu.Unlock()
+		}
+		return PlanInfo{}, err
+	}
+	infos := r.list(spec.Name)
+	if len(infos) == 0 {
+		return PlanInfo{}, ErrDraining // closed between build and listing
+	}
+	return infos[0], nil
+}
+
+// List describes every registered plan, built or not.
+func (r *Registry) List() []PlanInfo { return r.list("") }
+
+func (r *Registry) list(only string) []PlanInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []PlanInfo
+	for name, e := range r.entries {
+		if only != "" && name != only {
+			continue
+		}
+		info := PlanInfo{Spec: e.spec}
+		if st := e.st; st != nil {
+			stats := st.base.plan.Stats()
+			info.Loaded = true
+			info.N = st.base.plan.N()
+			info.NNZ = stats.NNZ
+			info.Packs = st.base.plan.NumPacks()
+			info.Bytes = st.bytes
+			info.IC0 = st.ic0.Load() != nil
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Len reports the number of registered plans.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Loaded reports the number of plans currently built and resident.
+func (r *Registry) Loaded() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.st != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesUsed reports the estimated bytes of resident built plans.
+func (r *Registry) BytesUsed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// QueueDepth reports the requests currently queued across every resident
+// coalescer — the backpressure gauge exported at /metrics.
+func (r *Registry) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	depth := 0
+	for _, e := range r.entries {
+		if st := e.st; st != nil {
+			depth += st.base.lower.depth() + st.base.upper.depth()
+			if ic0 := st.ic0.Load(); ic0 != nil {
+				depth += ic0.lower.depth() + ic0.upper.depth()
+			}
+		}
+	}
+	return depth
+}
+
+// Solve routes one right-hand side through the named plan's coalescer
+// and returns the solution (in plan order), bitwise identical to
+// Plan.Solve on the same system. variant selects the factor (VariantIC0
+// builds the incomplete-Cholesky factor lazily on first use); upper
+// selects the transposed sweep L′ᵀx = b. The context is honored
+// end-to-end: queueing, coalescing, and dispatch.
+//
+// If the plan was evicted between lookup and enqueue (the race window is
+// a few instructions wide), Solve transparently rebuilds it and retries
+// once.
+func (r *Registry) Solve(ctx context.Context, name, variant string, upper bool, b []float64) ([]float64, error) {
+	r.met.Requests.Add(1)
+	start := time.Now()
+	x, err := r.solve(ctx, name, variant, upper, b)
+	switch {
+	case err == nil:
+		r.met.Solved.Add(1)
+		r.met.ObserveLatency(time.Since(start))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.met.Cancelled.Add(1)
+	case errors.Is(err, ErrQueueFull):
+		r.met.Rejected.Add(1)
+	default:
+		r.met.Failed.Add(1)
+	}
+	return x, err
+}
+
+func (r *Registry) solve(ctx context.Context, name, variant string, upper bool, b []float64) ([]float64, error) {
+	if variant != VariantDirect && variant != VariantIC0 {
+		return nil, fmt.Errorf("serve: unknown variant %q (have \"\" and %q)", variant, VariantIC0)
+	}
+	const maxAttempts = 3
+	for attempt := 0; ; attempt++ {
+		st, err := r.acquire(name)
+		if err != nil {
+			return nil, err
+		}
+		// Validate the length against the base plan (the IC0 factor has
+		// the same dimension) BEFORE touching the lazy variant, so a
+		// wrong-length request can never trigger an incomplete-Cholesky
+		// factorization it has no use for.
+		if len(b) != st.base.plan.N() {
+			return nil, fmt.Errorf("%w: rhs length %d, want %d for plan %q",
+				stsk.ErrDimension, len(b), st.base.plan.N(), name)
+		}
+		vs := &st.base
+		if variant == VariantIC0 {
+			if vs, err = r.acquireIC0(st); err != nil {
+				if errors.Is(err, errCoalescerClosed) && attempt < maxAttempts-1 {
+					continue // evicted under us; rebuild and retry
+				}
+				return nil, translateEvicted(err, name)
+			}
+		}
+		c := vs.lower
+		if upper {
+			c = vs.upper
+		}
+		x, err := c.solve(ctx, b)
+		if errors.Is(err, errCoalescerClosed) && attempt < maxAttempts-1 {
+			continue // evicted under us; rebuild and retry
+		}
+		return x, translateEvicted(err, name)
+	}
+}
+
+// translateEvicted keeps the internal errCoalescerClosed sentinel from
+// escaping the registry when a request loses the eviction race on every
+// attempt (pathological budget churn): the client gets a retriable 503
+// instead of an opaque 500.
+func translateEvicted(err error, name string) error {
+	if errors.Is(err, errCoalescerClosed) {
+		return fmt.Errorf("%w: plan %q evicted mid-request, retry", ErrDraining, name)
+	}
+	return err
+}
+
+// acquire returns the entry's built state, building it (once, with
+// concurrent callers waiting) when absent, charging the byte budget, and
+// evicting least-recently-used plans to fit.
+func (r *Registry) acquire(name string) (*planState, error) {
+	r.mu.Lock()
+	for {
+		if r.closed {
+			r.mu.Unlock()
+			return nil, ErrDraining
+		}
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownPlan, name)
+		}
+		if e.st != nil {
+			r.clock++
+			e.st.lastUse = r.clock
+			st := e.st
+			r.mu.Unlock()
+			return st, nil
+		}
+		if e.building != nil {
+			ch := e.building
+			r.mu.Unlock()
+			<-ch
+			r.mu.Lock()
+			continue // built, build failed (this caller retries), or evicted again
+		}
+		e.building = make(chan struct{})
+		r.mu.Unlock()
+
+		st, err := r.buildState(e.spec)
+
+		r.mu.Lock()
+		close(e.building)
+		e.building = nil
+		if err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		if r.closed {
+			r.mu.Unlock()
+			st.shutdown()
+			return nil, ErrDraining
+		}
+		e.st = st
+		r.used += st.bytes
+		r.met.PlanBuilds.Add(1)
+		r.evictLocked(st)
+	}
+}
+
+// buildState runs the expensive part — matrix load, ordering pipeline,
+// solver pool — outside the registry mutex.
+func (r *Registry) buildState(spec PlanSpec) (*planState, error) {
+	mat, err := spec.loadMatrix()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := stsk.Build(mat, spec.method(), stsk.WithRowsPerSuper(spec.RowsPerSuper))
+	if err != nil {
+		return nil, err
+	}
+	st := &planState{spec: spec, base: r.newVariant(plan, spec)}
+	st.bytes = st.base.bytes
+	return st, nil
+}
+
+// newVariant wires a built plan into a servable variant: pooled solver,
+// forward and backward coalescers, byte estimate.
+func (r *Registry) newVariant(plan *stsk.Plan, spec PlanSpec) variantState {
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = r.cfg.Workers
+	}
+	width := spec.BlockWidth
+	if width <= 0 {
+		width = r.cfg.BlockWidth
+	}
+	solver := plan.NewSolver(stsk.WithWorkers(workers), stsk.WithBlockWidth(width))
+	v := variantState{
+		plan:   plan,
+		solver: solver,
+		lower:  newCoalescer(solver, false, width, r.cfg.QueueCap, r.cfg.FlushDelay, r.met),
+		upper:  newCoalescer(solver, true, width, r.cfg.QueueCap, r.cfg.FlushDelay, r.met),
+		bytes:  estimateBytes(plan),
+	}
+	v.lower.start()
+	v.upper.start()
+	return v
+}
+
+// acquireIC0 returns (building lazily, once) the state's
+// incomplete-Cholesky variant, charging its bytes against the budget.
+func (r *Registry) acquireIC0(st *planState) (*variantState, error) {
+	if vs := st.ic0.Load(); vs != nil {
+		return vs, nil
+	}
+	st.ic0Mu.Lock()
+	defer st.ic0Mu.Unlock()
+	if st.evicted {
+		return nil, errCoalescerClosed
+	}
+	if vs := st.ic0.Load(); vs != nil {
+		return vs, nil
+	}
+	fplan, err := st.base.plan.IC0()
+	if err != nil {
+		return nil, err
+	}
+	vs := r.newVariant(fplan, st.spec)
+	st.ic0.Store(&vs)
+	r.mu.Lock()
+	// Only charge the budget if the state is still resident: an eviction
+	// that raced this build (its shutdown is parked on ic0Mu right now)
+	// has already uncharged st.bytes, and will close this variant the
+	// moment ic0Mu is released — charging it would leak the bytes into
+	// r.used forever and bias the registry toward eviction thrash.
+	if e, ok := r.entries[st.spec.Name]; ok && e.st == st {
+		r.used += vs.bytes
+		st.bytes += vs.bytes
+		r.evictLocked(st)
+	}
+	r.met.PlanBuilds.Add(1)
+	r.mu.Unlock()
+	return &vs, nil
+}
+
+// evictLocked (registry mutex held) drops least-recently-used built
+// plans until the budget fits, sparing keep (the state just built or
+// extended — evicting it would thrash). The actual teardown — coalescer
+// drain, Solver.Close — runs on a goroutine outside the mutex; requests
+// that raced the eviction either complete during the drain or bounce
+// with errCoalescerClosed and transparently rebuild.
+func (r *Registry) evictLocked(keep *planState) {
+	for r.used > r.cfg.BudgetBytes {
+		var victim *entry
+		for _, e := range r.entries {
+			if e.st == nil || e.st == keep {
+				continue
+			}
+			if victim == nil || e.st.lastUse < victim.st.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		st := victim.st
+		victim.st = nil
+		r.used -= st.bytes
+		r.met.Evictions.Add(1)
+		r.shutdowns.Add(1)
+		go func() {
+			defer r.shutdowns.Done()
+			st.shutdown()
+		}()
+	}
+}
+
+// Close drains every coalescer (queued requests still complete), closes
+// every solver, and marks the registry draining: later Register and
+// Solve calls fail with ErrDraining. Close is idempotent and returns
+// once every resident pool has exited.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	var sts []*planState
+	for _, e := range r.entries {
+		if e.st != nil {
+			sts = append(sts, e.st)
+			e.st = nil
+		}
+	}
+	r.used = 0
+	r.mu.Unlock()
+	for _, st := range sts {
+		st.shutdown()
+	}
+	// Teardowns spawned by earlier evictions may still be draining; a
+	// Close that returns with solver goroutines live would break
+	// embedders asserting quiescence.
+	r.shutdowns.Wait()
+}
+
+// estimateBytes approximates a built plan's resident footprint: the CSR
+// factor and its transpose (16 B per stored entry each), their packed
+// int32 twins (12 B each), and the per-row bookkeeping — generous on
+// purpose, since the budget exists to bound the process, not to meter it.
+func estimateBytes(p *stsk.Plan) int64 {
+	st := p.Stats()
+	return st.NNZ*56 + int64(st.Rows)*96 + 1<<16
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"stsk"
+)
+
+// Server is the HTTP JSON transport over a Registry — stdlib net/http
+// only, no dependencies. Routes:
+//
+//	POST /v1/plans    register a PlanSpec and build it (409 on conflict)
+//	GET  /v1/plans    list registered plans and their residency
+//	POST /v1/solve    solve one right-hand side (coalesced onto panels)
+//	GET  /healthz     liveness + drain state
+//	GET  /metrics     Prometheus text exposition
+//
+// Admission control surfaces as 429 (coalescer queue full), per-request
+// deadlines as 408, and a draining server as 503. Close marks the server
+// draining and gracefully drains the registry: queued solves complete,
+// new requests bounce.
+type Server struct {
+	reg      *Registry
+	mux      *http.ServeMux
+	draining atomic.Bool
+	start    time.Time
+}
+
+// NewServer wraps a registry with the HTTP API.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/plans", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/plans", s.handleList)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Registry returns the server's registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains and stops serving: subsequent plan and solve requests
+// answer 503 while in-flight ones (including every request already
+// queued in a coalescer) complete. Intended order in a daemon:
+// http.Server.Shutdown first (stop accepting connections), then Close.
+func (s *Server) Close() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.reg.Close()
+	}
+}
+
+// Request-body caps: a solve body is dominated by the right-hand side
+// (~20 chars per float64 in JSON, so 256 MiB covers ~10M rows with slack);
+// a plan spec is a few hundred bytes of names and integers.
+const (
+	maxSolveBody = 256 << 20
+	maxPlanBody  = 1 << 20
+)
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the status line: an unencodable value (a
+	// solution that overflowed to ±Inf/NaN, which JSON cannot carry) must
+	// surface as a 500, not a 200 with an empty body.
+	raw, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"response not representable in JSON (non-finite values?)"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(append(raw, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// statusFor maps the serving-layer sentinels onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownPlan):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrPlanExists):
+		return http.StatusConflict
+	case errors.Is(err, stsk.ErrDimension):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	var spec PlanSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPlanBody)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.reg.Register(spec)
+	if err != nil {
+		code := statusFor(err)
+		if code == http.StatusInternalServerError {
+			code = http.StatusBadRequest // bad spec, unknown class, unreadable file
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// SolveRequest is the /v1/solve body. B is the right-hand side in plan
+// order; Upper selects the transposed sweep; Variant selects the factor
+// ("" direct, "ic0" incomplete Cholesky); TimeoutMs bounds the request
+// end to end (queueing included) on top of the client's own socket
+// deadline.
+type SolveRequest struct {
+	Plan      string    `json:"plan"`
+	B         []float64 `json:"b"`
+	Upper     bool      `json:"upper,omitempty"`
+	Variant   string    `json:"variant,omitempty"`
+	TimeoutMs int       `json:"timeoutMs,omitempty"`
+}
+
+// SolveResponse carries the solution of one coalesced solve.
+type SolveResponse struct {
+	X          []float64 `json:"x"`
+	Plan       string    `json:"plan"`
+	DurationMs float64   `json:"durationMs"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSolveBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	x, err := s.reg.Solve(ctx, req.Plan, req.Variant, req.Upper, req.B)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		X:          x,
+		Plan:       req.Plan,
+		DurationMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// healthBody is the /healthz document.
+type healthBody struct {
+	Status  string  `json:"status"` // "ok" or "draining"
+	Plans   int     `json:"plans"`
+	Loaded  int     `json:"loaded"`
+	UptimeS float64 `json:"uptimeS"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthBody{
+		Status:  status,
+		Plans:   s.reg.Len(),
+		Loaded:  s.reg.Loaded(),
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.met.writePrometheus(w, s.reg)
+}

@@ -49,7 +49,9 @@
 // Failures are matched with errors.Is against the package sentinels
 // ErrClosed, ErrDimension and ErrNotConverged. The krylov package builds
 // a full preconditioned conjugate-gradient solver on top of this facade
-// through the Preconditioner interface.
+// through the Preconditioner interface, and the serve package (daemon:
+// cmd/stsserve) exposes plans over HTTP with adaptive coalescing of
+// concurrent requests onto the blocked panel kernels.
 //
 // See DESIGN.md for the build pipeline and the solver-engine lifecycle.
 package stsk
@@ -57,6 +59,8 @@ package stsk
 import (
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync"
 
 	"stsk/internal/cachesim"
@@ -83,6 +87,24 @@ const (
 
 // Methods lists all four schemes in the paper's presentation order.
 func Methods() []Method { return order.Methods() }
+
+// ParseMethod resolves a method's command-line/config spelling ("csr-ls",
+// "csr-col", "csr-3-ls", "sts3", case-insensitive, underscores accepted)
+// to the Method constant — the single parser shared by the cmds and the
+// serve subsystem.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "_", "-")) {
+	case "csr-ls", "csrls":
+		return CSRLS, nil
+	case "csr-3-ls", "csr3ls":
+		return CSR3LS, nil
+	case "csr-col", "csrcol":
+		return CSRCOL, nil
+	case "sts3", "sts-3", "csr-3-col":
+		return STS3, nil
+	}
+	return 0, fmt.Errorf("stsk: unknown method %q", s)
+}
 
 // Matrix is a structurally symmetric sparse matrix with a full nonzero
 // diagonal — the A = L + Lᵀ input of the STS-k pipeline.
@@ -172,6 +194,23 @@ func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
 		return nil, err
 	}
 	return &Matrix{a: a}, nil
+}
+
+// ReadMatrixMarketFile is ReadMatrixMarket over a file path — the
+// open/read/close sequence previously copy-pasted across the cmds, shared
+// here so every loader (cmd/stssolve, cmd/stsinfo, the serve registry)
+// applies the same symmetrisation and SPD value policy.
+func ReadMatrixMarketFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadMatrixMarket(f)
+	if err != nil {
+		return nil, fmt.Errorf("stsk: %s: %w", path, err)
+	}
+	return m, nil
 }
 
 // Plan is a built STS-k ordering: the permuted triangular system plus the
