@@ -14,6 +14,9 @@
 //	                                    # coalesced (panel width 8) vs per-request,
 //	                                    # throughput + achieved mean panel width;
 //	                                    # cells merged into BENCH_stsk.json
+//	stsbench -experiment refactorbench  # numeric refactorization vs full rebuild
+//	                                    # (Plan.Refactor value swap on grid3d);
+//	                                    # cells merged into BENCH_stsk.json
 //	stsbench -list
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
@@ -49,6 +52,7 @@ func main() {
 		}
 		fmt.Println("solvebench")
 		fmt.Println("servebench")
+		fmt.Println("refactorbench")
 		return
 	}
 	r := bench.New(*scale, os.Stdout)
@@ -62,6 +66,11 @@ func main() {
 		}
 	case "servebench":
 		if err := runServeBench(r, *benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "stsbench:", err)
+			os.Exit(1)
+		}
+	case "refactorbench":
+		if err := runRefactorBench(r, *benchout); err != nil {
 			fmt.Fprintln(os.Stderr, "stsbench:", err)
 			os.Exit(1)
 		}
@@ -98,6 +107,24 @@ func runServeBench(r *bench.Runner, path string) error {
 	if err != nil {
 		return err
 	}
+	return mergeCells(r, path, "serve-", cells)
+}
+
+// runRefactorBench measures numeric refactorization against a full
+// rebuild and merges its cells ("refactor-build", "refactor-swap") into
+// the report at path the same way.
+func runRefactorBench(r *bench.Runner, path string) error {
+	cells, err := refactorBench(r.Scale, os.Stdout)
+	if err != nil {
+		return err
+	}
+	return mergeCells(r, path, "refactor-", cells)
+}
+
+// mergeCells rewrites the report at path with the given cells appended,
+// dropping stale cells whose Schedule carries the same prefix and
+// preserving everything else.
+func mergeCells(r *bench.Runner, path, prefix string, cells []bench.SolveBenchResult) error {
 	report := &bench.SolveBenchReport{Scale: r.Scale}
 	if raw, err := os.ReadFile(path); err == nil {
 		var existing bench.SolveBenchReport
@@ -105,7 +132,7 @@ func runServeBench(r *bench.Runner, path string) error {
 			report = &existing
 			kept := report.Results[:0]
 			for _, res := range report.Results {
-				if !strings.HasPrefix(res.Schedule, "serve-") {
+				if !strings.HasPrefix(res.Schedule, prefix) {
 					kept = append(kept, res)
 				}
 			}
@@ -124,6 +151,6 @@ func runServeBench(r *bench.Runner, path string) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "stsbench: merged %d serve cells into %s\n", len(cells), path)
+	fmt.Fprintf(os.Stderr, "stsbench: merged %d %q cells into %s\n", len(cells), prefix, path)
 	return f.Close()
 }

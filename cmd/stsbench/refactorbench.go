@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"stsk"
+	"stsk/internal/bench"
+)
+
+// refactorBench measures numeric refactorization against the full
+// rebuild it replaces: on the grid3d matrix at the given scale, the cost
+// of a fresh stsk.Build on new values versus Plan.Refactor swapping the
+// same values into the existing plan's symbolic structure. The refactor
+// cell carries the measured speedup — the amortisation headroom an
+// evolving system (time-stepping, quasi-Newton) gains per step.
+//
+// The driver lives in cmd/stsbench rather than internal/bench because it
+// exercises the stsk facade, which internal/bench is itself imported by.
+// Cells use the "refactor-" schedule prefix ("refactor-build",
+// "refactor-swap") so mergeCells can fold them into BENCH_stsk.json
+// without disturbing the kernel and serve cells.
+func refactorBench(scale int, out io.Writer) ([]bench.SolveBenchResult, error) {
+	mat, err := stsk.Generate("grid3d", scale)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := stsk.Build(mat, stsk.STS3)
+	if err != nil {
+		return nil, err
+	}
+	base := mat.Values()
+	// Two alternating value sets: every iteration swaps a genuinely
+	// different numeric system, like a time-stepper would.
+	alt := make([][]float64, 2)
+	for v := range alt {
+		alt[v] = make([]float64, len(base))
+		for k, x := range base {
+			alt[v][k] = x * (1 + float64(v+1)/8)
+		}
+	}
+
+	buildNs, err := measureLoop(func(i int) error {
+		if err := mat.SetValues(alt[i%2]); err != nil {
+			return err
+		}
+		_, err := stsk.Build(mat, stsk.STS3)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("refactorbench build: %w", err)
+	}
+	swapNs, err := measureLoop(func(i int) error {
+		return plan.Refactor(alt[i%2])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("refactorbench swap: %w", err)
+	}
+
+	speedup := buildNs / swapNs
+	fmt.Fprintf(out, "Refactor benchmark (grid3d, n=%d, nnz=%d)\n", mat.N(), mat.NNZ())
+	fmt.Fprintf(out, "%-16s %14.0f ns/op\n", "fresh build", buildNs)
+	fmt.Fprintf(out, "%-16s %14.0f ns/op  (%.1fx faster)\n", "refactor swap", swapNs, speedup)
+
+	common := bench.SolveBenchResult{
+		Matrix:  "grid3d",
+		N:       mat.N(),
+		NNZ:     mat.NNZ(),
+		Method:  stsk.STS3.String(),
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	build := common
+	build.Schedule = "refactor-build"
+	build.NsPerOp = buildNs
+	build.SolvesPerSec = 1e9 / buildNs
+	swap := common
+	swap.Schedule = "refactor-swap"
+	swap.NsPerOp = swapNs
+	swap.SolvesPerSec = 1e9 / swapNs
+	swap.Speedup = speedup
+	return []bench.SolveBenchResult{build, swap}, nil
+}
+
+// measureLoop times repeated calls of fn (passing the iteration index)
+// until enough samples accumulate, returning mean ns per call. One
+// untimed warm-up call first.
+func measureLoop(fn func(i int) error) (float64, error) {
+	if err := fn(0); err != nil {
+		return 0, err
+	}
+	const minDuration = 300 * time.Millisecond
+	const maxOps = 10000
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < minDuration && ops < maxOps {
+		if err := fn(ops); err != nil {
+			return 0, err
+		}
+		ops++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops), nil
+}

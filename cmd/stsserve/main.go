@@ -14,7 +14,13 @@
 //
 //	curl -X POST localhost:8080/v1/plans -d '{"name":"g3","class":"grid3d","n":50000}'
 //	curl -X POST localhost:8080/v1/solve -d '{"plan":"g3","b":[...]}'
+//	curl -X PUT localhost:8080/v1/plans/g3/values -d '{"values":[...],"ifVersion":1}'
 //	curl localhost:8080/metrics
+//
+// The PUT swaps new matrix values into the plan's fixed sparsity
+// (numeric refactorization): symbolic work is reused, in-flight solves
+// finish on the old values, and the plan's value version — reported in
+// GET /v1/plans and the stsserve_plan_version gauge — is bumped.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops, in-flight
 // and queued solves complete, solver pools shut down, and the process

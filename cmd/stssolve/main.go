@@ -18,7 +18,13 @@
 // -dump-rhs and -dump-solution write the manufactured b and computed x
 // (plan order, %.17g — exact float64 round-trip) for external
 // verification; the serve e2e smoke compares stsserve responses against
-// them bitwise.
+// them bitwise. -scale-values rescales the matrix's values before the
+// build, -dump-values writes the value array itself, and -load-rhs
+// replays a previously dumped b instead of manufacturing one; together
+// they give refactorization tooling (PUT /v1/plans/{name}/values) an
+// independent oracle: a power-of-two scale is binary-exact, so solving
+// the scaled system against the original b yields exactly the solution
+// a value update must make the server produce.
 //
 // Usage:
 //
@@ -38,6 +44,7 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,19 +53,22 @@ import (
 
 func main() {
 	var (
-		class   = flag.String("class", "trimesh", "synthetic matrix class")
-		file    = flag.String("file", "", "Matrix Market file (overrides -class)")
-		n       = flag.Int("n", 50000, "target rows for generated matrices")
-		method  = flag.String("method", "sts3", "csr-ls | csr-3-ls | csr-col | sts3")
-		sched   = flag.String("schedule", "default", "default | static | dynamic | guided | graph")
-		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
-		repeats = flag.Int("repeats", 10, "timed solve repetitions (averaged, as in §4.1)")
-		rhs     = flag.Int("rhs", 0, "stream this many right-hand sides through the solve engines instead of the single-RHS run")
-		timeout = flag.Duration("timeout", 0, "overall deadline for the solve phase (0 = none)")
-		machine = flag.String("machine", "intel", "topology for modeled cycles (intel, amd, uma)")
-		cores   = flag.Int("cores", 16, "modeled cores")
-		dumpRHS = flag.String("dump-rhs", "", "write the manufactured right-hand side b (plan order, %.17g per line) to this file")
-		dumpSol = flag.String("dump-solution", "", "write the computed solution x (plan order, %.17g per line) to this file")
+		class    = flag.String("class", "trimesh", "synthetic matrix class")
+		file     = flag.String("file", "", "Matrix Market file (overrides -class)")
+		n        = flag.Int("n", 50000, "target rows for generated matrices")
+		method   = flag.String("method", "sts3", "csr-ls | csr-3-ls | csr-col | sts3")
+		sched    = flag.String("schedule", "default", "default | static | dynamic | guided | graph")
+		workers  = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		repeats  = flag.Int("repeats", 10, "timed solve repetitions (averaged, as in §4.1)")
+		rhs      = flag.Int("rhs", 0, "stream this many right-hand sides through the solve engines instead of the single-RHS run")
+		timeout  = flag.Duration("timeout", 0, "overall deadline for the solve phase (0 = none)")
+		machine  = flag.String("machine", "intel", "topology for modeled cycles (intel, amd, uma)")
+		cores    = flag.Int("cores", 16, "modeled cores")
+		dumpRHS  = flag.String("dump-rhs", "", "write the manufactured right-hand side b (plan order, %.17g per line) to this file")
+		loadRHS  = flag.String("load-rhs", "", "read the right-hand side b from this file (one float per line, plan order) instead of manufacturing one")
+		dumpSol  = flag.String("dump-solution", "", "write the computed solution x (plan order, %.17g per line) to this file")
+		dumpVal  = flag.String("dump-values", "", "write the matrix's value array (CSR order, %.17g per line) to this file — the array Plan.Refactor and PUT /v1/plans/{name}/values accept")
+		scaleVal = flag.Float64("scale-values", 1, "rescale every matrix value by this factor before building (powers of two are binary-exact) — an independent oracle for numeric refactorization")
 	)
 	flag.Parse()
 
@@ -87,6 +97,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *scaleVal != 1 {
+		vals := mat.Values()
+		for i := range vals {
+			vals[i] *= *scaleVal
+		}
+		if err := mat.SetValues(vals); err != nil {
+			fatal(err)
+		}
+	}
+	if *dumpVal != "" {
+		if err := dumpVector(*dumpVal, mat.Values()); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("matrix: n=%d nnz=%d\n", mat.N(), mat.NNZ())
 
 	buildStart := time.Now()
@@ -102,11 +126,21 @@ func main() {
 		return
 	}
 
-	xTrue := make([]float64, plan.N())
-	for i := range xTrue {
-		xTrue[i] = 1
+	var b []float64
+	if *loadRHS != "" {
+		if b, err = loadVector(*loadRHS); err != nil {
+			fatal(err)
+		}
+		if len(b) != plan.N() {
+			fatal(fmt.Errorf("-load-rhs %s: %d values, want %d", *loadRHS, len(b), plan.N()))
+		}
+	} else {
+		xTrue := make([]float64, plan.N())
+		for i := range xTrue {
+			xTrue[i] = 1
+		}
+		b = plan.RHSFor(xTrue)
 	}
-	b := plan.RHSFor(xTrue)
 
 	// Warm-up + correctness.
 	x, err := plan.SolveWith(b, stsk.WithWorkers(*workers), stsk.WithSchedule(schedule))
@@ -262,6 +296,32 @@ func parseSchedule(s string) (stsk.ScheduleChoice, error) {
 		return stsk.GraphSchedule, nil
 	}
 	return 0, fmt.Errorf("unknown schedule %q", s)
+}
+
+// loadVector reads one float per line, the format dumpVector writes.
+func loadVector(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var v []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, len(v)+1, err)
+		}
+		v = append(v, x)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
 }
 
 // dumpVector writes one float per line with enough digits (%.17g) that

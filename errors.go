@@ -25,6 +25,14 @@ var (
 	// ErrNotConverged reports an iterative method (krylov.CG) that
 	// exhausted its iteration budget before reaching its tolerance.
 	ErrNotConverged = errors.New("stsk: iteration did not converge")
+
+	// ErrSparsityMismatch reports a numeric refactorization whose values
+	// do not fit the plan's fixed sparsity: a value array of the wrong
+	// length, a matrix with a different pattern, or a plan that derives
+	// its values (an IC0 factor) rather than carrying the input's.
+	// Refactor reuses every piece of symbolic work, so it can only accept
+	// new values for exactly the pattern the plan was built from.
+	ErrSparsityMismatch = errors.New("stsk: sparsity mismatch")
 )
 
 // dimErr details a two-vector length mismatch against the system size.

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestQuickSortInts exercises both the recursive partition (slices over
+// the 64-element insertion-sort cutoff) and the small-slice path.
+func TestQuickSortInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 500, 4096} {
+		a := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(97) - 48 // plenty of duplicates
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		quickSortInts(a)
+		if !slices.Equal(a, want) {
+			t.Fatalf("n=%d: quickSortInts mis-sorted", n)
+		}
+	}
+	desc := []int{9, 8, 7, 3, 3, 1, 0, -2}
+	insertionSortSmall(desc)
+	if !slices.IsSorted(desc) {
+		t.Fatal("insertionSortSmall mis-sorted a descending run")
+	}
+}

@@ -242,26 +242,3 @@ func solveUpperRowsBlock(rowPtr, col []int, val, X, B []float64, kw, lo, hi int)
 		}
 	}
 }
-
-// forwardRowsBlock sweeps rows [lo, hi) of L′ across a width-kw panel,
-// preferring the packed layout.
-func (e *Engine) forwardRowsBlock(X, B []float64, kw, lo, hi int) {
-	if e.pk != nil {
-		solvePackedRowsBlock(e.pk, X, B, kw, lo, hi)
-		return
-	}
-	l := e.l
-	solveRowsBlock(l.RowPtr, l.Col, l.Val, X, B, kw, lo, hi)
-}
-
-// backwardRowsBlock sweeps rows [lo, hi) of L′ᵀ in reverse across a
-// width-kw panel, preferring the packed layout. ensureUpper must have
-// succeeded.
-func (e *Engine) backwardRowsBlock(X, B []float64, kw, lo, hi int) {
-	if e.upk != nil {
-		solvePackedUpperRowsBlock(e.upk, X, B, kw, lo, hi)
-		return
-	}
-	u := e.u
-	solveUpperRowsBlock(u.RowPtr, u.Col, u.Val, X, B, kw, lo, hi)
-}

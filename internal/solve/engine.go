@@ -48,27 +48,21 @@ var (
 // Every shape performs each row's dot product in the same order, so all
 // results are bitwise identical to Sequential.
 //
+// The numeric side of the factor lives in a Values epoch sequence
+// (NewEngineVals): each dispatch loads the current epoch exactly once and
+// threads it through the sweep, so Values.Swap (a numeric
+// refactorization) never tears an in-flight solve — old dispatches finish
+// on the old values, new dispatches see the new ones, and the hot path
+// takes no locks for it.
+//
 // Engines are safe for concurrent use, including Close racing in-flight
 // solves: solves already dispatched complete, later ones return
 // ErrClosed.
 type Engine struct {
-	s    *csrk.Structure
-	l    *sparse.CSR    // s.L, diagonal last in each row
-	pk   *sparse.Packed // compact int32-index layout of l (nil on overflow)
+	s    *csrk.Structure // epoch-0 structure: the pack/super-row geometry, shared by every epoch
+	vals *Values         // the value-epoch sequence the kernels sweep
+	n    int             // system dimension
 	opts Options
-
-	// Backward-sweep state, built on demand by ensureUpper — either by
-	// transposing l, or by asking upperFn (a caller-level cache, so many
-	// engines over one structure share a single transpose).
-	upperOnce sync.Once
-	upperFn   func() (*sparse.CSR, error)
-	u         *sparse.CSR    // L′ᵀ, diagonal first in each row
-	upk       *sparse.Packed // compact layout of u (nil on overflow)
-	upperErr  error
-
-	// Diagonal of L′, built on demand by the fused SGS sweep.
-	diagOnce sync.Once
-	diag     []float64
 
 	jobs     chan job
 	workerWG sync.WaitGroup
@@ -105,9 +99,12 @@ type job struct {
 // instead of x/b): the worker packs the panel into pooled scratch, sweeps
 // it with the blocked kernel in sequential row order, and scatters the
 // solutions back. Exactly one of run (batch member) and errc (stream
-// member) is set.
+// member) is set. ep is the value epoch the dispatcher pinned for this
+// job, so a whole batch (or one stream member) sweeps one consistent
+// snapshot no matter when a concurrent refactorization lands.
 type wholeJob struct {
 	kind   sweepKind
+	ep     *epoch
 	x, b   []float64
 	xs, bs [][]float64
 	kw     int
@@ -117,9 +114,9 @@ type wholeJob struct {
 
 // reset clears every reference and the panel width before the job returns
 // to the pool; all recycle sites use it so a pooled job can never carry a
-// stale panel configuration into its next use.
+// stale panel configuration (or pin a dead value epoch) into its next use.
 func (w *wholeJob) reset() {
-	w.x, w.b, w.xs, w.bs, w.kw, w.run, w.errc = nil, nil, nil, nil, 0, nil, nil
+	w.ep, w.x, w.b, w.xs, w.bs, w.kw, w.run, w.errc = nil, nil, nil, nil, nil, 0, nil, nil
 }
 
 // batchRun tracks one batch's completion without allocating a channel per
@@ -158,26 +155,27 @@ const (
 )
 
 // NewEngine starts a persistent pool of opts.Workers goroutines over the
-// structure. The pool idles on a channel between solves; call Close (or
-// drop every reference — the stsk facade attaches a GC cleanup) to release
-// it.
+// structure, wrapping it in a private value-epoch sequence. The pool
+// idles on a channel between solves; call Close (or drop every reference
+// — the stsk facade attaches a GC cleanup) to release it.
 func NewEngine(s *csrk.Structure, opts Options) *Engine {
-	return newEngine(s, nil, opts)
+	return newEngine(NewValues(s), nil, opts)
 }
 
-// NewEngineWithUpper is NewEngine with a supplier for the validated
-// transpose L′ᵀ, called lazily on the first backward sweep. Callers that
-// create several engines over one structure pass a caching supplier so
-// all of them share a single transpose.
-func NewEngineWithUpper(s *csrk.Structure, upper func() (*sparse.CSR, error), opts Options) *Engine {
-	e := newEngine(s, nil, opts)
-	e.upperFn = upper
-	return e
+// NewEngineVals starts a persistent pool over a shared value-epoch
+// sequence: every engine created over the same Values sees each
+// Values.Swap, and per-epoch derived state (packed layout, transpose,
+// diagonal) is built once and shared among them.
+func NewEngineVals(v *Values, opts Options) *Engine {
+	return newEngine(v, nil, opts)
 }
 
-// newEngine optionally adopts a pre-built validated transpose u, so the
-// UpperSolver compatibility path does not re-transpose per solve.
-func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
+// newEngine optionally adopts a pre-built validated transpose u into the
+// current epoch, so the UpperSolver compatibility path does not
+// re-transpose per solve.
+func newEngine(v *Values, u *sparse.CSR, opts Options) *Engine {
+	cur := v.Current()
+	s := cur.s
 	// A DAG built for a different structure cannot schedule this one: its
 	// task boundaries would not respect this structure's independence
 	// guarantees, silently racing dependent rows. A mismatched DAG is
@@ -197,22 +195,21 @@ func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
 		s:    s,
-		l:    s.L,
+		vals: v,
+		n:    s.L.N,
 		opts: opts,
 		jobs: make(chan job),
 	}
 	if !opts.oneShot {
 		// The packed conversion costs an O(nnz) copy — worth it once per
-		// persistent engine, pure overhead for a single-solve wrapper.
-		e.pk, _ = sparse.PackLower(s.L)
+		// epoch of a persistent engine, pure overhead for a single-solve
+		// wrapper. packWanted makes future Swap calls pack their new epoch
+		// eagerly instead of leaving post-swap solves on the CSR fallback.
+		v.packWanted.Store(true)
+		cur.ensurePacked()
 	}
 	if u != nil {
-		e.upperOnce.Do(func() {
-			e.u = u
-			if !opts.oneShot {
-				e.upk, _ = sparse.PackUpper(u)
-			}
-		})
+		cur.adoptUpper(u, !opts.oneShot)
 	}
 	e.jobPool.New = func() any { return new(wholeJob) }
 	e.runPool.New = func() any { return &batchRun{done: make(chan struct{}, 1)} }
@@ -237,6 +234,9 @@ func newEngine(s *csrk.Structure, u *sparse.CSR, opts Options) *Engine {
 
 // Workers returns the fixed pool size.
 func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Values returns the engine's value-epoch sequence.
+func (e *Engine) Values() *Values { return e.vals }
 
 // Close drains the pool and waits for every worker to exit. Solves issued
 // after Close return ErrClosed; Close is idempotent.
@@ -290,7 +290,7 @@ func (e *Engine) worker() {
 		case j.whole != nil:
 			w := j.whole
 			if w.kind == sweepSGS && scratch == nil {
-				scratch = make([]float64, e.l.N)
+				scratch = make([]float64, e.n)
 			}
 			err := e.sweepWhole(w, scratch)
 			// Recycle the job before signalling: once the completion is
@@ -316,9 +316,10 @@ func (e *Engine) worker() {
 
 // sweepWhole runs one independent right-hand side start to finish on the
 // calling worker — no barriers, sequential row order, bitwise identical to
-// Sequential.
+// Sequential — against the value epoch the dispatcher pinned in the job.
 func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
-	n := e.l.N
+	n := e.n
+	ep := w.ep
 	if w.kw > 1 {
 		// Panel job: lengths were validated eagerly by the block dispatcher.
 		e.sweepPanel(w)
@@ -329,74 +330,36 @@ func (e *Engine) sweepWhole(w *wholeJob, scratch []float64) error {
 	}
 	switch w.kind {
 	case sweepForward:
-		e.forwardRows(w.x, w.b, 0, n)
+		ep.forwardRows(w.x, w.b, 0, n)
 	case sweepBackward:
-		e.backwardRows(w.x, w.b, 0, n)
+		ep.backwardRows(w.x, w.b, 0, n)
 	case sweepSGS:
-		d := e.diagonal()
-		e.forwardRows(scratch, w.b, 0, n)
+		d := ep.diagonal()
+		ep.forwardRows(scratch, w.b, 0, n)
 		for i := 0; i < n; i++ {
 			scratch[i] *= d[i]
 		}
-		e.backwardRows(w.x, scratch, 0, n)
+		ep.backwardRows(w.x, scratch, 0, n)
 	}
 	return nil
 }
 
-// ensureUpper builds and validates the transposed matrix for backward
-// sweeps on first use.
-func (e *Engine) ensureUpper() error {
-	e.upperOnce.Do(func() {
-		defer func() {
-			if e.upperErr == nil && e.u != nil && !e.opts.oneShot {
-				e.upk, _ = sparse.PackUpper(e.u)
-			}
-		}()
-		if e.upperFn != nil {
-			e.u, e.upperErr = e.upperFn()
-			return
-		}
-		u := e.l.Transpose()
-		for i := 0; i < u.N; i++ {
-			lo, hi := u.RowPtr[i], u.RowPtr[i+1]
-			if lo == hi || u.Col[lo] != i {
-				e.upperErr = fmt.Errorf("solve: transposed row %d lacks a leading diagonal", i)
-				return
-			}
-			if u.Val[lo] == 0 {
-				e.upperErr = fmt.Errorf("solve: zero diagonal at transposed row %d", i)
-				return
-			}
-		}
-		e.u = u
-	})
-	return e.upperErr
+// ensureUpper builds and validates ep's transposed matrix for backward
+// sweeps on first use. The transpose is packed whenever any persistent
+// engine shares these values, so one-shot wrappers never strand a
+// persistent engine's epoch on the CSR fallback.
+func (e *Engine) ensureUpper(ep *epoch) error {
+	return ep.ensureUpper(e.vals.packWanted.Load())
 }
 
-// Diagonal returns (building once) the diagonal of L′. The slice is
-// shared engine state: callers must treat it as read-only.
-func (e *Engine) Diagonal() []float64 { return e.diagonal() }
-
-// diagonal returns (building once) the diagonal of L′. The packed layout
-// already carries it.
-func (e *Engine) diagonal() []float64 {
-	e.diagOnce.Do(func() {
-		if e.pk != nil {
-			e.diag = e.pk.Diag
-			return
-		}
-		l := e.l
-		e.diag = make([]float64, l.N)
-		for i := 0; i < l.N; i++ {
-			e.diag[i] = l.Val[l.RowPtr[i+1]-1]
-		}
-	})
-	return e.diag
-}
+// Diagonal returns (building once per epoch) the diagonal of L′ at the
+// current value epoch. The slice is epoch state: callers must treat it as
+// read-only.
+func (e *Engine) Diagonal() []float64 { return e.vals.Current().diagonal() }
 
 // Solve solves L′x = b cooperatively and returns x.
 func (e *Engine) Solve(b []float64) ([]float64, error) {
-	x := make([]float64, e.l.N)
+	x := make([]float64, e.n)
 	if err := e.SolveInto(x, b); err != nil {
 		return nil, err
 	}
@@ -420,7 +383,7 @@ func (e *Engine) SolveIntoCtx(ctx context.Context, x, b []float64) error {
 
 // SolveUpper solves L′ᵀx = b cooperatively and returns x.
 func (e *Engine) SolveUpper(b []float64) ([]float64, error) {
-	x := make([]float64, e.l.N)
+	x := make([]float64, e.n)
 	if err := e.SolveUpperInto(x, b); err != nil {
 		return nil, err
 	}
@@ -445,27 +408,27 @@ func (e *Engine) SolveUpperIntoCtx(ctx context.Context, x, b []float64) error {
 // every worker at the barrier, so once the job tokens are out the solve
 // always completes.
 func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) error {
-	n := e.l.N
+	n := e.n
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), n)
 	}
-	return e.panelSolve(ctx, x, b, 1, reverse)
+	return e.panelSolve(ctx, e.vals.Current(), x, b, 1, reverse)
 }
 
-// panelSolve runs one cooperative sweep under the engine's schedule —
-// scalar when kw == 1, a row-major n×kw panel otherwise. Rows are claimed
-// exactly as in the scalar sweep (same packs, same super-row schedule,
-// same task DAG); the only difference is that each claimed row applies its
-// (col, val) entries across all kw panel columns, so the matrix is
-// traversed once per panel instead of once per vector. X may alias B.
-// Callers validate lengths (n·kw each).
-func (e *Engine) panelSolve(ctx context.Context, X, B []float64, kw int, reverse bool) error {
-	n := e.l.N
+// panelSolve runs one cooperative sweep of epoch ep under the engine's
+// schedule — scalar when kw == 1, a row-major n×kw panel otherwise. Rows
+// are claimed exactly as in the scalar sweep (same packs, same super-row
+// schedule, same task DAG); the only difference is that each claimed row
+// applies its (col, val) entries across all kw panel columns, so the
+// matrix is traversed once per panel instead of once per vector. X may
+// alias B. Callers validate lengths (n·kw each) and pin the epoch.
+func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw int, reverse bool) error {
+	n := e.n
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if reverse {
-		if err := e.ensureUpper(); err != nil {
+		if err := e.ensureUpper(ep); err != nil {
 			return err
 		}
 	}
@@ -479,13 +442,13 @@ func (e *Engine) panelSolve(ctx context.Context, X, B []float64, kw int, reverse
 		}
 		switch {
 		case kw > 1 && reverse:
-			e.backwardRowsBlock(X, B, kw, 0, n)
+			ep.backwardRowsBlock(X, B, kw, 0, n)
 		case kw > 1:
-			e.forwardRowsBlock(X, B, kw, 0, n)
+			ep.forwardRowsBlock(X, B, kw, 0, n)
 		case reverse:
-			e.backwardRows(X, B, 0, n)
+			ep.backwardRows(X, B, 0, n)
 		default:
-			e.forwardRows(X, B, 0, n)
+			ep.forwardRows(X, B, 0, n)
 		}
 		return nil
 	}
@@ -497,10 +460,10 @@ func (e *Engine) panelSolve(ctx context.Context, X, B []float64, kw int, reverse
 		return err
 	}
 	if e.opts.Schedule == Graph {
-		return e.graphSolve(X, B, kw, reverse)
+		return e.graphSolve(ep, X, B, kw, reverse)
 	}
 	r := &e.run
-	r.x, r.b, r.kw, r.reverse = X, B, kw, reverse
+	r.ep, r.x, r.b, r.kw, r.reverse = ep, X, B, kw, reverse
 	for p := range r.counters {
 		if reverse {
 			r.counters[p].Store(int64(e.s.PackPtr[p+1]))
@@ -524,7 +487,7 @@ func (e *Engine) panelSolve(ctx context.Context, X, B []float64, kw int, reverse
 	}
 	e.closeMu.RUnlock()
 	r.wg.Wait()
-	r.x, r.b = nil, nil
+	r.ep, r.x, r.b = nil, nil, nil
 	return nil
 }
 
@@ -535,9 +498,9 @@ func (e *Engine) panelSolve(ctx context.Context, X, B []float64, kw int, reverse
 // the same. Unlike the barrier path the graph loop tolerates fewer live
 // workers than tokens — any subset of workers drains the ready queue —
 // but dispatch is still all-or-nothing for simplicity.
-func (e *Engine) graphSolve(x, b []float64, kw int, reverse bool) error {
+func (e *Engine) graphSolve(ep *epoch, x, b []float64, kw int, reverse bool) error {
 	g := &e.graph
-	g.reset(x, b, kw, reverse)
+	g.reset(ep, x, b, kw, reverse)
 	e.closeMu.RLock()
 	if e.closed {
 		e.closeMu.RUnlock()
@@ -549,7 +512,7 @@ func (e *Engine) graphSolve(x, b []float64, kw int, reverse bool) error {
 	}
 	e.closeMu.RUnlock()
 	g.wg.Wait()
-	g.x, g.b = nil, nil
+	g.ep, g.x, g.b = nil, nil, nil
 	return nil
 }
 
@@ -559,7 +522,7 @@ func (e *Engine) graphSolve(x, b []float64, kw int, reverse bool) error {
 func (e *Engine) SolveBatch(B [][]float64) ([][]float64, error) {
 	X := make([][]float64, len(B))
 	for i := range X {
-		X[i] = make([]float64, e.l.N)
+		X[i] = make([]float64, e.n)
 	}
 	if err := e.SolveBatchInto(X, B); err != nil {
 		return nil, err
@@ -583,18 +546,12 @@ func (e *Engine) SolveBatchIntoCtx(ctx context.Context, X, B [][]float64) error 
 
 // SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side.
 func (e *Engine) SolveUpperBatchInto(X, B [][]float64) error {
-	if err := e.ensureUpper(); err != nil {
-		return err
-	}
 	return e.batch(context.Background(), X, B, sweepBackward)
 }
 
 // SolveUpperBatchIntoCtx is SolveUpperBatchInto honoring a context, with
 // the same stop-dispatching semantics as SolveBatchIntoCtx.
 func (e *Engine) SolveUpperBatchIntoCtx(ctx context.Context, X, B [][]float64) error {
-	if err := e.ensureUpper(); err != nil {
-		return err
-	}
 	return e.batch(ctx, X, B, sweepBackward)
 }
 
@@ -604,16 +561,15 @@ func (e *Engine) SolveUpperBatchIntoCtx(ctx context.Context, X, B [][]float64) e
 // One worker performs both sweeps of a vector back to back, keeping the
 // intermediate entirely in its own preallocated scratch.
 func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
-	if err := e.ensureUpper(); err != nil {
-		return err
-	}
 	return e.batch(context.Background(), X, R, sweepSGS)
 }
 
 // batch fans the (X[i], B[i]) pairs out as independent whole-RHS jobs and
 // gathers the first error. Every pair is validated before anything is
 // dispatched, so a ragged or wrong-length member fails the whole batch
-// with ErrDimension and no work reaches the pool. Cancellation wins over
+// with ErrDimension and no work reaches the pool. The value epoch is
+// loaded once, so the whole batch sweeps one consistent snapshot even
+// when a refactorization lands mid-batch. Cancellation wins over
 // per-solve errors: a dead context stops dispatch immediately and the
 // batch reports ctx.Err(). Completion is tracked by a pooled batchRun
 // counter instead of a per-call channel, so a warm engine runs batches
@@ -624,6 +580,12 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 	}
 	if len(B) == 0 {
 		return nil
+	}
+	ep := e.vals.Current()
+	if kind != sweepForward {
+		if err := e.ensureUpper(ep); err != nil {
+			return err
+		}
 	}
 	run := e.runPool.Get().(*batchRun)
 	run.err = nil
@@ -636,7 +598,7 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 			break
 		}
 		j := e.jobPool.Get().(*wholeJob)
-		j.kind, j.x, j.b, j.run, j.errc = kind, X[i], B[i], run, nil
+		j.kind, j.ep, j.x, j.b, j.run, j.errc = kind, ep, X[i], B[i], run, nil
 		if err := e.submitCtx(ctx, job{whole: j}); err != nil {
 			j.reset()
 			e.jobPool.Put(j)
@@ -694,7 +656,9 @@ func (e *Engine) SolveMany(bs <-chan []float64) <-chan Result {
 // stream stops reading bs and dispatching solves, the in-flight tail
 // drains in order, a final Result carrying ctx.Err() is delivered, and
 // the output channel closes — even if bs is never closed. The engine
-// stays fully usable afterwards.
+// stays fully usable afterwards. Each streamed vector pins the value
+// epoch current at its dispatch, so a refactorization mid-stream splits
+// the results cleanly between the two snapshots — never within one.
 func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan Result {
 	type pending struct {
 		x    []float64
@@ -721,10 +685,10 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 				// The result vector is handed to the consumer and cannot be
 				// pooled; the completion channel comes from (and returns to)
 				// the engine pool.
-				p := pending{x: make([]float64, e.l.N), errc: e.errcPool.Get().(chan error)}
+				p := pending{x: make([]float64, e.n), errc: e.errcPool.Get().(chan error)}
 				inflight <- p // bound the pipeline before enqueueing work
 				j := e.jobPool.Get().(*wholeJob)
-				j.kind, j.x, j.b, j.run, j.errc = sweepForward, p.x, b, nil, p.errc
+				j.kind, j.ep, j.x, j.b, j.run, j.errc = sweepForward, e.vals.Current(), p.x, b, nil, p.errc
 				if err := e.submitCtx(ctx, job{whole: j}); err != nil {
 					// Report the failure in order but keep draining bs, so a
 					// producer that never watches ctx (plain SolveMany racing
@@ -756,9 +720,10 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 
 // coopRun is the shared state of one cooperative solve over the pool. For
 // panel solves x and b hold row-major n×kw panels; kw == 1 is a scalar
-// solve.
+// solve. ep is the value epoch pinned at dispatch.
 type coopRun struct {
 	e        *Engine
+	ep       *epoch
 	x, b     []float64
 	kw       int
 	reverse  bool
@@ -876,12 +841,12 @@ func (r *coopRun) solveSuper(sr int) {
 	lo, hi := r.e.s.SuperRowRows(sr)
 	switch {
 	case r.kw > 1 && r.reverse:
-		r.e.backwardRowsBlock(r.x, r.b, r.kw, lo, hi)
+		r.ep.backwardRowsBlock(r.x, r.b, r.kw, lo, hi)
 	case r.kw > 1:
-		r.e.forwardRowsBlock(r.x, r.b, r.kw, lo, hi)
+		r.ep.forwardRowsBlock(r.x, r.b, r.kw, lo, hi)
 	case r.reverse:
-		r.e.backwardRows(r.x, r.b, lo, hi)
+		r.ep.backwardRows(r.x, r.b, lo, hi)
 	default:
-		r.e.forwardRows(r.x, r.b, lo, hi)
+		r.ep.forwardRows(r.x, r.b, lo, hi)
 	}
 }

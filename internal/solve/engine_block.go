@@ -42,18 +42,12 @@ func (e *Engine) SolveBlockIntoCtx(ctx context.Context, X, B [][]float64, width 
 // blocked backward-substitution kernels, panels swept in reverse pack
 // order.
 func (e *Engine) SolveUpperBlockInto(X, B [][]float64, width int) error {
-	if err := e.ensureUpper(); err != nil {
-		return err
-	}
 	return e.block(context.Background(), X, B, width, true)
 }
 
 // SolveUpperBlockIntoCtx is SolveUpperBlockInto honoring a context, with
 // the same between-panel semantics as SolveBlockIntoCtx.
 func (e *Engine) SolveUpperBlockIntoCtx(ctx context.Context, X, B [][]float64, width int) error {
-	if err := e.ensureUpper(); err != nil {
-		return err
-	}
 	return e.block(ctx, X, B, width, true)
 }
 
@@ -66,7 +60,7 @@ func (e *Engine) checkPanelDims(X, B [][]float64) error {
 	if len(X) != len(B) {
 		return fmt.Errorf("%w: batch lengths %d/%d differ", ErrDimension, len(X), len(B))
 	}
-	n := e.l.N
+	n := e.n
 	for i := range B {
 		if len(X[i]) != n || len(B[i]) != n {
 			return fmt.Errorf("%w: rhs %d vector lengths %d/%d, want %d", ErrDimension, i, len(X[i]), len(B[i]), n)
@@ -81,7 +75,9 @@ func (e *Engine) checkPanelDims(X, B [][]float64) error {
 // several groups fans them out as independent whole-panel jobs through
 // the same pooled machinery as batch — each panel swept start-to-finish
 // by one worker, distinct panels pipelining through the pack levels with
-// no barriers. All scratch is pooled, so warm block solves allocate
+// no barriers. The value epoch is pinned once per call, so every panel of
+// a block solve sweeps the same snapshot even when a refactorization
+// lands mid-call. All scratch is pooled, so warm block solves allocate
 // nothing.
 func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse bool) error {
 	if err := e.checkPanelDims(X, B); err != nil {
@@ -90,12 +86,18 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 	if len(B) == 0 {
 		return nil
 	}
+	ep := e.vals.Current()
+	if reverse {
+		if err := e.ensureUpper(ep); err != nil {
+			return err
+		}
+	}
 	width = normalizeBlockWidth(width, e.opts.BlockWidth)
 	if len(B) == 1 {
-		return e.panelSolve(ctx, X[0], B[0], 1, reverse)
+		return e.panelSolve(ctx, ep, X[0], B[0], 1, reverse)
 	}
 	if kw := panelWidth(len(B), width); kw == len(B) {
-		return e.coopPanel(ctx, X, B, kw, reverse)
+		return e.coopPanel(ctx, ep, X, B, kw, reverse)
 	}
 	kind := sweepForward
 	if reverse {
@@ -118,9 +120,9 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 		kw := panelWidth(len(B)-i, width)
 		j := e.jobPool.Get().(*wholeJob)
 		if kw == 1 {
-			j.kind, j.x, j.b, j.run, j.errc = kind, X[i], B[i], run, nil
+			j.kind, j.ep, j.x, j.b, j.run, j.errc = kind, ep, X[i], B[i], run, nil
 		} else {
-			j.kind, j.kw, j.xs, j.bs, j.run, j.errc = kind, kw, X[i:i+kw], B[i:i+kw], run, nil
+			j.kind, j.ep, j.kw, j.xs, j.bs, j.run, j.errc = kind, ep, kw, X[i:i+kw], B[i:i+kw], run, nil
 		}
 		if err := e.submitCtx(ctx, job{whole: j}); err != nil {
 			j.reset()
@@ -139,12 +141,12 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 // (in-place is safe — a row's B entries are read before its X entries are
 // written, and every other access is to already-solved rows), scatter the
 // solutions back out.
-func (e *Engine) coopPanel(ctx context.Context, X, B [][]float64, kw int, reverse bool) error {
-	n := e.l.N
+func (e *Engine) coopPanel(ctx context.Context, ep *epoch, X, B [][]float64, kw int, reverse bool) error {
+	n := e.n
 	bufp := e.panelPool.Get().(*[]float64)
 	buf := (*bufp)[:n*kw]
 	sparse.PackPanel(buf, B[:kw])
-	err := e.panelSolve(ctx, buf, buf, kw, reverse)
+	err := e.panelSolve(ctx, ep, buf, buf, kw, reverse)
 	if err == nil {
 		sparse.UnpackPanel(X[:kw], buf)
 	}
@@ -156,15 +158,15 @@ func (e *Engine) coopPanel(ctx context.Context, X, B [][]float64, kw int, revers
 // one sequential blocked sweep over all rows, scatter. Row order is
 // Sequential's, so every column stays bitwise identical.
 func (e *Engine) sweepPanel(w *wholeJob) {
-	n := e.l.N
+	n := e.n
 	kw := w.kw
 	bufp := e.panelPool.Get().(*[]float64)
 	buf := (*bufp)[:n*kw]
 	sparse.PackPanel(buf, w.bs)
 	if w.kind == sweepBackward {
-		e.backwardRowsBlock(buf, buf, kw, 0, n)
+		w.ep.backwardRowsBlock(buf, buf, kw, 0, n)
 	} else {
-		e.forwardRowsBlock(buf, buf, kw, 0, n)
+		w.ep.forwardRowsBlock(buf, buf, kw, 0, n)
 	}
 	sparse.UnpackPanel(w.xs, buf)
 	e.panelPool.Put(bufp)

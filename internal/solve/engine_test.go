@@ -210,7 +210,7 @@ func TestEngineConcurrentSolves(t *testing.T) {
 	B, want := randomRHS(p, 6, 43)
 	e := NewEngine(p.S, Options{Workers: 4})
 	defer e.Close()
-	if err := e.ensureUpper(); err != nil {
+	if err := e.ensureUpper(e.vals.Current()); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup

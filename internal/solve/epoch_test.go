@@ -1,0 +1,158 @@
+package solve
+
+import (
+	"errors"
+	"testing"
+
+	"stsk/internal/order"
+	"stsk/internal/testmat"
+)
+
+// TestValuesSwapContract pins the Values.Swap error contract: wrong
+// lengths wrap ErrDimension, a zero diagonal is rejected, and a failed
+// swap publishes nothing.
+func TestValuesSwapContract(t *testing.T) {
+	a := testmat.Grid3D(4)
+	p := planFor(t, a, order.STS3)
+	v := NewValues(p.S)
+	if got := v.Version(); got != 0 {
+		t.Fatalf("fresh Values at version %d", got)
+	}
+	nnz := len(p.S.L.Val)
+	if err := v.Swap(make([]float64, nnz-1)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short swap: %v, want ErrDimension", err)
+	}
+	if err := v.Swap(make([]float64, nnz+1)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("long swap: %v, want ErrDimension", err)
+	}
+	zeroed := append([]float64(nil), p.S.L.Val...)
+	zeroed[p.S.L.RowPtr[3]-1] = 0 // row 2's diagonal (last stored entry of the row)
+	if err := v.Swap(zeroed); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+	if got := v.Version(); got != 0 {
+		t.Fatalf("version %d after rejected swaps, want 0", got)
+	}
+
+	doubled := make([]float64, nnz)
+	for k, x := range p.S.L.Val {
+		doubled[k] = 2 * x
+	}
+	if err := v.Swap(doubled); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Version(); got != 1 {
+		t.Fatalf("version %d after swap, want 1", got)
+	}
+	if &v.Structure().L.Val[0] != &doubled[0] {
+		t.Fatal("swap did not publish the new value array")
+	}
+	if v.Structure().L.Col == nil || &v.Structure().L.Col[0] != &p.S.L.Col[0] {
+		t.Fatal("swap did not share the symbolic arrays")
+	}
+}
+
+// TestEngineSeesSwappedValues: an engine bound to a shared Values must
+// solve on the new epoch after a swap, bitwise equal to Sequential over
+// the swapped structure — on the cooperative, batch, and upper paths.
+func TestEngineSeesSwappedValues(t *testing.T) {
+	a := testmat.TriMesh(10)
+	p := planFor(t, a, order.STS3)
+	v := NewValues(p.S)
+	e := NewEngineVals(v, Options{Workers: 3})
+	defer e.Close()
+
+	B, want := randomRHS(p, 2, 13)
+	x, err := e.Solve(B[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "pre-swap", x, want[0])
+
+	scaled := make([]float64, len(p.S.L.Val))
+	for k, val := range p.S.L.Val {
+		scaled[k] = -3 * val
+	}
+	if err := v.Swap(scaled); err != nil {
+		t.Fatal(err)
+	}
+	for r := range B {
+		wantNew, err := Sequential(v.Structure(), B[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := e.Solve(B[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, "post-swap coop", x, wantNew)
+		X, err := e.SolveBatch(B[r : r+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwise(t, "post-swap batch", X[0], wantNew)
+	}
+	// The upper path re-derives the transpose for the new epoch.
+	us, err := NewUpperSolver(v.Structure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU, err := us.Solve(B[0], Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotU, err := e.SolveUpper(B[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "post-swap upper", gotU, wantU)
+	if tr := us.Transposed(); tr == nil || tr.N != p.S.L.N {
+		t.Fatal("upper solver does not expose its validated transpose")
+	}
+}
+
+// TestEpochAccessorsAndOneShot covers the epoch-threaded read paths: the
+// engine exposes its Values handle and per-epoch diagonal, and
+// SolveOnceVals (the one-shot path over a shared epoch sequence) matches
+// Sequential on both sweeps and rejects bad lengths.
+func TestEpochAccessorsAndOneShot(t *testing.T) {
+	a := testmat.Grid3D(4)
+	p := planFor(t, a, order.STS3)
+	v := NewValues(p.S)
+	e := NewEngineVals(v, Options{Workers: 2})
+	defer e.Close()
+	if e.Values() != v {
+		t.Fatal("engine does not expose its Values handle")
+	}
+	diag := e.Diagonal()
+	if len(diag) != p.S.L.N {
+		t.Fatalf("diagonal has %d entries, want %d", len(diag), p.S.L.N)
+	}
+	for i, d := range diag {
+		if d == 0 {
+			t.Fatalf("zero diagonal at row %d", i)
+		}
+	}
+
+	B, want := randomRHS(p, 1, 7)
+	x := make([]float64, p.S.L.N)
+	if err := SolveOnceVals(v, x, B[0], false, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "one-shot forward", x, want[0])
+	us, err := NewUpperSolver(p.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU, err := us.Solve(B[0], Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SolveOnceVals(v, x, B[0], true, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, "one-shot upper", x, wantU)
+	if err := SolveOnceVals(v, x, B[0][:2], false, Options{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short b: %v, want ErrDimension", err)
+	}
+}

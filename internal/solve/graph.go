@@ -35,6 +35,7 @@ import (
 type graphRun struct {
 	e       *Engine
 	dag     *csrk.TaskDAG
+	ep      *epoch    // value epoch pinned at dispatch
 	x, b    []float64 // row-major n×kw panels when kw > 1
 	kw      int
 	reverse bool
@@ -61,8 +62,8 @@ func (g *graphRun) init(e *Engine, dag *csrk.TaskDAG) {
 
 // reset prepares the run for one solve. Called with no workers active
 // (under the engine's solveMu, before dispatch), so plain stores suffice.
-func (g *graphRun) reset(x, b []float64, kw int, reverse bool) {
-	g.x, g.b, g.kw, g.reverse = x, b, kw, reverse
+func (g *graphRun) reset(ep *epoch, x, b []float64, kw int, reverse bool) {
+	g.ep, g.x, g.b, g.kw, g.reverse = ep, x, b, kw, reverse
 	g.head.Store(0)
 	nt := g.dag.NumTasks()
 	for t := 0; t < nt; t++ {
@@ -99,13 +100,13 @@ func (g *graphRun) work() {
 		lo, hi := g.dag.TaskRows(int(t))
 		switch {
 		case g.kw > 1 && g.reverse:
-			g.e.backwardRowsBlock(g.x, g.b, g.kw, lo, hi)
+			g.ep.backwardRowsBlock(g.x, g.b, g.kw, lo, hi)
 		case g.kw > 1:
-			g.e.forwardRowsBlock(g.x, g.b, g.kw, lo, hi)
+			g.ep.forwardRowsBlock(g.x, g.b, g.kw, lo, hi)
 		case g.reverse:
-			g.e.backwardRows(g.x, g.b, lo, hi)
+			g.ep.backwardRows(g.x, g.b, lo, hi)
 		default:
-			g.e.forwardRows(g.x, g.b, lo, hi)
+			g.ep.forwardRows(g.x, g.b, lo, hi)
 		}
 		g.complete(t)
 	}

@@ -111,7 +111,7 @@ func TestGraphConcurrentSolves(t *testing.T) {
 	B, want := randomRHS(p, 6, 29)
 	e := graphEngine(p, 4)
 	defer e.Close()
-	if err := e.ensureUpper(); err != nil {
+	if err := e.ensureUpper(e.vals.Current()); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup

@@ -35,24 +35,3 @@ func solvePackedUpperRows(p *sparse.Packed, x, b []float64, lo, hi int) {
 		x[i] = (b[i] - s) / diag[i]
 	}
 }
-
-// forwardRows sweeps rows [lo, hi) of L′, preferring the packed layout.
-func (e *Engine) forwardRows(x, b []float64, lo, hi int) {
-	if e.pk != nil {
-		solvePackedRows(e.pk, x, b, lo, hi)
-		return
-	}
-	l := e.l
-	solveRows(l.RowPtr, l.Col, l.Val, x, b, lo, hi)
-}
-
-// backwardRows sweeps rows [lo, hi) of L′ᵀ in reverse, preferring the
-// packed layout. ensureUpper must have succeeded.
-func (e *Engine) backwardRows(x, b []float64, lo, hi int) {
-	if e.upk != nil {
-		solvePackedUpperRows(e.upk, x, b, lo, hi)
-		return
-	}
-	u := e.u
-	solveUpperRows(u.RowPtr, u.Col, u.Val, x, b, lo, hi)
-}

@@ -164,6 +164,41 @@ func ParallelInto(x []float64, s *csrk.Structure, b []float64, opts Options) err
 	return e.SolveInto(x, b)
 }
 
+// SolveOnceVals runs one one-shot cooperative solve over a shared
+// value-epoch sequence — forward (L′x = b) or, when upper is set, the
+// transposed system L′ᵀx = b. Unlike ParallelInto it reuses v's per-epoch
+// derived state (the packed layout and the validated transpose), so
+// one-shot solves against a plan that also holds persistent engines pay
+// no per-call transpose.
+func SolveOnceVals(v *Values, x, b []float64, upper bool, opts Options) error {
+	ep := v.Current()
+	n := ep.s.L.N
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), n)
+	}
+	opts = opts.withDefaults()
+	if upper {
+		if err := ep.ensureUpper(v.packWanted.Load()); err != nil {
+			return err
+		}
+	}
+	if opts.Workers == 1 || ep.s.NumSuperRows() == 1 {
+		if upper {
+			ep.backwardRows(x, b, 0, n)
+		} else {
+			ep.forwardRows(x, b, 0, n)
+		}
+		return nil
+	}
+	opts.oneShot = true
+	e := newEngine(v, nil, opts)
+	defer e.Close()
+	if upper {
+		return e.SolveUpperInto(x, b)
+	}
+	return e.SolveInto(x, b)
+}
+
 // barrier is a reusable counting barrier; waiters of one generation block
 // until all workers arrive, then the next generation begins.
 type barrier struct {

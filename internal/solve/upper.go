@@ -43,7 +43,7 @@ func NewUpperSolver(s *csrk.Structure) (*UpperSolver, error) {
 // NewEngine starts a persistent Engine over the solver's structure that
 // reuses the already-built transpose for backward sweeps.
 func (us *UpperSolver) NewEngine(opts Options) *Engine {
-	return newEngine(us.s, us.u, opts)
+	return newEngine(NewValues(us.s), us.u, opts)
 }
 
 // Transposed returns the validated transpose L′ᵀ the solver sweeps;
@@ -71,7 +71,7 @@ func (us *UpperSolver) SolveInto(x, b []float64, opts Options) error {
 		return nil
 	}
 	opts.oneShot = true
-	e := newEngine(us.s, us.u, opts)
+	e := newEngine(NewValues(us.s), us.u, opts)
 	defer e.Close()
 	return e.SolveUpperInto(x, b)
 }

@@ -1,0 +1,39 @@
+package sparse
+
+import "testing"
+
+// TestPanelRoundTrip: PackPanel interleaves column vectors into a
+// row-major panel and UnpackPanel is its exact inverse.
+func TestPanelRoundTrip(t *testing.T) {
+	const n, k = 7, 3
+	cols := make([][]float64, k)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		for i := range cols[c] {
+			cols[c][i] = float64(c*100 + i)
+		}
+	}
+	panel := make([]float64, n*k)
+	PackPanel(panel, cols)
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			if panel[i*k+c] != cols[c][i] {
+				t.Fatalf("panel[%d,%d] = %v, want %v", i, c, panel[i*k+c], cols[c][i])
+			}
+		}
+	}
+	out := make([][]float64, k)
+	for c := range out {
+		out[c] = make([]float64, n)
+	}
+	UnpackPanel(out, panel)
+	for c := range out {
+		for i := range out[c] {
+			if out[c][i] != cols[c][i] {
+				t.Fatalf("col %d row %d = %v, want %v", c, i, out[c][i], cols[c][i])
+			}
+		}
+	}
+	PackPanel(nil, nil) // zero-width panels are no-ops
+	UnpackPanel(nil, nil)
+}

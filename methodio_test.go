@@ -1,0 +1,56 @@
+package stsk
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseMethod pins the shared method-name vocabulary the cmds and
+// the serve registry parse with.
+func TestParseMethod(t *testing.T) {
+	for name, want := range map[string]Method{
+		"csr-ls":   CSRLS,
+		"csr-col":  CSRCOL,
+		"csr-3-ls": CSR3LS,
+		"sts3":     STS3,
+	} {
+		got, err := ParseMethod(name)
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseMethod(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestReadMatrixMarketFile(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+3 3 5
+1 1 4.0
+2 1 -1.0
+2 2 4.0
+3 2 -1.0
+3 3 4.0
+`
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loader symmetrises the pattern: 3 diagonal + 2 lower entries
+	// mirrored to the upper triangle.
+	if m.N() != 3 || m.NNZ() != 7 {
+		t.Fatalf("got n=%d nnz=%d, want 3/7", m.N(), m.NNZ())
+	}
+	if _, err := ReadMatrixMarketFile(filepath.Join(t.TempDir(), "absent.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -3,7 +3,10 @@
 # start stsserve, register a generated grid3d plan over HTTP, fire
 # concurrent solve requests, and check every returned solution against
 # the solution cmd/stssolve computes for the identical system (bitwise:
-# both sides print/parse full-precision float64).
+# both sides print/parse full-precision float64). Then update the plan's
+# values mid-load (PUT /v1/plans/g3/values, ×2 — binary-exact) and check
+# that every in-flight response matches one of the two epochs in full
+# and every post-update response matches the scaled stssolve oracle.
 #
 # Run from anywhere inside the repo: bash scripts/serve_smoke.sh
 set -euo pipefail
@@ -28,6 +31,13 @@ go build -o "$TMP/stssolve" ./cmd/stssolve
 # float64 exactly).
 "$TMP/stssolve" -class grid3d -n $N -method sts3 -repeats 1 \
   -dump-rhs "$TMP/b.txt" -dump-solution "$TMP/x.txt" >/dev/null
+
+# Scaled oracle for the mid-load value update: solve the ×2-scaled
+# system against the ORIGINAL b (the requests keep sending b.txt). ×2 is
+# a power of two, so the scaled values and this run's solution are
+# binary-exact — exactly what the server must produce after the PUT.
+"$TMP/stssolve" -class grid3d -n $N -method sts3 -repeats 1 -scale-values 2 \
+  -load-rhs "$TMP/b.txt" -dump-values "$TMP/vals2.txt" -dump-solution "$TMP/x2.txt" >/dev/null
 
 "$TMP/stsserve" -addr "$ADDR" -flush 2ms &
 SERVER_PID=$!
@@ -65,6 +75,41 @@ done
 echo "all $CLIENTS responses match the stssolve solution bitwise"
 
 curl -fsS "http://$ADDR/metrics" | grep -E "stsserve_panel_width_mean|stsserve_requests_solved_total|stsserve_solve_batches_total"
+
+# --- numeric refactorization mid-load -------------------------------
+# Fire a wave of solves and land the value update while they are in
+# flight: the copy-on-write contract says every response is entirely
+# old-epoch or entirely new-epoch, never a mix.
+awk 'BEGIN{printf "{\"values\":["} {printf "%s%s",(NR>1?",":""),$1} END{printf "],\"ifVersion\":1}"}' \
+  "$TMP/vals2.txt" >"$TMP/upd.json"
+seq "$CLIENTS" | xargs -P 32 -I{} curl -fsS -X POST "http://$ADDR/v1/solve" \
+  --data-binary @"$TMP/req.json" -o "$TMP/mid.{}" &
+SOLVE_WAVE=$!
+curl -fsS -X PUT "http://$ADDR/v1/plans/g3/values" \
+  --data-binary @"$TMP/upd.json" >"$TMP/upd_resp.json"
+grep -q '"version":2' "$TMP/upd_resp.json" || { echo "update response lacks version 2: $(cat "$TMP/upd_resp.json")"; exit 1; }
+wait "$SOLVE_WAVE"
+
+for i in $(seq "$CLIENTS"); do
+  sed 's/.*"x":\[//; s/\].*//' "$TMP/mid.$i" | tr ',' '\n' >"$TMP/midgot.$i"
+  paste "$TMP/x.txt" "$TMP/x2.txt" "$TMP/midgot.$i" | awk '
+    { if ($1+0 != $3+0) old++; if ($2+0 != $3+0) new++ }
+    END { if (old>0 && new>0) { printf "torn response: %d old-epoch and %d new-epoch mismatches\n", old, new; exit 1 } }' \
+    || { echo "mid-update response $i matches neither epoch in full"; exit 1; }
+done
+echo "all $CLIENTS mid-update responses are epoch-consistent"
+
+# After the update every response must match the scaled oracle exactly.
+curl -fsS -X POST "http://$ADDR/v1/solve" --data-binary @"$TMP/req.json" -o "$TMP/post.json"
+sed 's/.*"x":\[//; s/\].*//' "$TMP/post.json" | tr ',' '\n' >"$TMP/postgot.txt"
+paste "$TMP/x2.txt" "$TMP/postgot.txt" | awk '
+  { if ($1+0 != $2+0) { bad++; if (bad<4) printf "  mismatch line %d: %s vs %s\n", NR, $1, $2 } }
+  END { if (bad>0) { printf "post-update response had %d mismatching values\n", bad; exit 1 } }' \
+  || { echo "post-update response differs from the scaled stssolve solution"; exit 1; }
+echo "post-update response matches the scaled stssolve solution bitwise"
+
+curl -fsS "http://$ADDR/v1/plans" | grep -q '"version":2' || { echo "plan listing lacks version 2"; exit 1; }
+curl -fsS "http://$ADDR/metrics" | grep -E "stsserve_value_updates_total|stsserve_plan_version"
 
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true

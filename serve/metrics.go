@@ -55,8 +55,9 @@ type Metrics struct {
 	WidthSum atomic.Int64 // total requests carried by those dispatches
 
 	// Registry lifecycle.
-	PlanBuilds atomic.Int64 // plans (or IC0 variants) built
-	Evictions  atomic.Int64 // LRU evictions under the byte budget
+	PlanBuilds   atomic.Int64 // plans (or IC0 variants) built
+	Evictions    atomic.Int64 // LRU evictions under the byte budget
+	ValueUpdates atomic.Int64 // numeric refactorizations applied (UpdateValues)
 
 	latency histogram
 }
@@ -70,21 +71,22 @@ func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observe(d) }
 type Snapshot struct {
 	Requests, Solved, Cancelled, Rejected, Failed int64
 	Batches, WidthSum                             int64
-	PlanBuilds, Evictions                         int64
+	PlanBuilds, Evictions, ValueUpdates           int64
 }
 
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Requests:   m.Requests.Load(),
-		Solved:     m.Solved.Load(),
-		Cancelled:  m.Cancelled.Load(),
-		Rejected:   m.Rejected.Load(),
-		Failed:     m.Failed.Load(),
-		Batches:    m.Batches.Load(),
-		WidthSum:   m.WidthSum.Load(),
-		PlanBuilds: m.PlanBuilds.Load(),
-		Evictions:  m.Evictions.Load(),
+		Requests:     m.Requests.Load(),
+		Solved:       m.Solved.Load(),
+		Cancelled:    m.Cancelled.Load(),
+		Rejected:     m.Rejected.Load(),
+		Failed:       m.Failed.Load(),
+		Batches:      m.Batches.Load(),
+		WidthSum:     m.WidthSum.Load(),
+		PlanBuilds:   m.PlanBuilds.Load(),
+		Evictions:    m.Evictions.Load(),
+		ValueUpdates: m.ValueUpdates.Load(),
 	}
 }
 
@@ -118,10 +120,18 @@ func (m *Metrics) writePrometheus(w io.Writer, reg *Registry) {
 	gauge("stsserve_panel_width_mean", "Achieved mean panel width (batched requests / batches).", "%g", s.MeanPanelWidth())
 	counter("stsserve_plan_builds_total", "Plans and IC0 variants built.", s.PlanBuilds)
 	counter("stsserve_plan_evictions_total", "LRU plan evictions under the byte budget.", s.Evictions)
+	counter("stsserve_value_updates_total", "Numeric refactorizations applied via UpdateValues.", s.ValueUpdates)
 	gauge("stsserve_queue_depth", "Requests currently queued across all coalescers.", "%d", reg.QueueDepth())
 	gauge("stsserve_plans_registered", "Plans registered.", "%d", reg.Len())
 	gauge("stsserve_plans_loaded", "Plans currently built and resident.", "%d", reg.Loaded())
 	gauge("stsserve_plan_bytes", "Estimated bytes held by resident plans.", "%d", reg.BytesUsed())
+	if vs := reg.versions(); len(vs) > 0 {
+		fmt.Fprintf(w, "# HELP stsserve_plan_version Current value version of each registered plan.\n")
+		fmt.Fprintf(w, "# TYPE stsserve_plan_version gauge\n")
+		for _, v := range vs {
+			fmt.Fprintf(w, "stsserve_plan_version{plan=%q} %d\n", v.name, v.version)
+		}
+	}
 
 	// Latency histogram.
 	fmt.Fprintf(w, "# HELP stsserve_solve_latency_seconds End-to-end solve latency (queueing + coalescing + solve).\n")

@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,11 @@ const (
 // different spec (HTTP 409). Re-registering the identical spec is
 // idempotent and succeeds.
 var ErrPlanExists = errors.New("serve: plan already registered with a different spec")
+
+// ErrVersionConflict reports a conditional UpdateValues whose ifVersion
+// no longer matches the plan's current value version — another update
+// landed first (HTTP 409, the optimistic-concurrency contract).
+var ErrVersionConflict = errors.New("serve: plan version conflict")
 
 // PlanSpec names a matrix source and the ordering/solver configuration
 // the registry builds for it. Exactly one of Class, Suite and File must
@@ -222,6 +229,11 @@ type Registry struct {
 	clock   int64
 	closed  bool
 
+	// updMu serialises UpdateValues calls so the version check, the
+	// refactorization, and the version bump are one atomic step from the
+	// client's point of view; solves never take it.
+	updMu sync.Mutex
+
 	// shutdowns tracks eviction-spawned teardown goroutines so Close can
 	// honor its "every pool has exited" contract.
 	shutdowns sync.WaitGroup
@@ -230,11 +242,15 @@ type Registry struct {
 // entry is one registered spec plus its cached built state. st and
 // building are guarded by Registry.mu; building is non-nil while one
 // goroutine runs the expensive build, and other requests wait on it
-// instead of duplicating the work.
+// instead of duplicating the work. version and vals live here rather
+// than on planState so value updates survive eviction: the next rebuild
+// reapplies vals via Plan.Refactor before the state goes live.
 type entry struct {
 	spec     PlanSpec
 	st       *planState
 	building chan struct{}
+	version  uint64    // value version, 1 at registration; bumped by UpdateValues
+	vals     []float64 // latest updated values (immutable copy), nil = spec's own
 }
 
 // NewRegistry builds an empty registry.
@@ -252,13 +268,14 @@ func (r *Registry) Metrics() *Metrics { return r.met }
 // PlanInfo describes one registered plan for the listing and
 // registration APIs.
 type PlanInfo struct {
-	Spec   PlanSpec `json:"spec"`
-	Loaded bool     `json:"loaded"`
-	N      int      `json:"n,omitempty"`
-	NNZ    int64    `json:"nnz,omitempty"`
-	Packs  int      `json:"packs,omitempty"`
-	Bytes  int64    `json:"bytes,omitempty"`
-	IC0    bool     `json:"ic0,omitempty"` // IC0 variant currently built
+	Spec    PlanSpec `json:"spec"`
+	Loaded  bool     `json:"loaded"`
+	Version uint64   `json:"version,omitempty"` // value version; bumped by UpdateValues
+	N       int      `json:"n,omitempty"`
+	NNZ     int64    `json:"nnz,omitempty"`
+	Packs   int      `json:"packs,omitempty"`
+	Bytes   int64    `json:"bytes,omitempty"`
+	IC0     bool     `json:"ic0,omitempty"` // IC0 variant currently built
 }
 
 // Register stores a spec and eagerly builds its plan, so registration
@@ -280,7 +297,7 @@ func (r *Registry) Register(spec PlanSpec) (PlanInfo, error) {
 		r.mu.Unlock()
 		return PlanInfo{}, fmt.Errorf("%w: %q", ErrPlanExists, spec.Name)
 	} else if !ok {
-		r.entries[spec.Name] = &entry{spec: spec}
+		r.entries[spec.Name] = &entry{spec: spec, version: 1}
 		inserted = true
 	}
 	r.mu.Unlock()
@@ -314,7 +331,7 @@ func (r *Registry) list(only string) []PlanInfo {
 		if only != "" && name != only {
 			continue
 		}
-		info := PlanInfo{Spec: e.spec}
+		info := PlanInfo{Spec: e.spec, Version: e.version}
 		if st := e.st; st != nil {
 			stats := st.base.plan.Stats()
 			info.Loaded = true
@@ -481,9 +498,19 @@ func (r *Registry) acquire(name string) (*planState, error) {
 			continue // built, build failed (this caller retries), or evicted again
 		}
 		e.building = make(chan struct{})
+		pend := e.vals // UpdateValues waits on e.building, so this can't move under us
 		r.mu.Unlock()
 
 		st, err := r.buildState(e.spec)
+		if err == nil && pend != nil {
+			// The plan was numerically updated before this (re)build —
+			// reapply the latest values so an evicted-and-rebuilt plan never
+			// silently reverts to the spec's original matrix.
+			if rerr := st.base.plan.Refactor(pend); rerr != nil {
+				st.shutdown()
+				st, err = nil, fmt.Errorf("serve: reapplying updated values for plan %q: %w", e.spec.Name, rerr)
+			}
+		}
 
 		r.mu.Lock()
 		close(e.building)
@@ -578,6 +605,97 @@ func (r *Registry) acquireIC0(st *planState) (*variantState, error) {
 	r.met.PlanBuilds.Add(1)
 	r.mu.Unlock()
 	return &vs, nil
+}
+
+// UpdateValues performs a numeric refactorization of the named plan:
+// new values for the registered matrix's fixed sparsity are swapped in
+// via Plan.Refactor (copy-on-write — in-flight solves finish on the old
+// values, later dispatches see the new ones; nothing drains), the lazy
+// IC0 variant factored from the old values is dropped for rebuild on
+// next use, and the plan's value version is bumped. ifVersion, when
+// non-zero, makes the update conditional: it fails with
+// ErrVersionConflict unless the current version matches (optimistic
+// concurrency for competing updaters). The values slice is copied and
+// retained, so updates survive LRU eviction — a rebuild reapplies them.
+func (r *Registry) UpdateValues(name string, values []float64, ifVersion uint64) (PlanInfo, error) {
+	r.updMu.Lock()
+	defer r.updMu.Unlock()
+
+	st, err := r.acquire(name)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return PlanInfo{}, fmt.Errorf("%w: %q", ErrUnknownPlan, name)
+	}
+	if ifVersion != 0 && e.version != ifVersion {
+		cur := e.version
+		r.mu.Unlock()
+		return PlanInfo{}, fmt.Errorf("%w: plan %q is at version %d, update conditioned on %d",
+			ErrVersionConflict, name, cur, ifVersion)
+	}
+	r.mu.Unlock()
+
+	// Copy before swapping: the caller keeps its slice, and the retained
+	// copy must stay immutable for eviction-rebuild replay.
+	vals := append([]float64(nil), values...)
+	if err := st.base.plan.Refactor(vals); err != nil {
+		return PlanInfo{}, err
+	}
+
+	// The IC0 variant was factored from the old values; drop it so the
+	// next ic0 request re-factorizes lazily on the same pattern. Teardown
+	// runs off-mutex like an eviction, and the bytes are uncharged only if
+	// the state is still resident (an eviction racing us already did it).
+	st.ic0Mu.Lock()
+	old := st.ic0.Swap(nil)
+	st.ic0Mu.Unlock()
+	if old != nil {
+		r.mu.Lock()
+		if e2, ok := r.entries[name]; ok && e2.st == st {
+			r.used -= old.bytes
+			st.bytes -= old.bytes
+		}
+		r.mu.Unlock()
+		r.shutdowns.Add(1)
+		go func() {
+			defer r.shutdowns.Done()
+			old.close()
+		}()
+	}
+
+	r.mu.Lock()
+	e.vals = vals
+	e.version++
+	r.mu.Unlock()
+	r.met.ValueUpdates.Add(1)
+
+	infos := r.list(name)
+	if len(infos) == 0 {
+		return PlanInfo{}, ErrDraining // removed between update and listing
+	}
+	return infos[0], nil
+}
+
+// versions snapshots every registered plan's value version, sorted by
+// name, for the per-plan /metrics gauge.
+func (r *Registry) versions() []planVersion {
+	r.mu.Lock()
+	out := make([]planVersion, 0, len(r.entries))
+	for name, e := range r.entries {
+		out = append(out, planVersion{name: name, version: e.version})
+	}
+	r.mu.Unlock()
+	slices.SortFunc(out, func(a, b planVersion) int { return strings.Compare(a.name, b.name) })
+	return out
+}
+
+type planVersion struct {
+	name    string
+	version uint64
 }
 
 // evictLocked (registry mutex held) drops least-recently-used built

@@ -14,11 +14,12 @@ import (
 // Server is the HTTP JSON transport over a Registry — stdlib net/http
 // only, no dependencies. Routes:
 //
-//	POST /v1/plans    register a PlanSpec and build it (409 on conflict)
-//	GET  /v1/plans    list registered plans and their residency
-//	POST /v1/solve    solve one right-hand side (coalesced onto panels)
-//	GET  /healthz     liveness + drain state
-//	GET  /metrics     Prometheus text exposition
+//	POST /v1/plans                 register a PlanSpec and build it (409 on conflict)
+//	GET  /v1/plans                 list registered plans and their residency
+//	PUT  /v1/plans/{name}/values   swap in new matrix values (numeric refactorization)
+//	POST /v1/solve                 solve one right-hand side (coalesced onto panels)
+//	GET  /healthz                  liveness + drain state
+//	GET  /metrics                  Prometheus text exposition
 //
 // Admission control surfaces as 429 (coalescer queue full), per-request
 // deadlines as 408, and a draining server as 503. Close marks the server
@@ -36,6 +37,7 @@ func NewServer(reg *Registry) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/plans", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/plans", s.handleList)
+	s.mux.HandleFunc("PUT /v1/plans/{name}/values", s.handleUpdateValues)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -101,9 +103,9 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrPlanExists):
+	case errors.Is(err, ErrPlanExists), errors.Is(err, ErrVersionConflict):
 		return http.StatusConflict
-	case errors.Is(err, stsk.ErrDimension):
+	case errors.Is(err, stsk.ErrDimension), errors.Is(err, stsk.ErrSparsityMismatch):
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusRequestTimeout
@@ -136,6 +138,36 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// UpdateValuesRequest is the PUT /v1/plans/{name}/values body: the new
+// value array in the registered matrix's storage order (same sparsity —
+// a changed pattern is a 400), plus an optional optimistic-concurrency
+// precondition: when IfVersion is non-zero the update fails with 409
+// unless the plan is still at exactly that value version.
+type UpdateValuesRequest struct {
+	Values    []float64 `json:"values"`
+	IfVersion uint64    `json:"ifVersion,omitempty"`
+}
+
+func (s *Server) handleUpdateValues(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	var req UpdateValuesRequest
+	// A value array is the same order of magnitude as a right-hand side,
+	// so it gets the solve-body cap, not the plan-spec one.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSolveBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.reg.UpdateValues(r.PathValue("name"), req.Values, req.IfVersion)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // SolveRequest is the /v1/solve body. B is the right-hand side in plan

@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"stsk/internal/solve"
-	"stsk/internal/sparse"
 )
 
 // Solver is a reusable solve engine over one Plan: a persistent pool of
@@ -58,19 +57,14 @@ type Solver struct {
 // Close the solver when done with it, though an unreferenced Solver
 // cleans up after itself at the next GC.
 func (p *Plan) NewSolver(opts ...Option) *Solver {
-	// Every solver of this plan lazily shares the plan's single validated
-	// transpose for backward sweeps, instead of each engine building its
-	// own O(nnz) copy. The closure captures only the upperLazy cache —
-	// capturing the Plan would reach the shared Solver through p.shared
-	// and keep the AddCleanup below from ever firing.
-	cache := p.upperCache
-	eng := solve.NewEngineWithUpper(p.inner.S, func() (*sparse.CSR, error) {
-		us, err := cache.get()
-		if err != nil {
-			return nil, err
-		}
-		return us.Transposed(), nil
-	}, p.lowerSolve(applyOptions(opts)))
+	// Every solver of this plan binds to the plan's shared value-epoch
+	// sequence, so per-epoch derived state (the packed layout, the O(nnz)
+	// validated transpose, the diagonal) is built once and shared by all
+	// of them — and a Plan.Refactor is picked up by every solver's next
+	// dispatch. The engine references only the Values, never the Plan:
+	// a path back to the Plan would reach the shared Solver through
+	// p.shared and keep the AddCleanup below from ever firing.
+	eng := solve.NewEngineVals(p.vals, p.lowerSolve(applyOptions(opts)))
 	s := &Solver{plan: p, eng: eng}
 	// Pool *[]float64, not []float64: boxing a slice header into the pool's
 	// interface allocates, which would cost one allocation per ApplySGSInto.
@@ -447,6 +441,10 @@ func (s *Solver) ApplySGS(r []float64) ([]float64, error) {
 }
 
 // ApplySGSInto is ApplySGS writing into a caller-provided vector.
+//
+// The three stages are separate dispatches, so a Plan.Refactor landing
+// mid-call can split them across value epochs; ApplySGSBatch fuses both
+// sweeps into one dispatch and is always epoch-consistent.
 func (s *Solver) ApplySGSInto(z, r []float64) error {
 	defer runtime.KeepAlive(s) // pin the GC cleanup for the call (see NewSolver)
 	if err := s.checkDims(z, r); err != nil {

@@ -60,6 +60,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strings"
 	"sync"
 
@@ -120,6 +121,24 @@ func (m *Matrix) NNZ() int { return m.a.NNZ() }
 
 // RowDensity returns mean stored entries per row.
 func (m *Matrix) RowDensity() float64 { return m.a.RowDensity() }
+
+// Values returns a copy of the stored entry values in CSR order — the
+// array Plan.Refactor accepts. Mutate the copy and hand it back to
+// Refactor (or SetValues) to step an evolving system without rebuilding
+// the plan.
+func (m *Matrix) Values() []float64 {
+	return append([]float64(nil), m.a.Val...)
+}
+
+// SetValues replaces the matrix's entry values in place, keeping the
+// sparsity pattern. The length must match NNZ; vals is copied.
+func (m *Matrix) SetValues(vals []float64) error {
+	if len(vals) != len(m.a.Val) {
+		return fmt.Errorf("%w: %d values for a matrix with %d stored entries", ErrDimension, len(vals), len(m.a.Val))
+	}
+	copy(m.a.Val, vals)
+	return nil
+}
 
 // Generate builds a synthetic matrix of one of the paper's Table 1 classes
 // at roughly n rows. Classes: "grid2d", "grid3d", "kkt3d", "fem3d", "rgg",
@@ -219,18 +238,34 @@ func ReadMatrixMarketFile(path string) (*Matrix, error) {
 type Plan struct {
 	inner *order.Plan
 
+	// vals is the plan's copy-on-write value-epoch sequence: the numeric
+	// side of the factor, swapped atomically by Refactor while every piece
+	// of symbolic work (packs, permutation, task DAG, packed layout
+	// geometry) stays shared across epochs. It lives in its own allocation
+	// (never pointing back at the Plan or a Solver) so solve engines
+	// holding it cannot create a cycle that defeats the Solver's GC
+	// cleanup.
+	vals *solve.Values
+
+	// origRowPtr/origCol reference the pattern of the matrix the plan was
+	// built from, so Refactor can map input-order values onto the permuted
+	// factor. Nil for derived plans (IC0 factors), whose values are
+	// computed rather than copied.
+	origRowPtr []int
+	origCol    []int
+
+	// refactorMu serialises Refactor calls and guards valMap, the lazily
+	// built map from input CSR entry to factor value slot (-1 for entries
+	// landing above the diagonal after permutation).
+	refactorMu sync.Mutex
+	valMap     []int
+
 	// lazyMu guards the lazily built caches below; Plans are documented as
 	// safe for concurrent solving, so lazy construction must be too.
 	lazyMu sync.Mutex
-	aSym   *sparse.CSR   // plan-ordered symmetric matrix A′
+	aSym   *sparse.CSR   // plan-ordered symmetric matrix A′ (current epoch's values)
 	dag    *csrk.TaskDAG // dependency DAG for the graph schedule
 	dagPar float64       // cached dag.Parallelism()
-
-	// upperCache owns the plan's single validated transpose, shared by
-	// every solve engine. It lives in its own allocation (never pointing
-	// back at the Plan or a Solver) so engine closures over it cannot
-	// create a cycle that defeats the Solver's GC cleanup.
-	upperCache *upperLazy
 
 	// shared is the plan's own persistent Solver, built on first
 	// default-option Solve/SolveUpper so repeated solves reuse one parked
@@ -239,33 +274,15 @@ type Plan struct {
 	shared     *Solver
 }
 
-// upperLazy builds the plan's backward solver (and its O(nnz) transpose)
-// once, on first use, concurrency-safe. It deliberately references only
-// the csrk structure: Solver engines capture it in a closure, and any
-// path from that closure back to the Solver would make runtime.AddCleanup
-// never fire.
-type upperLazy struct {
-	s  *csrk.Structure
-	mu sync.Mutex
-	us *solve.UpperSolver
-}
-
-func (u *upperLazy) get() (*solve.UpperSolver, error) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if u.us == nil {
-		us, err := solve.NewUpperSolver(u.s)
-		if err != nil {
-			return nil, err
-		}
-		u.us = us
-	}
-	return u.us, nil
-}
-
 func newPlan(inner *order.Plan) *Plan {
-	return &Plan{inner: inner, upperCache: &upperLazy{s: inner.S}}
+	return &Plan{inner: inner, vals: solve.NewValues(inner.S)}
 }
+
+// structure returns the current value epoch's structure: the shared
+// symbolic arrays plus the live value array. Everything on the Plan that
+// reads factor values goes through here, so a Refactor is visible to all
+// of it.
+func (p *Plan) structure() *csrk.Structure { return p.vals.Structure() }
 
 // sharedSolver returns (building once, concurrency-safe) the plan's
 // persistent default-option Solver.
@@ -306,7 +323,7 @@ func (p *Plan) symmetric() *sparse.CSR {
 	p.lazyMu.Lock()
 	defer p.lazyMu.Unlock()
 	if p.aSym == nil {
-		p.aSym = sparse.SymmetrizePattern(p.inner.S.L)
+		p.aSym = sparse.SymmetrizePattern(p.structure().L)
 	}
 	return p.aSym
 }
@@ -318,9 +335,10 @@ func (p *Plan) ApplySymmetric(y, x []float64) {
 	p.symmetric().MatVec(y, x)
 }
 
-// Diagonal returns a copy of the diagonal of the plan's system.
+// Diagonal returns a copy of the diagonal of the plan's system at the
+// current value epoch.
 func (p *Plan) Diagonal() []float64 {
-	l := p.inner.S.L
+	l := p.structure().L
 	d := make([]float64, l.N)
 	for i := 0; i < l.N; i++ {
 		d[i] = l.Val[l.RowPtr[i+1]-1]
@@ -352,11 +370,11 @@ func (p *Plan) SolveUpperWith(b []float64, opts ...Option) ([]float64, error) {
 	if err := p.checkDim(b); err != nil {
 		return nil, err
 	}
-	us, err := p.upperCache.get()
-	if err != nil {
+	x := make([]float64, p.N())
+	if err := solve.SolveOnceVals(p.vals, x, b, true, p.lowerSolve(applyOptions(opts))); err != nil {
 		return nil, err
 	}
-	return us.Solve(b, p.lowerSolve(applyOptions(opts)))
+	return x, nil
 }
 
 // checkDim validates one plan-order vector length at the facade, so a
@@ -413,7 +431,115 @@ func Build(m *Matrix, method Method, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(p), nil
+	plan := newPlan(p)
+	// Remember the source pattern so Refactor can map new input-order
+	// values onto the permuted factor. The ordering pipeline reads only
+	// the pattern, so a rebuilt plan on the same pattern is structurally
+	// identical — which is what makes Refactor equivalent to (and bitwise
+	// interchangeable with) a full rebuild.
+	plan.origRowPtr, plan.origCol = m.a.RowPtr, m.a.Col
+	return plan, nil
+}
+
+// Refactor replaces the plan's factor values with new ones for the same
+// sparsity — numeric refactorization. values is the CSR value array of
+// the input matrix the plan was built from (Matrix.Values order); it is
+// mapped through the plan's permutation onto the lower factor and
+// published as a new copy-on-write value epoch. All symbolic work — the
+// pack partition, the task DAG, the permutations, the packed-layout
+// geometry — is reused, so Refactor costs O(nnz) instead of a rebuild,
+// and subsequent solves are bitwise identical to those of a plan freshly
+// built on the new values.
+//
+// The swap is atomic and lock-free for solvers: solves already dispatched
+// (including every member of an in-flight batch or block call) complete
+// on the old values; solves dispatched afterwards see the new ones. No
+// solve ever observes a mix.
+//
+// A values slice whose length does not match the plan's pattern, or a
+// derived plan (IC0 factor), is rejected with ErrSparsityMismatch; a zero
+// diagonal is rejected without publishing anything. Derived state
+// (Diagonal, ApplySymmetric, IC0) reflects the new values on next use —
+// re-derive IC0 factors by calling IC0 again after Refactor.
+func (p *Plan) Refactor(values []float64) error {
+	p.refactorMu.Lock()
+	defer p.refactorMu.Unlock()
+	if p.origCol == nil {
+		return fmt.Errorf("%w: plan derives its values (IC0 factor); refactor the base plan and call IC0 again", ErrSparsityMismatch)
+	}
+	if len(values) != len(p.origCol) {
+		return fmt.Errorf("%w: %d values for a pattern with %d stored entries", ErrSparsityMismatch, len(values), len(p.origCol))
+	}
+	if p.valMap == nil {
+		if err := p.buildValMap(); err != nil {
+			return err
+		}
+	}
+	l := p.inner.S.L // pattern arrays, shared by every epoch
+	newVal := make([]float64, len(l.Val))
+	for k, idx := range p.valMap {
+		if idx >= 0 {
+			newVal[idx] = values[k]
+		}
+	}
+	if err := p.vals.Swap(newVal); err != nil {
+		return fmt.Errorf("stsk: refactor: %w", err)
+	}
+	// The symmetrised operator caches the old values; rebuild on demand.
+	p.lazyMu.Lock()
+	p.aSym = nil
+	p.lazyMu.Unlock()
+	return nil
+}
+
+// RefactorMatrix is Refactor accepting a matrix, validating that its
+// sparsity is identical to the pattern the plan was built from. Use it
+// when the evolving system hands back whole matrices; use Refactor when
+// only the value array changes.
+func (p *Plan) RefactorMatrix(m *Matrix) error {
+	if m == nil || m.a == nil {
+		return fmt.Errorf("%w: nil matrix", ErrSparsityMismatch)
+	}
+	if p.origCol != nil {
+		if m.a.N != p.N() || !slices.Equal(m.a.RowPtr, p.origRowPtr) || !slices.Equal(m.a.Col, p.origCol) {
+			return fmt.Errorf("%w: matrix pattern differs from the one the plan was built from", ErrSparsityMismatch)
+		}
+	}
+	return p.Refactor(m.a.Val)
+}
+
+// ValuesVersion returns the plan's value-epoch sequence number: 0 at
+// Build, incremented by every successful Refactor. Serving layers use it
+// to report which numeric version a solve ran against.
+func (p *Plan) ValuesVersion() uint64 { return p.vals.Version() }
+
+// buildValMap computes, for every stored entry (i, j) of the source
+// pattern, the index of its slot in the permuted lower factor L′ — or -1
+// when the permuted entry lands strictly above the diagonal (it is then
+// represented by its structural mirror). Called once under refactorMu.
+func (p *Plan) buildValMap() error {
+	perm := p.inner.Perm
+	l := p.inner.S.L
+	vm := make([]int, len(p.origCol))
+	for i := 0; i+1 < len(p.origRowPtr); i++ {
+		pi := perm[i]
+		lo, hi := l.RowPtr[pi], l.RowPtr[pi+1]
+		cols := l.Col[lo:hi]
+		for k := p.origRowPtr[i]; k < p.origRowPtr[i+1]; k++ {
+			pj := perm[p.origCol[k]]
+			if pj > pi {
+				vm[k] = -1
+				continue
+			}
+			idx, ok := slices.BinarySearch(cols, pj)
+			if !ok {
+				return fmt.Errorf("%w: entry (%d,%d) has no slot in the plan's factor", ErrSparsityMismatch, i, p.origCol[k])
+			}
+			vm[k] = lo + idx
+		}
+	}
+	p.valMap = vm
+	return nil
 }
 
 // Method returns the scheme this plan implements.
@@ -441,12 +567,12 @@ func (p *Plan) UnpermuteVector(v []float64) []float64 { return p.inner.Unpermute
 // RHSFor returns b = L′·x for a chosen solution x (in plan order), handy
 // for tests and demos.
 func (p *Plan) RHSFor(x []float64) []float64 {
-	return sparse.RHSForSolution(p.inner.S.L, x)
+	return sparse.RHSForSolution(p.structure().L, x)
 }
 
 // Residual returns the infinity-norm residual ‖L′x − b‖∞.
 func (p *Plan) Residual(x, b []float64) float64 {
-	return sparse.Residual(p.inner.S.L, x, b)
+	return sparse.Residual(p.structure().L, x, b)
 }
 
 // Solve solves L′x = b (both in plan order) with the paper's default
@@ -475,12 +601,16 @@ func (p *Plan) SolveWith(b []float64, opts ...Option) ([]float64, error) {
 	if err := p.checkDim(b); err != nil {
 		return nil, err
 	}
-	return solve.Parallel(p.inner.S, b, p.lowerSolve(applyOptions(opts)))
+	x := make([]float64, p.N())
+	if err := solve.SolveOnceVals(p.vals, x, b, false, p.lowerSolve(applyOptions(opts))); err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
 // SolveSequential solves L′x = b on one core — the baseline T(·, ·, 1).
 func (p *Plan) SolveSequential(b []float64) ([]float64, error) {
-	return solve.Sequential(p.inner.S, b)
+	return solve.Sequential(p.structure(), b)
 }
 
 // Stats summarises the pack structure of a plan (Figures 7–8 measures).
