@@ -251,9 +251,7 @@ func TestSolveBlockConcurrent(t *testing.T) {
 // the facade panel fast path allocates nothing once warm, under both
 // schedules.
 func TestSolveBlockSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops puts under the race detector")
-	}
+	testmat.SkipIfRace(t)
 	ctx := context.Background()
 	mat := &Matrix{a: testmat.Grid3D(6)}
 	p, err := Build(mat, STS3)

@@ -1,0 +1,58 @@
+// Command stslint runs the repo's invariant suite — noalloc, epochpin,
+// ctxflow, errwrap — over package patterns and exits non-zero on any
+// finding. It is the CI lint gate:
+//
+//	go run ./cmd/stslint ./...
+//
+// The analyzers and their annotation syntax (//stsk:noalloc,
+// //stsk:allow-background, //stsk:allow-ctx-field,
+// //stsk:allow-epoch-repin) are documented in DESIGN.md §static-analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stsk/internal/analysis/driver"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also lint _test.go files (errwrap findings live mostly in tests)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stslint [-tests=false] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the STS-k invariant suite. Patterns default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range driver.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stslint:", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(driver.Options{
+		Dir:          wd,
+		Patterns:     flag.Args(),
+		IncludeTests: *tests,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stslint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "stslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

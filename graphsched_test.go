@@ -167,9 +167,7 @@ func TestDefaultScheduleResolvesToGraph(t *testing.T) {
 // run Into-style solves — cooperative and batched, barrier and graph —
 // without allocating.
 func TestSolverSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops puts under the race detector")
-	}
+	testmat.SkipIfRace(t)
 	mat, err := Generate("grid3d", 2000)
 	if err != nil {
 		t.Fatal(err)

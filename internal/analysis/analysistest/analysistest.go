@@ -1,0 +1,117 @@
+// Package analysistest runs an Analyzer over testdata packages and checks
+// its diagnostics against `// want "regexp"` comment expectations — the
+// same convention as golang.org/x/tools' analysistest, implemented on the
+// in-repo framework so the suite tests itself offline.
+//
+// Layout: each analyzer owns testdata/src/<pkg>/..., and Run(t, dir, a,
+// "<pkg>") loads testdata/src as a GOPATH-style root. Every diagnostic
+// must be matched by a want expectation on its line, and every want must
+// be matched by a diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stsk/internal/analysis/framework"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named package from dir/src and applies the analyzer,
+// failing the test on any unmatched diagnostic or unsatisfied want.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := framework.NewLoader("", "", []string{dir + "/src"}, true)
+	for _, pkgpath := range pkgpaths {
+		pkg, err := l.Load(pkgpath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgpath, err)
+		}
+		check(t, a, pkg)
+	}
+}
+
+func check(t *testing.T, a *framework.Analyzer, pkg *framework.Package) {
+	t.Helper()
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	framework.SortDiagnostics(pkg.Fset, diags)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if !matchWant(wants, p.Filename, p.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func collectWants(pkg *framework.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func matchWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.line == line && sameFile(w.file, file) && w.rx.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func sameFile(a, b string) bool {
+	return a == b || strings.HasSuffix(a, b) || strings.HasSuffix(b, a)
+}

@@ -1,0 +1,36 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"stsk/internal/analysis/analysistest"
+	"stsk/internal/analysis/framework"
+)
+
+// makecall flags every call to the make builtin — just enough analyzer
+// to exercise the harness itself: want matching on single and doubled
+// expectations, and diagnostics spread across files of one package.
+var makecall = &framework.Analyzer{
+	Name: "makecall",
+	Doc:  "report every make call",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+					pass.Reportf(call.Pos(), "make call (of %d args)", len(call.Args))
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRun(t *testing.T) {
+	analysistest.Run(t, "testdata", makecall, "fixture")
+}

@@ -1,0 +1,12 @@
+// Package fixture feeds the harness's own test: the makecall analyzer
+// must match every want here and nothing else.
+package fixture
+
+func alloc(n int) ([]int, map[string]int) {
+	s := make([]int, n)                   // want "make call \\(of 2 args\\)"
+	m := make(map[string]int, n)          // want "make call"
+	_, _ = make([]int, 0), make([]int, 1) // want "make call" "make call"
+	return s, m
+}
+
+func noAlloc(s []int) int { return len(s) }

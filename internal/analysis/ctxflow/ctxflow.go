@@ -1,0 +1,188 @@
+// Package ctxflow enforces the context-threading discipline of the
+// library packages: cancellation and deadlines must flow from the caller
+// to every blocking callee.
+//
+// Rules (library packages only — package main is exempt, as are test
+// files):
+//
+//  1. No context.Background()/TODO() call, except at sites annotated
+//     `//stsk:allow-background` (documented non-context convenience
+//     wrappers, and the serve coalescer's panel isolation — one member's
+//     cancellation must not void its panel-mates' work).
+//  2. A function that receives a ctx must not manufacture a fresh
+//     background context for a callee that accepts one — that silently
+//     drops the caller's deadline.
+//  3. A function that receives a ctx must call the context-aware variant
+//     of a callee when one exists (method X where the receiver also has
+//     XCtx), forwarding its ctx rather than falling back to the
+//     background-context wrapper.
+//  4. context.Context never lives in a struct field (it is a call-scoped
+//     value), except fields annotated `//stsk:allow-ctx-field`
+//     (request-scoped values travelling through a queue).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stsk/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforce context threading: no Background in libraries, forward ctx to Ctx variants, no ctx struct fields",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		lines := framework.DirectiveLines(pass.Fset, f)
+		checkFile(pass, lines, f)
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, lines map[int][]string, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, lines, st)
+			}
+		case *ast.FuncDecl:
+			if d.Body == nil {
+				continue
+			}
+			allowAll := framework.HasFuncDirective(d, framework.DirAllowBackground)
+			checkFunc(pass, lines, d, allowAll)
+		}
+	}
+}
+
+func checkStruct(pass *framework.Pass, lines map[int][]string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isContextType(pass.TypesInfo.Types[field.Type].Type) {
+			continue
+		}
+		if framework.AllowedAt(lines, pass.Fset, field.Pos(), framework.DirAllowCtxField) {
+			continue
+		}
+		pass.Reportf(field.Pos(), "context.Context stored in a struct: pass it as a parameter (//stsk:allow-ctx-field for request-scoped queue values)")
+	}
+}
+
+func checkFunc(pass *framework.Pass, lines map[int][]string, fd *ast.FuncDecl, allowAll bool) {
+	ctxParam := contextParam(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBackgroundCall(pass, call) {
+			if allowAll || framework.AllowedAt(lines, pass.Fset, call.Pos(), framework.DirAllowBackground) {
+				return true
+			}
+			if ctxParam != nil {
+				pass.Reportf(call.Pos(), "context.Background drops the caller's ctx: forward %s (//stsk:allow-background if isolation is intended)", ctxParam.Name())
+			} else {
+				pass.Reportf(call.Pos(), "context.Background in a library package: accept a ctx or annotate //stsk:allow-background")
+			}
+			return true
+		}
+		if ctxParam != nil {
+			checkCtxVariant(pass, lines, call, ctxParam)
+		}
+		return true
+	})
+}
+
+// checkCtxVariant flags s.X(...) inside a ctx-carrying function when the
+// receiver also offers XCtx — the non-context variant would run the work
+// under a background context, detaching it from the caller's deadline.
+func checkCtxVariant(pass *framework.Pass, lines map[int][]string, call *ast.CallExpr, ctxParam *types.Var) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	sig, ok := s.Obj().Type().(*types.Signature)
+	if !ok || hasContextParam(sig) {
+		return // already context-aware
+	}
+	ms := types.NewMethodSet(s.Recv())
+	variant := ms.Lookup(pass.Pkg, sel.Sel.Name+"Ctx")
+	if variant == nil {
+		return
+	}
+	if framework.AllowedAt(lines, pass.Fset, call.Pos(), framework.DirAllowBackground) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call %sCtx and forward %s: the %s variant detaches from the caller's context", sel.Sel.Name, ctxParam.Name(), sel.Sel.Name)
+}
+
+func contextParam(pass *framework.Pass, fd *ast.FuncDecl) *types.Var {
+	obj, ok := pass.TypesInfo.Defs[fd.Name]
+	if !ok || obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isContextType(p.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBackgroundCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

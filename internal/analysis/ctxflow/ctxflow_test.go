@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"stsk/internal/analysis/analysistest"
+	"stsk/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxflow", "ctxflow/mainpkg")
+}

@@ -1,0 +1,59 @@
+// Package ctxflow is the analyzer's fixture: each context-threading rule
+// violated once, next to the annotated shape that makes it legal.
+package ctxflow
+
+import "context"
+
+type holder struct {
+	ctx context.Context // want "context.Context stored in a struct"
+	n   int
+}
+
+// queued mirrors the serve coalescer's request: a ctx riding a queue.
+type queued struct {
+	//stsk:allow-ctx-field
+	ctx context.Context
+	n   int
+}
+
+type solver struct{}
+
+func (s *solver) Solve() {}
+
+func (s *solver) SolveCtx(ctx context.Context) { _ = ctx }
+
+func fresh() context.Context {
+	return context.Background() // want "context.Background in a library package"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.Background in a library package"
+}
+
+func drops(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want "context.Background drops the caller's ctx: forward ctx"
+}
+
+// wrapper is a documented non-context convenience entry point.
+//
+//stsk:allow-background
+func wrapper() context.Context {
+	return context.Background()
+}
+
+func annotatedLine() context.Context {
+	//stsk:allow-background
+	return context.Background()
+}
+
+func variant(ctx context.Context, s *solver) {
+	s.Solve() // want "call SolveCtx and forward ctx"
+	s.SolveCtx(ctx)
+}
+
+func variantAllowed(ctx context.Context, s *solver) {
+	_ = ctx
+	//stsk:allow-background (panel isolation)
+	s.Solve()
+}

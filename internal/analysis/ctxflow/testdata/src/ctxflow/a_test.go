@@ -1,0 +1,8 @@
+package ctxflow
+
+import "context"
+
+// Test files are exempt: tests root their own contexts.
+func testRoot() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,9 @@
+// Command mainpkg exercises the package-main exemption: a binary is the
+// root of the context tree, so Background belongs here.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

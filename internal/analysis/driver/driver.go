@@ -1,0 +1,169 @@
+// Package driver runs the full stslint analyzer suite over a package
+// pattern — the engine behind cmd/stslint, kept importable so the suite's
+// end-to-end behaviour is testable (and counted in coverage) without
+// shelling out.
+package driver
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stsk/internal/analysis/ctxflow"
+	"stsk/internal/analysis/epochpin"
+	"stsk/internal/analysis/errwrap"
+	"stsk/internal/analysis/framework"
+	"stsk/internal/analysis/noalloc"
+)
+
+// Analyzers is the invariant suite, in reporting order.
+var Analyzers = []*framework.Analyzer{
+	noalloc.Analyzer,
+	epochpin.Analyzer,
+	ctxflow.Analyzer,
+	errwrap.Analyzer,
+}
+
+// A Finding is one diagnostic, position pre-rendered.
+type Finding struct {
+	Analyzer string
+	Pos      string // file:line:col, file relative to the module root
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Options configures one run.
+type Options struct {
+	// Dir is any directory inside the module (the module root is found by
+	// walking up to go.mod).
+	Dir string
+
+	// Patterns are package patterns relative to the module root
+	// (defaults to ./...).
+	Patterns []string
+
+	// IncludeTests adds _test.go files to the run (errwrap's sentinel
+	// findings live mostly in tests). Default true in cmd/stslint.
+	IncludeTests bool
+}
+
+// Run executes every analyzer over every package matched by the patterns
+// and returns the sorted findings.
+func Run(opts Options) ([]Finding, error) {
+	modDir, modPath, err := findModule(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := framework.NewLoader(modDir, modPath, nil, opts.IncludeTests)
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, path := range paths {
+		units := make([]*framework.Package, 0, 2)
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, pkg)
+		if opts.IncludeTests {
+			xt, err := l.LoadXTest(path)
+			if err != nil {
+				return nil, err
+			}
+			if xt != nil {
+				units = append(units, xt)
+			}
+		}
+		for _, unit := range units {
+			fs, err := analyze(modDir, unit)
+			if err != nil {
+				return nil, err
+			}
+			findings = append(findings, fs...)
+		}
+	}
+	return findings, nil
+}
+
+func analyze(modDir string, pkg *framework.Package) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range Analyzers {
+		var diags []framework.Diagnostic
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		framework.SortDiagnostics(pkg.Fset, diags)
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			file := p.Filename
+			if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Pos:      fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column),
+				Message:  d.Message,
+			})
+		}
+	}
+	return findings, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, err := os.Stat(gomod); err == nil {
+			path, err := modulePath(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			return dir, path, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("driver: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("driver: no module directive in %s", gomod)
+}

@@ -1,0 +1,168 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stsk/internal/analysis/driver"
+)
+
+// writeModule lays out a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module lintfixture\n\ngo 1.22\n"
+
+func TestRunReportsSeededViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		// A library package seeded with one violation per analyzer.
+		"lib/lib.go": `package lib
+
+import (
+	"context"
+	"errors"
+)
+
+var ErrGone = errors.New("lib: gone")
+
+//stsk:noalloc
+func Kernel(n int) []float64 {
+	return make([]float64, n)
+}
+
+type Values struct{ v int }
+
+func (v *Values) Current() int { return v.v }
+
+func Poll(v *Values, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += v.Current()
+	}
+	return s
+}
+
+func Root() context.Context {
+	return context.Background()
+}
+`,
+		"lib/lib_test.go": `package lib
+
+func closed(err error) bool {
+	return err == ErrGone
+}
+`,
+	})
+
+	findings, err := driver.Run(driver.Options{Dir: dir, IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := make(map[string][]string)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f.String())
+	}
+	wants := map[string]struct{ pos, msg string }{
+		"noalloc":  {"lib/lib.go:12", "make allocates"},
+		"epochpin": {"lib/lib.go:22", "epoch load inside a loop"},
+		"ctxflow":  {"lib/lib.go:28", "context.Background in a library package"},
+		"errwrap":  {"lib/lib_test.go:4", "use errors.Is(err, ErrGone)"},
+	}
+	for name, want := range wants {
+		got := byAnalyzer[name]
+		if len(got) != 1 {
+			t.Errorf("%s: got %d findings %v, want 1", name, len(got), got)
+			continue
+		}
+		if !strings.Contains(got[0], want.pos) || !strings.Contains(got[0], want.msg) {
+			t.Errorf("%s: finding %q, want position %q and message %q", name, got[0], want.pos, want.msg)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("total findings = %d, want %d: %v", len(findings), len(wants), findings)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"lib/lib.go": `package lib
+
+import (
+	"context"
+	"errors"
+)
+
+var ErrGone = errors.New("lib: gone")
+
+//stsk:noalloc
+func Kernel(x, b []float64) {
+	for i := range x {
+		x[i] = b[i] * 2
+	}
+}
+
+func Closed(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+//stsk:allow-background (non-context convenience wrapper)
+func Root() context.Context {
+	return context.Background()
+}
+`,
+	})
+
+	findings, err := driver.Run(driver.Options{Dir: dir, IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean module produced findings: %v", findings)
+	}
+}
+
+func TestRunFindsModuleFromSubdir(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"lib/lib.go": `package lib
+
+//stsk:noalloc
+func Kernel(n int) []int { return make([]int, n) }
+`,
+	})
+
+	// Start from inside lib; the driver walks up to go.mod and renders
+	// positions relative to the module root.
+	findings, err := driver.Run(driver.Options{
+		Dir:      filepath.Join(dir, "lib"),
+		Patterns: []string{"./..."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.HasPrefix(findings[0].Pos, "lib/lib.go:") {
+		t.Fatalf("findings = %v, want one at lib/lib.go", findings)
+	}
+}
+
+func TestRunNoModule(t *testing.T) {
+	if _, err := driver.Run(driver.Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("expected an error outside any module")
+	}
+}

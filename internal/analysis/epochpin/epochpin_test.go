@@ -1,0 +1,12 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"stsk/internal/analysis/analysistest"
+	"stsk/internal/analysis/epochpin"
+)
+
+func TestEpochpin(t *testing.T) {
+	analysistest.Run(t, "testdata", epochpin.Analyzer, "epochpin")
+}

@@ -1,0 +1,8 @@
+package epochpin
+
+// Test files are exempt: tests poll epochs in loops on purpose (waiting
+// for a Swap to become visible).
+func pollUntil(v *Values, want int) {
+	for v.Current().version != want {
+	}
+}

@@ -1,0 +1,142 @@
+// Package errwrap enforces the sentinel-error contract: errors crossing a
+// package boundary wrap their sentinel with %w so errors.Is matches at
+// any layer, and sentinel comparisons go through errors.Is — never ==/!=,
+// which breaks the moment any layer adds wrapping detail.
+//
+// Rules (test files included — tests are where == comparisons creep in):
+//
+//  1. `err == ErrX` / `err != ErrX`, where ErrX is a package-level error
+//     variable, must be errors.Is(err, ErrX).
+//  2. `switch err { case ErrX: }` likewise.
+//  3. fmt.Errorf with a sentinel argument must use the %w verb.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"stsk/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "errwrap",
+	Doc:  "require errors.Is for sentinel comparisons and %w for sentinel wrapping",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCompare(pass *framework.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	var sentinel types.Object
+	if s := sentinelOf(pass, b.X); s != nil {
+		sentinel = s
+	} else if s := sentinelOf(pass, b.Y); s != nil {
+		sentinel = s
+	}
+	if sentinel == nil {
+		return
+	}
+	pass.Reportf(b.Pos(), "sentinel comparison with %s: use errors.Is(err, %s)", b.Op, sentinel.Name())
+}
+
+func checkSwitch(pass *framework.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.Types[sw.Tag].Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelOf(pass, e); s != nil {
+				pass.Reportf(e.Pos(), "sentinel in a switch case: use errors.Is(err, %s)", s.Name())
+			}
+		}
+	}
+}
+
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if s := sentinelOf(pass, arg); s != nil {
+			pass.Reportf(arg.Pos(), "sentinel %s formatted without %%w: wrapping detail would break errors.Is", s.Name())
+		}
+	}
+}
+
+func constantString(pass *framework.Pass, e ast.Expr) (string, bool) {
+	tv := pass.TypesInfo.Types[e]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// sentinelOf resolves e to a package-level variable of type error, the
+// shape of every sentinel in the repo (ErrClosed, ErrDimension, ...).
+func sentinelOf(pass *framework.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

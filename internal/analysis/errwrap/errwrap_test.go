@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"stsk/internal/analysis/analysistest"
+	"stsk/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "errwrap")
+}

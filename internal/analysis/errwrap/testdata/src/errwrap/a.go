@@ -1,0 +1,49 @@
+// Package errwrap is the analyzer's fixture: sentinel misuse one rule at
+// a time, next to the errors.Is/%w shapes that pass.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("errwrap: closed")
+
+var ErrDraining = errors.New("errwrap: draining")
+
+func compare(err error) bool {
+	if err == ErrClosed { // want "sentinel comparison with ==: use errors.Is\\(err, ErrClosed\\)"
+		return true
+	}
+	if ErrDraining != err { // want "sentinel comparison with !=: use errors.Is\\(err, ErrDraining\\)"
+		return false
+	}
+	return errors.Is(err, ErrClosed)
+}
+
+func compareLocal(err error) bool {
+	local := errors.New("scoped")
+	return err == local // a local is not a sentinel; == is the only identity it has
+}
+
+func sw(err error) int {
+	switch err {
+	case ErrClosed: // want "sentinel in a switch case: use errors.Is\\(err, ErrClosed\\)"
+		return 1
+	case nil:
+		return 0
+	}
+	switch n := len("x"); n {
+	case 1:
+		return n
+	}
+	return 2
+}
+
+func wrap(n int) error {
+	return fmt.Errorf("op %d: %v", n, ErrClosed) // want "sentinel ErrClosed formatted without %w"
+}
+
+func wrapOK(n int) error {
+	return fmt.Errorf("op %d: %w", n, ErrClosed)
+}

@@ -1,0 +1,6 @@
+package errwrap
+
+// errwrap runs on test files too — that is where == comparisons creep in.
+func assertClosed(err error) bool {
+	return err == ErrClosed // want "sentinel comparison with ==: use errors.Is\\(err, ErrClosed\\)"
+}

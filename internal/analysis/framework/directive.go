@@ -1,0 +1,94 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation directives recognised by the invariant suite. A directive is
+// a comment of the form `//stsk:<name>`, optionally followed by a space
+// and free-form rationale. Function-level directives live in the
+// function's doc comment; statement- and field-level directives sit on
+// the same line as the construct or on the line immediately above it.
+const (
+	// DirNoalloc marks a function whose body must contain no allocating
+	// constructs (checked by the noalloc analyzer).
+	DirNoalloc = "noalloc"
+
+	// DirAllowBackground permits a context.Background()/TODO() call in a
+	// library package (checked by the ctxflow analyzer). Reserved for
+	// documented non-context convenience wrappers and the coalescer's
+	// panel-isolation sites.
+	DirAllowBackground = "allow-background"
+
+	// DirAllowCtxField permits a context.Context struct field (ctxflow).
+	// Reserved for request-scoped values travelling through a queue.
+	DirAllowCtxField = "allow-ctx-field"
+
+	// DirAllowEpochRepin permits an epoch load inside a loop or a second
+	// load in one function (epochpin). Reserved for streams that
+	// deliberately pin a fresh epoch per dispatched element.
+	DirAllowEpochRepin = "allow-epoch-repin"
+)
+
+const directivePrefix = "//stsk:"
+
+// parseDirective extracts the directive name from one comment line, or ""
+// if the comment is not an stsk directive.
+func parseDirective(text string) string {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return ""
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// DirectiveLines indexes every stsk directive of a file by the line it
+// appears on. Analyzers consult it through AllowedAt.
+func DirectiveLines(fset *token.FileSet, f *ast.File) map[int][]string {
+	m := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d := parseDirective(c.Text); d != "" {
+				line := fset.Position(c.Slash).Line
+				m[line] = append(m[line], d)
+			}
+		}
+	}
+	return m
+}
+
+// AllowedAt reports whether directive name is attached to the construct
+// at pos: on the same line, or on the line immediately above.
+func AllowedAt(lines map[int][]string, fset *token.FileSet, pos token.Pos, name string) bool {
+	l := fset.Position(pos).Line
+	for _, d := range lines[l] {
+		if d == name {
+			return true
+		}
+	}
+	for _, d := range lines[l-1] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFuncDirective reports whether the function's doc comment carries the
+// named directive.
+func HasFuncDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if parseDirective(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}

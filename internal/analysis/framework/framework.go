@@ -1,0 +1,94 @@
+// Package framework is a minimal, dependency-free mirror of the
+// golang.org/x/tools go/analysis API: an Analyzer runs over one
+// type-checked package (a Pass) and reports position-anchored
+// Diagnostics. The repo's invariant suite (noalloc, epochpin, ctxflow,
+// errwrap) is written against this surface, so the analyzers port to the
+// real go/analysis framework mechanically if the x/tools dependency ever
+// becomes available — the build environment is offline, so the framework
+// itself is implemented here on the standard library's go/ast, go/types
+// and go/importer alone.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test expectations.
+	Name string
+
+	// Doc is the one-paragraph description shown by `stslint -help`.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Analyzers normally use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Hot-path
+// analyzers (noalloc, epochpin, ctxflow) skip test files: the invariants
+// guard production code, and tests legitimately allocate, poll epochs in
+// loops, and use context.Background.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// WithStack walks every node of f in depth-first order, calling fn with
+// the node and the stack of its ancestors (outermost first, not including
+// the node itself). It is the parent-aware counterpart of ast.Inspect
+// that several analyzers need (e.g. "is this composite literal's address
+// taken?").
+func WithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// SortDiagnostics orders diagnostics by position for stable output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,252 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+// helper does things.
+//
+//stsk:noalloc
+func helper() {
+	//stsk:allow-background (rationale here)
+	_ = 1
+	_ = 2 //stsk:allow-epoch-repin
+}
+
+// plain has no directive.
+func plain() {}
+`
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct{ text, want string }{
+		{"//stsk:noalloc", "noalloc"},
+		{"//stsk:allow-background (panel isolation)", "allow-background"},
+		{"//stsk:allow-epoch-repin\tper-element", "allow-epoch-repin"},
+		{"// stsk:noalloc", ""}, // a space makes it prose, not a directive
+		{"// ordinary comment", ""},
+		{"//stsk:", ""},
+	}
+	for _, c := range cases {
+		if got := parseDirective(c.text); got != c.want {
+			t.Errorf("parseDirective(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveLinesAndAllowedAt(t *testing.T) {
+	fset, f := parse(t, directiveSrc)
+	lines := DirectiveLines(fset, f)
+	if len(lines) != 3 {
+		t.Fatalf("DirectiveLines = %v, want 3 entries", lines)
+	}
+
+	// Find the two statements of helper's body.
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "helper" {
+			fd = x
+		}
+	}
+	first, second := fd.Body.List[0], fd.Body.List[1]
+	if !AllowedAt(lines, fset, first.Pos(), DirAllowBackground) {
+		t.Error("line-above directive not recognised")
+	}
+	if !AllowedAt(lines, fset, second.Pos(), DirAllowEpochRepin) {
+		t.Error("same-line directive not recognised")
+	}
+	if AllowedAt(lines, fset, second.Pos(), DirAllowBackground) {
+		t.Error("directive leaked to an unrelated line")
+	}
+
+	if !HasFuncDirective(fd, DirNoalloc) {
+		t.Error("doc-comment directive not recognised")
+	}
+	if HasFuncDirective(fd, DirAllowCtxField) {
+		t.Error("wrong doc directive matched")
+	}
+	for _, d := range f.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "plain" {
+			if HasFuncDirective(x, DirNoalloc) {
+				t.Error("directive found on an unannotated function")
+			}
+		}
+	}
+}
+
+func TestWithStack(t *testing.T) {
+	_, f := parse(t, "package p\n\nfunc g() { _ = &struct{ n int }{} }\n")
+	sawLitWithUnaryParent := false
+	WithStack(f, func(n ast.Node, stack []ast.Node) {
+		if _, ok := n.(*ast.CompositeLit); !ok {
+			return
+		}
+		if len(stack) == 0 {
+			t.Fatal("composite literal with empty stack")
+		}
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.X == n {
+			sawLitWithUnaryParent = true
+		}
+		if _, ok := stack[0].(*ast.File); !ok {
+			t.Error("stack bottom is not the file")
+		}
+	})
+	if !sawLitWithUnaryParent {
+		t.Error("WithStack never presented the literal with its & parent")
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	fset, f := parse(t, directiveSrc)
+	end, start := f.End(), f.Pos()
+	diags := []Diagnostic{{Pos: end, Message: "b"}, {Pos: start, Message: "a"}}
+	SortDiagnostics(fset, diags)
+	if diags[0].Message != "a" || diags[1].Message != "b" {
+		t.Fatalf("diagnostics not position-sorted: %v", diags)
+	}
+}
+
+// writeTree lays a GOPATH-style src tree under a temp dir and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoaderLoad(t *testing.T) {
+	src := writeTree(t, map[string]string{
+		"fix/a.go":      "package fix\n\nimport \"strings\"\n\nfunc Upper(s string) string { return strings.ToUpper(s) }\n",
+		"fix/a_test.go": "package fix\n\nvar inPackageTest = Upper(\"x\")\n",
+		"fix/x_test.go": "package fix_test\n\nimport \"fix\"\n\nvar external = fix.Upper(\"y\")\n",
+		// Excluded by build constraints and by name, respectively.
+		"fix/tagged.go": "//go:build neverbuildme\n\npackage fix\n\nfunc Excluded() {}\n",
+		"fix/_skip.go":  "package fix\n\nfunc AlsoExcluded() {}\n",
+		"fix/sub/b.go":  "package sub\n\nimport \"fix\"\n\nvar V = fix.Upper(\"z\")\n",
+	})
+
+	l := NewLoader("", "", []string{src}, true)
+	pkg, err := l.Load("fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want a.go + a_test.go", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Excluded") != nil {
+		t.Error("build-constrained file leaked into the package")
+	}
+	if pkg.Types.Scope().Lookup("inPackageTest") == nil {
+		t.Error("in-package test file missing with IncludeTests")
+	}
+	if again, _ := l.Load("fix"); again != pkg {
+		t.Error("Load is not cached")
+	}
+
+	xt, err := l.LoadXTest("fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xt == nil || xt.PkgPath != "fix [test]" {
+		t.Fatalf("LoadXTest = %+v, want the fix_test unit", xt)
+	}
+
+	// Our-package imports resolve through the loader itself.
+	if _, err := l.Load("fix/sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.Load("no/such/pkg"); err == nil {
+		t.Error("loading a nonexistent package succeeded")
+	}
+
+	// Without IncludeTests, test files vanish and LoadXTest is nil.
+	l2 := NewLoader("", "", []string{src}, false)
+	pkg2, err := l2.Load("fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg2.Files) != 1 {
+		t.Fatalf("loaded %d files without tests, want 1", len(pkg2.Files))
+	}
+	if xt2, err := l2.LoadXTest("fix"); err != nil || xt2 != nil {
+		t.Errorf("LoadXTest without IncludeTests = (%v, %v), want (nil, nil)", xt2, err)
+	}
+}
+
+func TestLoaderImportCycle(t *testing.T) {
+	src := writeTree(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"b\"\n\nvar V = b.V\n",
+		"b/b.go": "package b\n\nimport \"a\"\n\nvar V = a.V\n",
+	})
+	l := NewLoader("", "", []string{src}, false)
+	if _, err := l.Load("a"); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want an import cycle error", err)
+	}
+}
+
+func TestLoaderModuleModeAndExpand(t *testing.T) {
+	mod := writeTree(t, map[string]string{
+		"root.go":         "package root\n",
+		"inner/c.go":      "package inner\n\nimport \"example.com/m/inner/deep\"\n\nvar V = deep.V\n",
+		"inner/deep/d.go": "package deep\n\nvar V = 1\n",
+		// Skipped by Expand: testdata, hidden, underscore, no Go files.
+		"inner/testdata/t.go": "package t\n",
+		".hidden/h.go":        "package h\n",
+		"_tools/u.go":         "package u\n",
+		"empty/README":        "no go here\n",
+	})
+	l := NewLoader(mod, "example.com/m", nil, false)
+
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example.com/m", "example.com/m/inner", "example.com/m/inner/deep"}
+	if len(paths) != len(want) {
+		t.Fatalf("Expand = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("Expand = %v, want %v", paths, want)
+		}
+	}
+
+	// Module-internal imports resolve through the module mapping.
+	if _, err := l.Load("example.com/m/inner"); err != nil {
+		t.Fatal(err)
+	}
+
+	single, err := l.Expand([]string{"./inner"})
+	if err != nil || len(single) != 1 || single[0] != "example.com/m/inner" {
+		t.Fatalf("Expand(./inner) = (%v, %v)", single, err)
+	}
+	if _, err := l.Expand([]string{"./empty"}); err == nil {
+		t.Error("expanding a Go-less directory succeeded")
+	}
+}

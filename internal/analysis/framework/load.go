@@ -1,0 +1,353 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked unit: a package's syntax trees plus the
+// go/types objects the analyzers query. When the loader includes test
+// files, in-package _test.go files are type-checked together with the
+// package; external (package foo_test) files form their own unit.
+type Package struct {
+	// PkgPath is the import path ("stsk/internal/solve"), with " [test]"
+	// appended for an external test unit.
+	PkgPath string
+
+	// Dir is the directory the files were loaded from.
+	Dir string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader resolves import paths to type-checked packages without the
+// go/packages machinery (the build environment is offline and the module
+// has no dependencies): module-internal paths map onto the module
+// directory, testdata-style GOPATH roots are consulted first, and
+// everything else falls back to the standard library's source importer.
+// Results are cached, so a ./... run type-checks each package once.
+type Loader struct {
+	Fset *token.FileSet
+
+	// ModPath/ModDir map module-internal import paths onto directories.
+	// Empty ModPath disables module mapping (analysistest mode).
+	ModPath string
+	ModDir  string
+
+	// SrcDirs are GOPATH-style source roots (testdata/src) consulted
+	// before the module mapping, so test fixtures shadow nothing real.
+	SrcDirs []string
+
+	// IncludeTests adds in-package _test.go files to each loaded unit and
+	// exposes external test packages via LoadXTest.
+	IncludeTests bool
+
+	std      types.Importer
+	cache    map[string]*Package
+	loading  map[string]bool
+	buildCtx build.Context
+}
+
+// NewLoader returns a Loader over one module tree (modPath may be empty
+// for pure GOPATH-style roots).
+func NewLoader(modDir, modPath string, srcDirs []string, includeTests bool) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:         fset,
+		ModPath:      modPath,
+		ModDir:       modDir,
+		SrcDirs:      srcDirs,
+		IncludeTests: includeTests,
+		std:          importer.ForCompiler(fset, "source", nil),
+		cache:        make(map[string]*Package),
+		loading:      make(map[string]bool),
+		buildCtx:     build.Default,
+	}
+}
+
+// dirFor maps an import path to the directory holding its source, or
+// ok=false if the path is not ours (i.e. standard library).
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, root := range l.SrcDirs {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	if l.ModPath != "" {
+		if path == l.ModPath {
+			return l.ModDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+			return filepath.Join(l.ModDir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFiles lists dir's buildable Go files under the default build
+// constraints, split into the primary package's non-test files, its
+// in-package test files, and external (package name_test) test files.
+func (l *Loader) dirFiles(dir string) (primary, inTest, xTest []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	type f struct {
+		name, pkg string
+		test      bool
+	}
+	var files []f
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		ok, err := l.buildCtx.MatchFile(dir, name)
+		if err != nil || !ok {
+			continue // unmatched build constraints (e.g. //go:build race)
+		}
+		src, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.PackageClauseOnly)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f{name, src.Name.Name, strings.HasSuffix(name, "_test.go")})
+	}
+	base := ""
+	for _, fi := range files {
+		if !fi.test {
+			base = fi.pkg
+			break
+		}
+	}
+	for _, fi := range files {
+		switch {
+		case !fi.test:
+			primary = append(primary, fi.name)
+		case base != "" && fi.pkg == base+"_test":
+			xTest = append(xTest, fi.name)
+		default:
+			inTest = append(inTest, fi.name)
+		}
+	}
+	sort.Strings(primary)
+	sort.Strings(inTest)
+	sort.Strings(xTest)
+	return primary, inTest, xTest, nil
+}
+
+// Load type-checks the package at the import path (with its in-package
+// test files when IncludeTests is set), loading dependencies recursively.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("framework: %s is not a module or testdata package", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("framework: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	primary, inTest, _, err := l.dirFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := primary
+	if l.IncludeTests {
+		names = append(append([]string{}, primary...), inTest...)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("framework: no buildable Go files in %s", dir)
+	}
+	pkg, err := l.typeCheck(path, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadXTest type-checks the external test package (package name_test) of
+// the import path, or returns (nil, nil) when the directory has none.
+// Only meaningful with IncludeTests.
+func (l *Loader) LoadXTest(path string) (*Package, error) {
+	key := path + " [test]"
+	if p, ok := l.cache[key]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("framework: %s is not a module or testdata package", path)
+	}
+	_, _, xTest, err := l.dirFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !l.IncludeTests || len(xTest) == 0 {
+		return nil, nil
+	}
+	if _, err := l.Load(path); err != nil {
+		return nil, err // the unit under test must check before its tests
+	}
+	pkg, err := l.typeCheck(key, dir, xTest)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[key] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) typeCheck(path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(strings.TrimSuffix(path, " [test]"), l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("framework: type-checking %s: %w", path, err)
+	}
+	return &Package{PkgPath: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// loaderImporter adapts the Loader to go/types: our packages resolve
+// through the cache, everything else through the source importer.
+type loaderImporter Loader
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(im)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Expand resolves package patterns against the module tree: "./..."
+// walks recursively (skipping testdata, hidden and underscore
+// directories), anything else is a single directory relative to the
+// module root. Returned paths are sorted import paths of directories
+// that contain buildable Go files.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "/")
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		rel := strings.TrimPrefix(pat, "./")
+		if rel == "." {
+			rel = ""
+		}
+		root := filepath.Join(l.ModDir, filepath.FromSlash(rel))
+		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("framework: no Go files in %s", root)
+			}
+			add(l.pathFor(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if l.loadable(p) {
+				add(l.pathFor(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// loadable reports whether dir yields at least one unit under the current
+// settings (a primary package, or — with IncludeTests — any test files).
+func (l *Loader) loadable(dir string) bool {
+	primary, inTest, xTest, err := l.dirFiles(dir)
+	if err != nil {
+		return false
+	}
+	if len(primary) > 0 {
+		return true
+	}
+	return l.IncludeTests && (len(inTest) > 0 || len(xTest) > 0)
+}
+
+func (l *Loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,280 @@
+// Package noalloc checks that functions annotated `//stsk:noalloc`
+// contain no allocating constructs. The steady-state solve kernels and
+// dispatch loops are the repo's core promise — zero allocations per solve
+// once warm — and this analyzer turns that promise from a benchmark
+// assertion (which only covers the paths a test happens to drive) into a
+// per-function static guarantee.
+//
+// Flagged constructs: make/new, non-self append (append whose result is
+// not assigned back to its own first argument — the pooled-scratch idiom
+// `x = append(x, ...)` over preallocated capacity is steady-state free),
+// closures, go statements, slice/map/address-taken composite literals,
+// non-constant string concatenation, string<->[]byte/[]rune conversions,
+// implicit variadic slices (fmt.Errorf and friends), concrete-to-
+// interface conversions (boxing — kept out of hot paths wholesale via
+// typed wrappers, see internal/solve's typed sync.Pool wrappers), and
+// method values. The check is intraprocedural: callees keep their own
+// annotations.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stsk/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "noalloc",
+	Doc:  "report allocating constructs inside functions annotated //stsk:noalloc",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !framework.HasFuncDirective(fd, framework.DirNoalloc) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *framework.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, sig: signatureOf(pass, fd)}
+	c.walk(fd.Body, nil)
+}
+
+type checker struct {
+	pass *framework.Pass
+	sig  *types.Signature
+}
+
+func signatureOf(pass *framework.Pass, fd *ast.FuncDecl) *types.Signature {
+	if obj, ok := pass.TypesInfo.Defs[fd.Name]; ok && obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// walk inspects the body with an ancestor stack (parent-sensitive rules:
+// self-append, address-taken literals, method values).
+func (c *checker) walk(body ast.Node, stack []ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		c.node(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (c *checker) node(n ast.Node, stack []ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.call(n, stack)
+	case *ast.FuncLit:
+		c.pass.Reportf(n.Pos(), "closure allocates in //stsk:noalloc function")
+	case *ast.GoStmt:
+		c.pass.Reportf(n.Pos(), "go statement allocates in //stsk:noalloc function")
+	case *ast.CompositeLit:
+		c.compositeLit(n, stack)
+	case *ast.BinaryExpr:
+		c.binary(n)
+	case *ast.AssignStmt:
+		c.assign(n)
+	case *ast.SendStmt:
+		if ch, ok := c.typeOf(n.Chan).Underlying().(*types.Chan); ok {
+			c.box(ch.Elem(), n.Value)
+		}
+	case *ast.ReturnStmt:
+		c.returnStmt(n)
+	case *ast.SelectorExpr:
+		c.methodValue(n, stack)
+	}
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if t := c.pass.TypesInfo.Types[e].Type; t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func (c *checker) call(call *ast.CallExpr, stack []ast.Node) {
+	info := c.pass.TypesInfo
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.pass.Reportf(call.Pos(), "make allocates in //stsk:noalloc function")
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in //stsk:noalloc function")
+			case "append":
+				if !selfAppend(call, stack) {
+					c.pass.Reportf(call.Pos(), "append may grow its backing array in //stsk:noalloc function (only self-append to reused scratch is allowed)")
+				}
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(tv.Type, call)
+		return
+	}
+	// Ordinary calls: variadic slices and interface-boxing arguments.
+	sig, ok := c.typeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
+		c.pass.Reportf(call.Pos(), "implicit variadic slice allocates in //stsk:noalloc function")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || !sig.Variadic():
+			if i >= params.Len() {
+				continue
+			}
+			pt = params.At(i).Type()
+		case call.Ellipsis != token.NoPos:
+			pt = params.At(params.Len() - 1).Type()
+		default:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		}
+		c.box(pt, arg)
+	}
+}
+
+// selfAppend reports the steady-state idiom `x = append(x, ...)`: the
+// sole right-hand side of an assignment whose first argument textually
+// matches the assignment target.
+func selfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) == 0 {
+		return false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 || as.Rhs[0] != call {
+		return false
+	}
+	return types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+func (c *checker) conversion(target types.Type, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := c.typeOf(call.Args[0])
+	if isString(target) && isByteOrRuneSlice(src) || isByteOrRuneSlice(target) && isString(src) {
+		c.pass.Reportf(call.Pos(), "string conversion allocates in //stsk:noalloc function")
+		return
+	}
+	c.box(target, call.Args[0])
+}
+
+func (c *checker) compositeLit(lit *ast.CompositeLit, stack []ast.Node) {
+	t := c.typeOf(lit)
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		c.pass.Reportf(lit.Pos(), "composite literal allocates in //stsk:noalloc function")
+		return
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == lit {
+			c.pass.Reportf(lit.Pos(), "composite literal allocates in //stsk:noalloc function (address taken)")
+		}
+	}
+}
+
+func (c *checker) binary(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv := c.pass.TypesInfo.Types[b]
+	if tv.Value != nil { // constant-folded
+		return
+	}
+	if isString(tv.Type) {
+		c.pass.Reportf(b.Pos(), "string concatenation allocates in //stsk:noalloc function")
+	}
+}
+
+func (c *checker) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // tuple assignment from a call; the call itself is checked
+	}
+	for i := range as.Lhs {
+		if as.Tok == token.DEFINE {
+			continue // := takes the RHS type; no conversion happens
+		}
+		c.box(c.typeOf(as.Lhs[i]), as.Rhs[i])
+	}
+}
+
+func (c *checker) returnStmt(r *ast.ReturnStmt) {
+	if c.sig == nil || len(r.Results) != c.sig.Results().Len() {
+		return
+	}
+	for i, res := range r.Results {
+		c.box(c.sig.Results().At(i).Type(), res)
+	}
+}
+
+// box reports a concrete value converted to an interface type — a
+// potential heap allocation the hot path must not rely on escape
+// analysis to elide.
+func (c *checker) box(dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	st := c.typeOf(src)
+	if st == nil || types.IsInterface(st) {
+		return
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.pass.Reportf(src.Pos(), "interface conversion may allocate in //stsk:noalloc function (use a typed wrapper)")
+}
+
+func (c *checker) methodValue(sel *ast.SelectorExpr, stack []ast.Node) {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == sel {
+			return // ordinary method call
+		}
+	}
+	c.pass.Reportf(sel.Pos(), "method value allocates in //stsk:noalloc function")
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"stsk/internal/analysis/analysistest"
+	"stsk/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "noalloc")
+}

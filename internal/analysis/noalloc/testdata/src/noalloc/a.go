@@ -1,0 +1,74 @@
+// Package noalloc is the analyzer's fixture: every flagged construct
+// once, plus the idioms the hot paths rely on staying unflagged.
+package noalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func (p pair) sum() int { return p.a + p.b }
+
+func helper() {}
+
+//stsk:noalloc
+func builtins(x []float64, n int) []float64 {
+	s := make([]float64, n) // want "make allocates in //stsk:noalloc function"
+	p := new(int)           // want "new allocates in //stsk:noalloc function"
+	_ = p
+	y := append(x, 1) // want "append may grow its backing array"
+	_ = y
+	x = append(x, s...) // self-append: the pooled-scratch idiom stays legal
+	return x
+}
+
+//stsk:noalloc
+func control(n int) {
+	f := func() int { return n } // want "closure allocates"
+	_ = f
+	go helper() // want "go statement allocates"
+}
+
+//stsk:noalloc
+func literals() int {
+	v := pair{1, 2} // a value-typed literal lives on the stack
+	_ = []int{1}    // want "composite literal allocates"
+	q := &pair{}    // want "address taken"
+	return v.a + q.b
+}
+
+//stsk:noalloc
+func strings(s1, s2 string) int {
+	s3 := s1 + s2       // want "string concatenation allocates"
+	const c = "a" + "b" // constant-folded: free
+	b := []byte(s1)     // want "string conversion allocates"
+	s4 := string(b)     // want "string conversion allocates"
+	return len(s3) + len(s4) + len(c)
+}
+
+//stsk:noalloc
+func boxing(n int, ch chan any) any {
+	_ = fmt.Sprintf("%d", n) // want "implicit variadic slice allocates" "interface conversion may allocate"
+	var i any
+	i = n // want "interface conversion may allocate"
+	_ = i
+	ch <- n  // want "interface conversion may allocate"
+	return n // want "interface conversion may allocate"
+}
+
+//stsk:noalloc
+func methodValue(p pair) func() int {
+	_ = p.sum()  // an ordinary method call is fine
+	return p.sum // want "method value allocates"
+}
+
+//stsk:noalloc
+func clean(x, b []float64, start, end int) {
+	for i := start; i < end; i++ {
+		x[i] = b[i] * 2
+	}
+}
+
+// Unannotated functions allocate freely.
+func unannotated(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,9 @@
+package noalloc
+
+// Test files are exempt: an annotated helper here may allocate without
+// a finding (benchmarks annotate prototypes before they move).
+//
+//stsk:noalloc
+func testOnlyScratch(n int) []float64 {
+	return make([]float64, n)
+}

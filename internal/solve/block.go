@@ -25,6 +25,8 @@ import "stsk/internal/sparse"
 
 // solvePackedRowsBlock performs forward substitution for rows [lo, hi) of
 // a packed lower factor across a row-major panel of width kw.
+//
+//stsk:noalloc
 func solvePackedRowsBlock(p *sparse.Packed, X, B []float64, kw, lo, hi int) {
 	rp, col, val, diag := p.RowPtr, p.Col, p.Val, p.Diag
 	switch kw {
@@ -111,6 +113,8 @@ func solvePackedRowsBlock(p *sparse.Packed, X, B []float64, kw, lo, hi int) {
 // solvePackedUpperRowsBlock performs backward substitution for rows
 // [lo, hi) of a packed upper factor across a row-major panel, highest row
 // first.
+//
+//stsk:noalloc
 func solvePackedUpperRowsBlock(p *sparse.Packed, X, B []float64, kw, lo, hi int) {
 	rp, col, val, diag := p.RowPtr, p.Col, p.Val, p.Diag
 	switch kw {
@@ -197,6 +201,8 @@ func solvePackedUpperRowsBlock(p *sparse.Packed, X, B []float64, kw, lo, hi int)
 // solveRowsBlock is the CSR fallback of solvePackedRowsBlock, for factors
 // whose indices overflow the packed 32-bit layout. The diagonal entry is
 // last in each row (the csrk invariant).
+//
+//stsk:noalloc
 func solveRowsBlock(rowPtr, col []int, val, X, B []float64, kw, lo, hi int) {
 	var s [maxBlockWidth]float64
 	for i := lo; i < hi; i++ {
@@ -221,6 +227,8 @@ func solveRowsBlock(rowPtr, col []int, val, X, B []float64, kw, lo, hi int) {
 
 // solveUpperRowsBlock is the CSR fallback of solvePackedUpperRowsBlock.
 // The diagonal entry leads each row of the transposed factor.
+//
+//stsk:noalloc
 func solveUpperRowsBlock(rowPtr, col []int, val, X, B []float64, kw, lo, hi int) {
 	var s [maxBlockWidth]float64
 	for i := hi - 1; i >= lo; i-- {

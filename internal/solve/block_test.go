@@ -212,9 +212,7 @@ func TestEngineBlockCtxCancelled(t *testing.T) {
 // TestEngineBlockSteadyStateAllocs asserts the panel fast path allocates
 // nothing once the pooled scratch is warm.
 func TestEngineBlockSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops puts under the race detector")
-	}
+	testmat.SkipIfRace(t)
 	a := testmat.Grid3D(6)
 	p := planFor(t, a, order.STS3)
 	B, _ := randomRHS(p, 8, 13)

@@ -72,11 +72,12 @@ type Engine struct {
 	// Steady-state allocation elimination: whole-RHS jobs, batch
 	// completion trackers, stream completion channels and panel scratch
 	// are pooled per engine, so batch, stream and block solves stop
-	// allocating once warm.
-	jobPool   sync.Pool // *wholeJob
-	runPool   sync.Pool // *batchRun
-	errcPool  sync.Pool // chan error, cap 1
-	panelPool sync.Pool // *[]float64, len N·maxBlockWidth row-major panel scratch
+	// allocating once warm. The pools are typed wrappers (pool.go) so the
+	// //stsk:noalloc dispatch paths never convert through `any`.
+	jobPool   wholeJobPool
+	runPool   batchRunPool
+	errcPool  errcPool
+	panelPool panelPool
 
 	// Cooperative-solve state, reused across solves under solveMu.
 	solveMu sync.Mutex
@@ -211,13 +212,7 @@ func newEngine(v *Values, u *sparse.CSR, opts Options) *Engine {
 	if u != nil {
 		cur.adoptUpper(u, !opts.oneShot)
 	}
-	e.jobPool.New = func() any { return new(wholeJob) }
-	e.runPool.New = func() any { return &batchRun{done: make(chan struct{}, 1)} }
-	e.errcPool.New = func() any { return make(chan error, 1) }
-	e.panelPool.New = func() any {
-		buf := make([]float64, s.L.N*maxBlockWidth)
-		return &buf
-	}
+	e.panelPool.size = s.L.N * maxBlockWidth
 	e.run.e = e
 	e.run.barrier.size = opts.Workers
 	e.run.barrier.cond = sync.NewCond(&e.run.barrier.mu)
@@ -252,6 +247,8 @@ func (e *Engine) Close() {
 
 // submit enqueues a job unless the engine is closed. The read lock only
 // covers the send, so Close can proceed while callers wait on results.
+//
+//stsk:noalloc
 func (e *Engine) submit(j job) error {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
@@ -265,6 +262,8 @@ func (e *Engine) submit(j job) error {
 // submitCtx is submit racing the context: when every worker is busy and
 // the caller is cancelled while waiting for a pool slot, it gives up and
 // returns ctx.Err() instead of blocking until a worker frees up.
+//
+//stsk:noalloc
 func (e *Engine) submitCtx(ctx context.Context, j job) error {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
@@ -368,6 +367,8 @@ func (e *Engine) Solve(b []float64) ([]float64, error) {
 
 // SolveInto solves L′x = b into a caller-provided vector: all pool workers
 // sweep the packs together under the engine's schedule.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveIntoCtx threads a caller ctx)
 func (e *Engine) SolveInto(x, b []float64) error {
 	return e.coopSolve(context.Background(), x, b, false)
 }
@@ -392,6 +393,8 @@ func (e *Engine) SolveUpper(b []float64) ([]float64, error) {
 
 // SolveUpperInto solves L′ᵀx = b into a caller-provided vector, sweeping
 // the packs in reverse order.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveUpperIntoCtx threads a caller ctx)
 func (e *Engine) SolveUpperInto(x, b []float64) error {
 	return e.coopSolve(context.Background(), x, b, true)
 }
@@ -422,6 +425,8 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 // applies its (col, val) entries across all kw panel columns, so the
 // matrix is traversed once per panel instead of once per vector. X may
 // alias B. Callers validate lengths (n·kw each) and pin the epoch.
+//
+//stsk:noalloc
 func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw int, reverse bool) error {
 	n := e.n
 	if err := ctx.Err(); err != nil {
@@ -498,6 +503,8 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 // the same. Unlike the barrier path the graph loop tolerates fewer live
 // workers than tokens — any subset of workers drains the ready queue —
 // but dispatch is still all-or-nothing for simplicity.
+//
+//stsk:noalloc
 func (e *Engine) graphSolve(ep *epoch, x, b []float64, kw int, reverse bool) error {
 	g := &e.graph
 	g.reset(ep, x, b, kw, reverse)
@@ -532,6 +539,8 @@ func (e *Engine) SolveBatch(B [][]float64) ([][]float64, error) {
 
 // SolveBatchInto is SolveBatch writing into caller-provided solution
 // vectors; X[i] may alias B[i] for an in-place solve.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveBatchIntoCtx threads a caller ctx)
 func (e *Engine) SolveBatchInto(X, B [][]float64) error {
 	return e.batch(context.Background(), X, B, sweepForward)
 }
@@ -545,6 +554,8 @@ func (e *Engine) SolveBatchIntoCtx(ctx context.Context, X, B [][]float64) error 
 }
 
 // SolveUpperBatchInto solves L′ᵀxᵢ = bᵢ for every right-hand side.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveUpperBatchIntoCtx threads a caller ctx)
 func (e *Engine) SolveUpperBatchInto(X, B [][]float64) error {
 	return e.batch(context.Background(), X, B, sweepBackward)
 }
@@ -560,6 +571,8 @@ func (e *Engine) SolveUpperBatchIntoCtx(ctx context.Context, X, B [][]float64) e
 // worker's private scratch, diagonal scale, backward sweep into X[i].
 // One worker performs both sweeps of a vector back to back, keeping the
 // intermediate entirely in its own preallocated scratch.
+//
+//stsk:allow-background (non-context convenience wrapper over the batch path)
 func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
 	return e.batch(context.Background(), X, R, sweepSGS)
 }
@@ -574,6 +587,8 @@ func (e *Engine) ApplySGSBatch(X, R [][]float64) error {
 // batch reports ctx.Err(). Completion is tracked by a pooled batchRun
 // counter instead of a per-call channel, so a warm engine runs batches
 // without allocating.
+//
+//stsk:noalloc
 func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) error {
 	if err := e.checkPanelDims(X, B); err != nil {
 		return err
@@ -587,7 +602,7 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 			return err
 		}
 	}
-	run := e.runPool.Get().(*batchRun)
+	run := e.runPool.Get()
 	run.err = nil
 	run.remaining.Store(int32(len(B)))
 	issued := 0
@@ -597,7 +612,7 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 			first = err
 			break
 		}
-		j := e.jobPool.Get().(*wholeJob)
+		j := e.jobPool.Get()
 		j.kind, j.ep, j.x, j.b, j.run, j.errc = kind, ep, X[i], B[i], run, nil
 		if err := e.submitCtx(ctx, job{whole: j}); err != nil {
 			j.reset()
@@ -616,6 +631,8 @@ func (e *Engine) batch(ctx context.Context, X, B [][]float64, kind sweepKind) er
 // this Add no signal was (or will be) sent, because in-flight workers
 // only ever saw a positive count — then wait, collect the first worker
 // error (dispatch errors win), and recycle the run.
+//
+//stsk:noalloc
 func (e *Engine) finishRun(run *batchRun, total, issued int, first error) error {
 	if skipped := total - issued; skipped == 0 || run.remaining.Add(-int32(skipped)) > 0 {
 		<-run.done
@@ -648,6 +665,8 @@ type Result struct {
 // for the stop-on-first-error pattern — but a stream abandoned with more
 // work outstanding blocks the internal goroutines, and the producer,
 // until the output is drained.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveManyCtx threads a caller ctx)
 func (e *Engine) SolveMany(bs <-chan []float64) <-chan Result {
 	return e.SolveManyCtx(context.Background(), bs)
 }
@@ -667,7 +686,7 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 	out := make(chan Result, 2*e.opts.Workers)
 	inflight := make(chan pending, 2*e.opts.Workers)
 	fail := func(err error) pending {
-		ec := e.errcPool.Get().(chan error)
+		ec := e.errcPool.Get()
 		ec <- err
 		return pending{errc: ec}
 	}
@@ -685,9 +704,13 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 				// The result vector is handed to the consumer and cannot be
 				// pooled; the completion channel comes from (and returns to)
 				// the engine pool.
-				p := pending{x: make([]float64, e.n), errc: e.errcPool.Get().(chan error)}
+				p := pending{x: make([]float64, e.n), errc: e.errcPool.Get()}
 				inflight <- p // bound the pipeline before enqueueing work
-				j := e.jobPool.Get().(*wholeJob)
+				j := e.jobPool.Get()
+				// Each streamed vector deliberately pins the epoch current at
+				// its own dispatch (see the method comment): a refactorization
+				// mid-stream splits results between snapshots, never within one.
+				//stsk:allow-epoch-repin
 				j.kind, j.ep, j.x, j.b, j.run, j.errc = sweepForward, e.vals.Current(), p.x, b, nil, p.errc
 				if err := e.submitCtx(ctx, job{whole: j}); err != nil {
 					// Report the failure in order but keep draining bs, so a
@@ -735,6 +758,8 @@ type coopRun struct {
 // work is one worker's share of a cooperative solve: packs in order
 // (reverse order for the transposed sweep), super-rows claimed by the
 // engine's schedule, a barrier between packs.
+//
+//stsk:noalloc
 func (r *coopRun) work(id int) {
 	e := r.e
 	s := e.s
@@ -817,6 +842,8 @@ func (r *coopRun) work(id int) {
 
 // grabGuided claims the next guided chunk of pack p: remaining/workers
 // super-rows, floored at the chunk option.
+//
+//stsk:noalloc
 func (r *coopRun) grabGuided(p, hi int) (from, to int, ok bool) {
 	for {
 		cur := r.counters[p].Load()
@@ -837,6 +864,7 @@ func (r *coopRun) grabGuided(p, hi int) (from, to int, ok bool) {
 	}
 }
 
+//stsk:noalloc
 func (r *coopRun) solveSuper(sr int) {
 	lo, hi := r.e.s.SuperRowRows(sr)
 	switch {

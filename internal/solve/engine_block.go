@@ -26,6 +26,8 @@ const maxBlockWidth = 8
 // width 0 selects the engine's configured BlockWidth; widths are rounded
 // down to the unrolled kernel widths {8, 4, 2}, with remainder columns
 // falling back to the scalar kernel.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveBlockIntoCtx threads a caller ctx)
 func (e *Engine) SolveBlockInto(X, B [][]float64, width int) error {
 	return e.block(context.Background(), X, B, width, false)
 }
@@ -41,6 +43,8 @@ func (e *Engine) SolveBlockIntoCtx(ctx context.Context, X, B [][]float64, width 
 // SolveUpperBlockInto solves L′ᵀxᵢ = bᵢ for every right-hand side with the
 // blocked backward-substitution kernels, panels swept in reverse pack
 // order.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveUpperBlockIntoCtx threads a caller ctx)
 func (e *Engine) SolveUpperBlockInto(X, B [][]float64, width int) error {
 	return e.block(context.Background(), X, B, width, true)
 }
@@ -79,6 +83,8 @@ func (e *Engine) checkPanelDims(X, B [][]float64) error {
 // a block solve sweeps the same snapshot even when a refactorization
 // lands mid-call. All scratch is pooled, so warm block solves allocate
 // nothing.
+//
+//stsk:noalloc
 func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse bool) error {
 	if err := e.checkPanelDims(X, B); err != nil {
 		return err
@@ -107,7 +113,7 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 	for rem := len(B); rem > 0; jobs++ {
 		rem -= panelWidth(rem, width)
 	}
-	run := e.runPool.Get().(*batchRun)
+	run := e.runPool.Get()
 	run.err = nil
 	run.remaining.Store(int32(jobs))
 	issued := 0
@@ -118,7 +124,7 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 			break
 		}
 		kw := panelWidth(len(B)-i, width)
-		j := e.jobPool.Get().(*wholeJob)
+		j := e.jobPool.Get()
 		if kw == 1 {
 			j.kind, j.ep, j.x, j.b, j.run, j.errc = kind, ep, X[i], B[i], run, nil
 		} else {
@@ -141,9 +147,11 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 // (in-place is safe — a row's B entries are read before its X entries are
 // written, and every other access is to already-solved rows), scatter the
 // solutions back out.
+//
+//stsk:noalloc
 func (e *Engine) coopPanel(ctx context.Context, ep *epoch, X, B [][]float64, kw int, reverse bool) error {
 	n := e.n
-	bufp := e.panelPool.Get().(*[]float64)
+	bufp := e.panelPool.Get()
 	buf := (*bufp)[:n*kw]
 	sparse.PackPanel(buf, B[:kw])
 	err := e.panelSolve(ctx, ep, buf, buf, kw, reverse)
@@ -157,10 +165,12 @@ func (e *Engine) coopPanel(ctx context.Context, ep *epoch, X, B [][]float64, kw 
 // sweepPanel is the worker side of a pipelined whole-panel job: pack,
 // one sequential blocked sweep over all rows, scatter. Row order is
 // Sequential's, so every column stays bitwise identical.
+//
+//stsk:noalloc
 func (e *Engine) sweepPanel(w *wholeJob) {
 	n := e.n
 	kw := w.kw
-	bufp := e.panelPool.Get().(*[]float64)
+	bufp := e.panelPool.Get()
 	buf := (*bufp)[:n*kw]
 	sparse.PackPanel(buf, w.bs)
 	if w.kind == sweepBackward {

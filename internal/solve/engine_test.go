@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -285,7 +286,7 @@ func TestEngineCloseRacingSolves(t *testing.T) {
 						_, err = e.SolveBatch(B)
 					}
 					if err != nil {
-						if err != ErrClosed {
+						if !errors.Is(err, ErrClosed) {
 							t.Error(err)
 						}
 						return
@@ -308,17 +309,17 @@ func TestEngineClosed(t *testing.T) {
 	}
 	e.Close()
 	e.Close() // idempotent
-	if _, err := e.Solve(b); err != ErrClosed {
+	if _, err := e.Solve(b); !errors.Is(err, ErrClosed) {
 		t.Fatalf("solve after close: %v, want ErrClosed", err)
 	}
-	if _, err := e.SolveBatch([][]float64{b}); err != ErrClosed {
+	if _, err := e.SolveBatch([][]float64{b}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("batch after close: %v, want ErrClosed", err)
 	}
 	bs := make(chan []float64, 1)
 	bs <- b
 	close(bs)
 	res := <-e.SolveMany(bs)
-	if res.Err != ErrClosed {
+	if !errors.Is(res.Err, ErrClosed) {
 		t.Fatalf("stream after close: %v, want ErrClosed", res.Err)
 	}
 }

@@ -174,6 +174,8 @@ func (ep *epoch) adoptUpper(u *sparse.CSR, pack bool) {
 
 // forwardRows sweeps rows [lo, hi) of this epoch's L′, preferring the
 // packed layout.
+//
+//stsk:noalloc
 func (ep *epoch) forwardRows(x, b []float64, lo, hi int) {
 	if pk := ep.pk.Load(); pk != nil {
 		solvePackedRows(pk, x, b, lo, hi)
@@ -185,6 +187,8 @@ func (ep *epoch) forwardRows(x, b []float64, lo, hi int) {
 
 // backwardRows sweeps rows [lo, hi) of this epoch's L′ᵀ in reverse,
 // preferring the packed layout. ensureUpper must have succeeded.
+//
+//stsk:noalloc
 func (ep *epoch) backwardRows(x, b []float64, lo, hi int) {
 	if upk := ep.upk.Load(); upk != nil {
 		solvePackedUpperRows(upk, x, b, lo, hi)
@@ -196,6 +200,8 @@ func (ep *epoch) backwardRows(x, b []float64, lo, hi int) {
 
 // forwardRowsBlock sweeps rows [lo, hi) of L′ across a width-kw panel,
 // preferring the packed layout.
+//
+//stsk:noalloc
 func (ep *epoch) forwardRowsBlock(X, B []float64, kw, lo, hi int) {
 	if pk := ep.pk.Load(); pk != nil {
 		solvePackedRowsBlock(pk, X, B, kw, lo, hi)
@@ -208,6 +214,8 @@ func (ep *epoch) forwardRowsBlock(X, B []float64, kw, lo, hi int) {
 // backwardRowsBlock sweeps rows [lo, hi) of L′ᵀ in reverse across a
 // width-kw panel, preferring the packed layout. ensureUpper must have
 // succeeded.
+//
+//stsk:noalloc
 func (ep *epoch) backwardRowsBlock(X, B []float64, kw, lo, hi int) {
 	if upk := ep.upk.Load(); upk != nil {
 		solvePackedUpperRowsBlock(upk, X, B, kw, lo, hi)

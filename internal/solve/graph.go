@@ -89,6 +89,8 @@ func (g *graphRun) reset(ep *epoch, x, b []float64, kw int, reverse bool) {
 // work is one worker's share of a graph solve: claim ready-queue slots in
 // order until the queue is exhausted, running each task and publishing the
 // successors it completes.
+//
+//stsk:noalloc
 func (g *graphRun) work() {
 	nt := int32(g.dag.NumTasks())
 	for {
@@ -114,6 +116,8 @@ func (g *graphRun) work() {
 
 // await returns the task published to slot h, spinning briefly and then
 // parking until a completion publishes it.
+//
+//stsk:noalloc
 func (g *graphRun) await(h int32) int32 {
 	for spin := 0; spin < 128; spin++ {
 		if v := g.slots[h].Load(); v != 0 {
@@ -134,6 +138,8 @@ func (g *graphRun) await(h int32) int32 {
 // complete publishes every task made ready by finishing t. The atomic
 // decrement chain orders the finished task's x writes before the
 // successor's execution on whichever worker picks it up.
+//
+//stsk:noalloc
 func (g *graphRun) complete(t int32) {
 	var notify []int32
 	if g.reverse {

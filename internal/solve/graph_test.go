@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -180,7 +181,7 @@ func TestGraphCloseRacingSolves(t *testing.T) {
 						_, err = e.SolveBatch(B)
 					}
 					if err != nil {
-						if err != ErrClosed {
+						if !errors.Is(err, ErrClosed) {
 							t.Error(err)
 						}
 						return
@@ -197,9 +198,7 @@ func TestGraphCloseRacingSolves(t *testing.T) {
 // pools are warm, Into-style solves — cooperative barrier, cooperative
 // graph, and batches — allocate nothing per call.
 func TestEngineSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops puts under the race detector")
-	}
+	testmat.SkipIfRace(t)
 	a := gen.Grid3D(6, 6, 6)
 	p := planFor(t, a, order.STS3)
 	B, _ := randomRHS(p, 8, 41)

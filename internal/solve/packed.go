@@ -12,6 +12,8 @@ import "stsk/internal/sparse"
 // entry order as the CSR kernels, so results are bitwise identical.
 
 // solvePackedRows performs forward substitution for rows [lo, hi).
+//
+//stsk:noalloc
 func solvePackedRows(p *sparse.Packed, x, b []float64, lo, hi int) {
 	rp, col, val, diag := p.RowPtr, p.Col, p.Val, p.Diag
 	for i := lo; i < hi; i++ {
@@ -25,6 +27,8 @@ func solvePackedRows(p *sparse.Packed, x, b []float64, lo, hi int) {
 
 // solvePackedUpperRows performs backward substitution for rows [lo, hi),
 // highest first.
+//
+//stsk:noalloc
 func solvePackedUpperRows(p *sparse.Packed, x, b []float64, lo, hi int) {
 	rp, col, val, diag := p.RowPtr, p.Col, p.Val, p.Diag
 	for i := hi - 1; i >= lo; i-- {

@@ -117,6 +117,8 @@ func Sequential(s *csrk.Structure, b []float64) ([]float64, error) {
 
 // solveRows performs forward substitution for rows [lo, hi). Each row's
 // diagonal entry is last (guaranteed by csrk.Structure.Validate).
+//
+//stsk:noalloc
 func solveRows(rowPtr, col []int, val, x, b []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		s := 0.0

@@ -78,6 +78,8 @@ func (us *UpperSolver) SolveInto(x, b []float64, opts Options) error {
 
 // solveUpperRows performs backward substitution for rows [lo, hi), highest
 // first. The diagonal entry leads each row of u.
+//
+//stsk:noalloc
 func solveUpperRows(rowPtr, col []int, val, x, b []float64, lo, hi int) {
 	for i := hi - 1; i >= lo; i-- {
 		first := rowPtr[i]

@@ -1,5 +1,5 @@
 //go:build !race
 
-package stsk
+package testmat
 
 const raceEnabled = false

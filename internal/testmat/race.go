@@ -1,6 +1,6 @@
 //go:build race
 
-package solve
+package testmat
 
 // raceEnabled reports that this build runs under the race detector, where
 // sync.Pool deliberately drops puts and allocation-free assertions cannot

@@ -1,0 +1,15 @@
+package testmat
+
+import "testing"
+
+// SkipIfRace skips tests whose assertions cannot hold under the race
+// detector — pool-reuse and allocation counts, chiefly: the race
+// detector's sync.Pool deliberately drops puts, so "the pool recycled my
+// buffer" is unobservable there. One shared guard instead of a copy of
+// the skip in every pooling test.
+func SkipIfRace(t testing.TB) {
+	if raceEnabled {
+		t.Helper()
+		t.Skip("sync.Pool drops puts under the race detector")
+	}
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static-analysis gate: gofmt, go vet, and the
+# stslint invariant suite (noalloc, epochpin, ctxflow, errwrap; see
+# DESIGN.md §6). CI runs this as a required job; run it locally before
+# pushing with:
+#
+#   bash scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+go vet ./...
+
+go run ./cmd/stslint ./...
+echo "lint: clean"

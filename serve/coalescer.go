@@ -29,6 +29,7 @@ var errCoalescerClosed = errors.New("serve: coalescer closed")
 // so a dispatcher can always complete a request whose caller has already
 // given up on its context and gone away.
 type solveReq struct {
+	//stsk:allow-ctx-field (request-scoped: carried only from enqueue to dispatch, never stored past completion)
 	ctx  context.Context
 	b    []float64
 	x    []float64
@@ -235,6 +236,8 @@ func (c *coalescer) drain() {
 // matrix traversal amortised over every member. Either way each member's
 // solution is bitwise identical to Plan.Solve — the panel kernels
 // evaluate every row dot product in the same order as the scalar path.
+//
+//stsk:noalloc
 func (c *coalescer) dispatch(batch []*solveReq) {
 	if len(batch) == 0 {
 		return
@@ -265,8 +268,10 @@ func (c *coalescer) dispatch(batch []*solveReq) {
 	// buffered done channel.
 	var err error
 	if c.upper {
+		//stsk:allow-background (panel isolation: see comment above)
 		err = c.solver.SolveUpperBlockInto(context.Background(), xs, bs)
 	} else {
+		//stsk:allow-background (panel isolation: see comment above)
 		err = c.solver.SolveBlockInto(context.Background(), xs, bs)
 	}
 	for i := range xs {

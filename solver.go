@@ -186,6 +186,8 @@ func (s *Solver) SolveUpperIntoCtx(ctx context.Context, x, b []float64) error {
 // pooled worker with no inter-pack barriers, so up to Workers independent
 // right-hand sides travel the pack levels concurrently — the highest-
 // throughput path for iterative-solver and multi-scenario traffic.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveBatchCtx threads a caller ctx)
 func (s *Solver) SolveBatch(B [][]float64) ([][]float64, error) {
 	return s.SolveBatchCtx(context.Background(), B)
 }
@@ -355,6 +357,8 @@ type SolveResult struct {
 // work outstanding blocks the internal goroutines, and the producer,
 // until the output is drained. SolveManyCtx and SolveSeq tie the stream
 // to a context instead, which is the easier lifecycle to get right.
+//
+//stsk:allow-background (non-context convenience wrapper; SolveManyCtx threads a caller ctx)
 func (s *Solver) SolveMany(bs <-chan []float64) <-chan SolveResult {
 	return s.SolveManyCtx(context.Background(), bs)
 }
