@@ -1,12 +1,13 @@
 // Command stslint runs the repo's invariant suite — noalloc, epochpin,
-// ctxflow, errwrap — over package patterns and exits non-zero on any
-// finding. It is the CI lint gate:
+// ctxflow, errwrap, recoverguard — over package patterns and exits
+// non-zero on any finding. It is the CI lint gate:
 //
 //	go run ./cmd/stslint ./...
 //
 // The analyzers and their annotation syntax (//stsk:noalloc,
 // //stsk:allow-background, //stsk:allow-ctx-field,
-// //stsk:allow-epoch-repin) are documented in DESIGN.md §static-analysis.
+// //stsk:allow-epoch-repin, //stsk:allow-bare-go) are documented in
+// DESIGN.md §static-analysis.
 package main
 
 import (

@@ -9,6 +9,7 @@
 //	stsserve -addr :8080
 //	stsserve -preload '{"name":"g3","class":"grid3d","n":50000,"method":"sts3"}'
 //	stsserve -budget-mb 512 -flush 1ms -queue 512
+//	stsserve -faults 'engine.job:panic:p=0.01' -fault-seed 7   # chaos drills
 //
 // Then:
 //
@@ -22,9 +23,12 @@
 // finish on the old values, and the plan's value version — reported in
 // GET /v1/plans and the stsserve_plan_version gauge — is bumped.
 //
-// SIGINT/SIGTERM trigger a graceful drain: the listener stops, in-flight
-// and queued solves complete, solver pools shut down, and the process
-// exits.
+// SIGINT/SIGTERM trigger a graceful drain in load-balancer-friendly
+// order: /healthz flips to 503 "draining" and new requests start
+// bouncing immediately (BeginDrain), the -drain-grace window lets
+// balancers observe the flip and stop routing here, then the listener
+// shuts down, in-flight and queued solves complete, solver pools close,
+// and the process exits 0.
 package main
 
 import (
@@ -32,29 +36,44 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"stsk/internal/faultinject"
 	"stsk/serve"
 )
 
 func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], sig))
+}
+
+// run is the daemon body, factored off main so tests can drive the full
+// boot → serve → SIGTERM → drain lifecycle in-process and assert on the
+// exit code.
+func run(args []string, sig <-chan os.Signal) int {
+	fs := flag.NewFlagSet("stsserve", flag.ExitOnError)
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		budgetMB = flag.Int64("budget-mb", 1024, "LRU byte budget for resident plans (MiB)")
-		flush    = flag.Duration("flush", 500*time.Microsecond, "coalescer flush deadline (partial panels ship after this)")
-		queue    = flag.Int("queue", 256, "per-coalescer request queue bound (admission control)")
-		workers  = flag.Int("workers", 0, "default solver goroutines per plan (0 = GOMAXPROCS)")
-		width    = flag.Int("width", 8, "maximum coalesced panel width")
-		drainFor = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+		addr       = fs.String("addr", ":8080", "listen address")
+		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file (tests and :0 ports)")
+		budgetMB   = fs.Int64("budget-mb", 1024, "LRU byte budget for resident plans (MiB)")
+		flush      = fs.Duration("flush", 500*time.Microsecond, "coalescer flush deadline (partial panels ship after this)")
+		queue      = fs.Int("queue", 256, "per-coalescer request queue bound (admission control)")
+		workers    = fs.Int("workers", 0, "default solver goroutines per plan (0 = GOMAXPROCS)")
+		width      = fs.Int("width", 8, "maximum coalesced panel width")
+		drainFor   = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound")
+		drainGrace = fs.Duration("drain-grace", 0, "pause between flipping /healthz to draining and closing the listener")
+		faults     = fs.String("faults", "", "deterministic fault-injection spec for chaos drills (point:mode[:key=val,...];...)")
+		faultSeed  = fs.Uint64("fault-seed", 1, "fault-injection decision seed")
 	)
 	var preloads []serve.PlanSpec
-	flag.Func("preload", "plan spec JSON to register at boot (repeatable)", func(v string) error {
+	fs.Func("preload", "plan spec JSON to register at boot (repeatable)", func(v string) error {
 		var spec serve.PlanSpec
 		if err := json.Unmarshal([]byte(v), &spec); err != nil {
 			return err
@@ -62,7 +81,18 @@ func main() {
 		preloads = append(preloads, spec)
 		return nil
 	})
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *faults != "" {
+		if err := faultinject.Enable(*faults, *faultSeed); err != nil {
+			log.Printf("stsserve: -faults: %v", err)
+			return 2
+		}
+		defer faultinject.Disable()
+		log.Printf("stsserve: CHAOS: fault injection armed: %s (seed %d)", *faults, *faultSeed)
+	}
 
 	reg := serve.NewRegistry(serve.Config{
 		BudgetBytes: *budgetMB << 20,
@@ -75,17 +105,32 @@ func main() {
 		start := time.Now()
 		info, err := reg.Register(spec)
 		if err != nil {
-			log.Fatalf("stsserve: preload %q: %v", spec.Name, err)
+			log.Printf("stsserve: preload %q: %v", spec.Name, err)
+			reg.Close()
+			return 1
 		}
 		log.Printf("stsserve: preloaded plan %q (n=%d nnz=%d packs=%d) in %v",
 			spec.Name, info.N, info.NNZ, info.Packs, time.Since(start).Round(time.Millisecond))
 	}
 	srv := serve.NewServer(reg)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("stsserve: listen: %v", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Printf("stsserve: -addr-file: %v", err)
+			ln.Close()
+			return 1
+		}
+	}
 
 	// Header/idle timeouts shed slow-loris connections; the generous
 	// read/write bounds still accommodate multi-megabyte solve bodies.
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
@@ -93,25 +138,34 @@ func main() {
 		IdleTimeout:       time.Minute,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	log.Printf("stsserve: listening on %s (flush %v, queue %d, width %d, budget %d MiB)",
-		*addr, *flush, *queue, *width, *budgetMB)
+		ln.Addr(), *flush, *queue, *width, *budgetMB)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("stsserve: %v", err)
+			log.Printf("stsserve: %v", err)
+			return 1
 		}
+		return 0
 	case s := <-sig:
-		log.Printf("stsserve: %v — draining (bound %v)", s, *drainFor)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
-		if err := hs.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "stsserve: shutdown: %v\n", err)
+		log.Printf("stsserve: %v — draining (grace %v, bound %v)", s, *drainGrace, *drainFor)
+		// Flip first, close later: /healthz answers 503 "draining" and new
+		// work bounces with Retry-After while the listener is still open,
+		// so balancers drain us instead of seeing connection resets.
+		srv.BeginDrain()
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
 		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		err := hs.Shutdown(ctx) // stop accepting; wait out in-flight handlers
 		cancel()
+		if err != nil {
+			log.Printf("stsserve: shutdown: %v", err)
+		}
 		srv.Close() // drain coalescers, close solver pools
 		log.Printf("stsserve: drained, exiting")
+		return 0
 	}
 }

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"stsk"
+	"stsk/serve"
+)
+
+// TestRunSIGTERMDrain drives the daemon's full lifecycle in-process:
+// boot with a preloaded plan, park one solve in the coalescer's flush
+// window, deliver SIGTERM mid-flight, and assert the drain contract —
+// /healthz flips to 503 "draining", late arrivals bounce with 503 while
+// the listener is still open (the grace window), the in-flight solve
+// completes 200 and bitwise identical to Plan.Solve, and run exits 0.
+func TestRunSIGTERMDrain(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	sig := make(chan os.Signal, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-flush", "150ms", // park singleton solves long enough to SIGTERM past them
+			"-drain-grace", "150ms",
+			"-preload", `{"name":"g3","class":"grid3d","n":1200}`,
+		}, sig)
+	}()
+
+	var base string
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			base = "http://" + string(raw)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("daemon never wrote its bound address")
+	}
+
+	// The reference solution the parked request must match bitwise.
+	mat, err := stsk.Generate("grid3d", 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := stsk.Build(mat, stsk.STS3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := make([]float64, plan.N())
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	b := plan.RHSFor(xTrue)
+	want, err := plan.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-flight solve: a singleton panel parks ~150ms on the flush timer,
+	// so SIGTERM lands while it is queued.
+	type result struct {
+		code int
+		x    []float64
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		raw, _ := json.Marshal(serve.SolveRequest{Plan: "g3", B: b})
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		r := result{code: resp.StatusCode}
+		if resp.StatusCode == http.StatusOK {
+			var sr serve.SolveResponse
+			r.err = json.NewDecoder(resp.Body).Decode(&sr)
+			r.x = sr.X
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resc <- r
+	}()
+
+	time.Sleep(40 * time.Millisecond) // let the solve reach the queue
+	sig <- syscall.SIGTERM
+	time.Sleep(30 * time.Millisecond) // let run observe it and BeginDrain
+
+	// Grace window: the listener is still open, /healthz reports draining
+	// so balancers route away, and a late arrival bounces with 503.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during grace: %v", err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hbody), `"draining"`) {
+		t.Errorf("healthz during grace: %d %s, want 503 draining", hresp.StatusCode, hbody)
+	}
+	raw, _ := json.Marshal(serve.SolveRequest{Plan: "g3", B: b})
+	lresp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("late solve during grace: %v", err)
+	}
+	lbody, _ := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("late solve during grace: %d %s, want 503", lresp.StatusCode, lbody)
+	}
+	if lresp.Header.Get("Retry-After") == "" {
+		t.Error("late solve during grace lost its Retry-After hint")
+	}
+
+	// The parked solve completes, and bitwise.
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight solve: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight solve: status %d, want 200 (drain must complete queued work)", r.code)
+	}
+	if len(r.x) != len(want) {
+		t.Fatalf("in-flight solve: %d values, want %d", len(r.x), len(want))
+	}
+	for i := range r.x {
+		if r.x[i] != want[i] {
+			t.Fatalf("in-flight solve: bit difference at %d", i)
+		}
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d, want 0", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run never exited after SIGTERM — drain deadlock")
+	}
+}
+
+// TestRunBadFaultSpec: a malformed -faults spec refuses to boot with
+// exit code 2 instead of serving with undefined chaos.
+func TestRunBadFaultSpec(t *testing.T) {
+	sig := make(chan os.Signal)
+	if code := run([]string{"-faults", "nonsense-spec"}, sig); code != 2 {
+		t.Fatalf("run with bad -faults exited %d, want 2", code)
+	}
+}

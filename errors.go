@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"stsk/internal/panicsafe"
 	"stsk/internal/solve"
 )
 
@@ -33,6 +34,14 @@ var (
 	// Refactor reuses every piece of symbolic work, so it can only accept
 	// new values for exactly the pattern the plan was built from.
 	ErrSparsityMismatch = errors.New("stsk: sparsity mismatch")
+
+	// ErrInternal reports a panic contained at an engine job boundary: a
+	// kernel (or anything it called) panicked and the recover barrier
+	// converted it into an error carrying the captured stack. The solve
+	// that hit it failed, its batch-mates are unharmed, and the Solver
+	// stays fully usable. The serving layer maps it to HTTP 500 and the
+	// stsserve_panics_recovered_total metric.
+	ErrInternal = panicsafe.ErrInternal
 )
 
 // dimErr details a two-vector length mismatch against the system size.

@@ -16,6 +16,7 @@ import (
 	"stsk/internal/analysis/errwrap"
 	"stsk/internal/analysis/framework"
 	"stsk/internal/analysis/noalloc"
+	"stsk/internal/analysis/recoverguard"
 )
 
 // Analyzers is the invariant suite, in reporting order.
@@ -24,6 +25,7 @@ var Analyzers = []*framework.Analyzer{
 	epochpin.Analyzer,
 	ctxflow.Analyzer,
 	errwrap.Analyzer,
+	recoverguard.Analyzer,
 }
 
 // A Finding is one diagnostic, position pre-rendered.

@@ -30,6 +30,12 @@ const (
 	// load in one function (epochpin). Reserved for streams that
 	// deliberately pin a fresh epoch per dispatched element.
 	DirAllowEpochRepin = "allow-epoch-repin"
+
+	// DirAllowBareGo permits a go statement whose goroutine has no
+	// panic-capturing recover (recoverguard). Reserved for bounded
+	// build-time fan-outs whose panics must surface to the caller's test
+	// or build step rather than be contained.
+	DirAllowBareGo = "allow-bare-go"
 )
 
 const directivePrefix = "//stsk:"

@@ -1,0 +1,12 @@
+package recoverguard_test
+
+import (
+	"testing"
+
+	"stsk/internal/analysis/analysistest"
+	"stsk/internal/analysis/recoverguard"
+)
+
+func TestRecoverguard(t *testing.T) {
+	analysistest.Run(t, "testdata", recoverguard.Analyzer, "recoverguard", "recoverguard/mainpkg")
+}

@@ -1,0 +1,19 @@
+// Package panicsafe is the fixture's stand-in for the real wrapper
+// package: launching through it, or deferring into it, is a recognised
+// panic-capturing boundary.
+package panicsafe
+
+// Go launches fn with a recover boundary.
+func Go(name string, fn func()) {
+	_ = name
+	go func() {
+		defer func() { _ = recover() }()
+		fn()
+	}()
+}
+
+// Forever is a guarded long-runner launched directly by fixtures.
+func Forever() {}
+
+// Capture is a deferred panic-capturing helper.
+func Capture() {}

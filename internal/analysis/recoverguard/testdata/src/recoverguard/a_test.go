@@ -1,0 +1,6 @@
+package recoverguard
+
+// Test files are exempt: a test goroutine's panic should crash the test.
+func testHelper() {
+	go leak()
+}

@@ -1,0 +1,7 @@
+// Command mainpkg shows the exemption: a daemon owns its goroutines'
+// fate, so package main may launch bare.
+package main
+
+func main() {
+	go func() {}()
+}

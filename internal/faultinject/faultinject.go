@@ -1,0 +1,317 @@
+// Package faultinject is a deterministic, seedable fault-injection
+// registry. Hook points are threaded through the repo's hot seams
+// (registry builds, coalescer enqueue/dispatch, engine jobs, epoch
+// swaps, HTTP handlers); when no plan is enabled every hook compiles to
+// a branch-on-nil no-op, so //stsk:noalloc paths stay allocation-free
+// with the hooks compiled in.
+//
+// A plan is a semicolon-separated list of rules:
+//
+//	point:mode[:key=val,key=val...]
+//
+// where mode is one of error, panic, latency, saturate, and keys are
+//
+//	p=0.25      fire with probability 0.25 (deterministic, seeded)
+//	every=3     fire on every 3rd invocation of the point
+//	after=10    fire only from the 10th invocation on (0-based)
+//	count=2     fire at most 2 times total
+//	d=5ms       injected latency (latency mode only)
+//
+// Example: "engine.job:panic:p=0.05;coalescer.enqueue:saturate:every=7".
+//
+// Determinism: whether invocation i of a point fires is a pure function
+// of (seed, point, i) via a splitmix64 mix, so a run with the same seed
+// and the same per-point invocation counts reproduces the same faults
+// regardless of goroutine interleaving.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names an injection hook site.
+type Point string
+
+// Hook points threaded through the stack. The constant value appears in
+// plan specs and in error text.
+const (
+	RegistryBuild     Point = "registry.build"
+	CoalescerEnqueue  Point = "coalescer.enqueue"
+	CoalescerDispatch Point = "coalescer.dispatch"
+	EngineJob         Point = "engine.job"
+	EpochSwap         Point = "epoch.swap"
+	HTTPSolve         Point = "http.solve"
+)
+
+var allPoints = []Point{
+	RegistryBuild, CoalescerEnqueue, CoalescerDispatch,
+	EngineJob, EpochSwap, HTTPSolve,
+}
+
+// ErrInjected is the sentinel wrapped by every error-mode injection.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// ErrSaturated is returned by saturate-mode injections. Call sites
+// translate it to their domain's queue-full sentinel (faultinject sits
+// below serve in the dependency order and cannot import it).
+var ErrSaturated = errors.New("faultinject: injected saturation")
+
+type mode uint8
+
+const (
+	modeError mode = iota
+	modePanic
+	modeLatency
+	modeSaturate
+)
+
+// rule is one parsed injection rule. err is preallocated at parse time
+// so firing allocates nothing.
+type rule struct {
+	point Point
+	mode  mode
+	// pThresh: fire when the seeded hash of the invocation is below
+	// this threshold. ^uint64(0) means always (p=1 or no p key).
+	pThresh uint64
+	every   uint64 // fire when (i+1) % every == 0; 0 disables
+	after   uint64 // fire only when i >= after
+	count   int64  // max fires; <0 unlimited
+	delay   time.Duration
+	err     error
+	fired   atomic.Int64
+}
+
+// plan is an enabled set of rules indexed by point.
+type plan struct {
+	seed  uint64
+	rules map[Point][]*rule
+	// invocations counts Fire calls per point, shared across rules so
+	// the (seed, point, i) decision function is stable.
+	invocations map[Point]*atomic.Uint64
+}
+
+var active atomic.Pointer[plan]
+
+// Enable parses spec and installs it as the active plan, replacing any
+// previous plan. An empty spec disables injection.
+func Enable(spec string, seed uint64) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Disable()
+		return nil
+	}
+	p := &plan{
+		seed:        seed,
+		rules:       make(map[Point][]*rule),
+		invocations: make(map[Point]*atomic.Uint64),
+	}
+	for _, pt := range allPoints {
+		p.invocations[pt] = new(atomic.Uint64)
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return fmt.Errorf("faultinject: rule %q: %w", part, err)
+		}
+		p.rules[r.point] = append(p.rules[r.point], r)
+	}
+	active.Store(p)
+	return nil
+}
+
+// Disable removes the active plan; all hooks revert to no-ops.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Fired returns the total number of injections fired at point since the
+// current plan was enabled.
+func Fired(pt Point) int64 {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, r := range p.rules[pt] {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+func parseRule(s string) (*rule, error) {
+	fields := strings.SplitN(s, ":", 3)
+	if len(fields) < 2 {
+		return nil, errors.New("want point:mode[:opts]")
+	}
+	pt := Point(strings.TrimSpace(fields[0]))
+	if !validPoint(pt) {
+		return nil, fmt.Errorf("unknown point %q", pt)
+	}
+	r := &rule{point: pt, pThresh: ^uint64(0), count: -1}
+	switch strings.TrimSpace(fields[1]) {
+	case "error":
+		r.mode = modeError
+	case "panic":
+		r.mode = modePanic
+	case "latency":
+		r.mode = modeLatency
+		r.delay = time.Millisecond
+	case "saturate":
+		r.mode = modeSaturate
+	default:
+		return nil, fmt.Errorf("unknown mode %q", fields[1])
+	}
+	if len(fields) == 3 {
+		for _, kv := range strings.Split(fields[2], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad option %q", kv)
+			}
+			switch k {
+			case "p":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("bad probability %q", v)
+				}
+				if f >= 1 {
+					r.pThresh = ^uint64(0)
+				} else {
+					r.pThresh = uint64(f * float64(1<<63) * 2)
+				}
+			case "every":
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil || n == 0 {
+					return nil, fmt.Errorf("bad every %q", v)
+				}
+				r.every = n
+			case "after":
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad after %q", v)
+				}
+				r.after = n
+			case "count":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("bad count %q", v)
+				}
+				r.count = n
+			case "d":
+				d, err := time.ParseDuration(v)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("bad duration %q", v)
+				}
+				r.delay = d
+			default:
+				return nil, fmt.Errorf("unknown option key %q", k)
+			}
+		}
+	}
+	switch r.mode {
+	case modeError:
+		r.err = fmt.Errorf("%w at %s", ErrInjected, pt)
+	case modeSaturate:
+		r.err = fmt.Errorf("%w at %s", ErrSaturated, pt)
+	}
+	return r, nil
+}
+
+func validPoint(pt Point) bool {
+	for _, p := range allPoints {
+		if p == pt {
+			return true
+		}
+	}
+	return false
+}
+
+// splitmix64 is the standard splitmix64 output function — a strong
+// 64-bit mixer used to derive a deterministic per-invocation decision
+// from (seed, point, invocation index).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func pointHash(pt Point) uint64 {
+	var h uint64 = 14695981039346656037 // FNV-1a offset basis
+	for i := 0; i < len(pt); i++ {
+		h ^= uint64(pt[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Fire evaluates the active plan at point pt. It returns nil (the
+// overwhelmingly common case, a single atomic load) unless a rule
+// fires: error/saturate modes return the rule's preallocated error,
+// latency mode sleeps then returns nil, panic mode panics (the caller's
+// containment recover is expected to catch it).
+func Fire(pt Point) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.fire(pt)
+}
+
+func (p *plan) fire(pt Point) error {
+	rules := p.rules[pt]
+	if len(rules) == 0 {
+		return nil
+	}
+	i := p.invocations[pt].Add(1) - 1
+	for _, r := range rules {
+		if !r.decide(p.seed, i) {
+			continue
+		}
+		if r.count >= 0 && r.fired.Add(1) > r.count {
+			r.fired.Add(-1)
+			continue
+		}
+		if r.count < 0 {
+			r.fired.Add(1)
+		}
+		switch r.mode {
+		case modeError, modeSaturate:
+			return r.err
+		case modeLatency:
+			time.Sleep(r.delay)
+			return nil
+		case modePanic:
+			panic(fmt.Sprintf("faultinject: injected panic at %s (invocation %d)", pt, i))
+		}
+	}
+	return nil
+}
+
+// decide is the pure (seed, point, i) → fire? function.
+func (r *rule) decide(seed, i uint64) bool {
+	if i < r.after {
+		return false
+	}
+	if r.every != 0 && (i+1)%r.every != 0 {
+		return false
+	}
+	if r.pThresh == ^uint64(0) {
+		return true
+	}
+	h := splitmix64(seed ^ splitmix64(pointHash(r.point)^i))
+	return h < r.pThresh
+}

@@ -1,0 +1,252 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func reset(t *testing.T) {
+	t.Helper()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if err := Fire(EngineJob); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled() true after Disable")
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	reset(t)
+	if err := Enable("registry.build:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire(RegistryBuild)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if Fire(EngineJob) != nil {
+		t.Fatal("rule must only fire at its own point")
+	}
+	if Fired(RegistryBuild) != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired(RegistryBuild))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	reset(t)
+	if err := Enable("engine.job:panic", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	_ = Fire(EngineJob)
+}
+
+func TestSaturateMode(t *testing.T) {
+	reset(t)
+	if err := Enable("coalescer.enqueue:saturate", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire(CoalescerEnqueue); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated, got %v", err)
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	reset(t)
+	if err := Enable("http.solve:latency:d=10ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Fire(HTTPSolve); err != nil {
+		t.Fatalf("latency mode must return nil, got %v", err)
+	}
+	if d := time.Since(start); d < 8*time.Millisecond {
+		t.Fatalf("latency injection slept only %v", d)
+	}
+}
+
+func TestEveryAfterCount(t *testing.T) {
+	reset(t)
+	// Fires on invocations 3, 7, 11 (every 4th, 0-based i where
+	// (i+1)%4==0), but after=4 skips i=3 and count=1 stops after one.
+	if err := Enable("epoch.swap:error:every=4,after=4,count=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 0; i < 16; i++ {
+		if Fire(EpochSwap) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 7 {
+		t.Fatalf("fired at %v, want [7]", fired)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	reset(t)
+	run := func(seed uint64) []bool {
+		if err := Enable("engine.job:error:p=0.3", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire(EngineJob) != nil
+		}
+		return out
+	}
+	a := run(42)
+	b := run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at invocation %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+	n := 0
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n < 30 || n > 90 {
+		t.Fatalf("p=0.3 fired %d/200 times — far from expectation", n)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	reset(t)
+	if err := Enable("engine.job:error:p=0.5", 7); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = Fire(EngineJob)
+			}
+		}()
+	}
+	wg.Wait()
+	n := Fired(EngineJob)
+	if n < 1000 || n > 3000 {
+		t.Fatalf("p=0.5 over 4000 concurrent fires hit %d times", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	reset(t)
+	for _, spec := range []string{
+		"nosuchpoint:error",
+		"engine.job:nosuchmode",
+		"engine.job",
+		"engine.job:error:p=2",
+		"engine.job:error:every=0",
+		"engine.job:error:bogus",
+		"engine.job:error:k=v",
+		"engine.job:latency:d=-1s",
+	} {
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("spec %q: want parse error", spec)
+		}
+	}
+	if Enabled() {
+		// Failed Enable calls must not have installed a partial plan
+		// over the initial disabled state.
+		t.Fatal("failed Enable left a plan active")
+	}
+}
+
+func TestEmptySpecDisables(t *testing.T) {
+	reset(t)
+	if err := Enable("engine.job:error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("", 1); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec must disable")
+	}
+}
+
+func TestMultiRuleSpec(t *testing.T) {
+	reset(t)
+	spec := "engine.job:panic:p=0.05; coalescer.enqueue:saturate:every=2; registry.build:error:after=1,count=1"
+	if err := Enable(spec, 7); err != nil {
+		t.Fatal(err)
+	}
+	// registry.build: invocation 0 clean, invocation 1 fails, then clean.
+	if err := Fire(RegistryBuild); err != nil {
+		t.Fatalf("build invocation 0 should pass, got %v", err)
+	}
+	if err := Fire(RegistryBuild); !errors.Is(err, ErrInjected) {
+		t.Fatalf("build invocation 1 should fail, got %v", err)
+	}
+	if err := Fire(RegistryBuild); err != nil {
+		t.Fatalf("build invocation 2 should pass (count=1), got %v", err)
+	}
+	// coalescer.enqueue: every 2nd invocation saturates.
+	if err := Fire(CoalescerEnqueue); err != nil {
+		t.Fatalf("enqueue invocation 0 should pass, got %v", err)
+	}
+	if err := Fire(CoalescerEnqueue); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("enqueue invocation 1 should saturate, got %v", err)
+	}
+}
+
+// TestFireNoAllocs pins the hook cost on the hot paths: Fire allocates
+// nothing whether injection is disarmed (the production state — one
+// atomic load and a nil check) or armed at a point whose rules do not
+// fire this invocation. This is what lets //stsk:noalloc functions keep
+// the hooks compiled in.
+func TestFireNoAllocs(t *testing.T) {
+	Disable()
+	if n := testing.AllocsPerRun(100, func() {
+		if err := Fire(EngineJob); err != nil {
+			t.Fatalf("disarmed Fire returned %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("disarmed Fire: %v allocs/op, want 0", n)
+	}
+
+	// Armed, but p=0 on this point and nothing on engine.job: the
+	// decision machinery runs without firing and must stay alloc-free.
+	if err := Enable("http.solve:error:p=0", 42); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(Disable)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := Fire(EngineJob); err != nil {
+			t.Fatalf("armed Fire at ruleless point returned %v", err)
+		}
+		if err := Fire(HTTPSolve); err != nil {
+			t.Fatalf("armed p=0 Fire returned %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("armed non-firing Fire: %v allocs/op, want 0", n)
+	}
+}

@@ -52,6 +52,9 @@ func (g *Graph) JonesPlassmannColor(seed int64, workers int) (colors []int, numC
 				hi = len(remaining)
 			}
 			wg.Add(1)
+			// Build-time fan-out: a panic here is an ordering-pipeline bug
+			// that must surface to the Build caller, not be contained.
+			//stsk:allow-bare-go
 			go func(verts []int) {
 				defer wg.Done()
 				var used []bool

@@ -1,0 +1,71 @@
+// Package panicsafe converts panics at goroutine and job boundaries into
+// wrapped errors so a misbehaving kernel cannot take down the process.
+//
+// The package is deliberately tiny and dependency-free: internal/solve,
+// serve, and the stsk facade all import it, so it must sit below every
+// other package in the repo's dependency order.
+package panicsafe
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrInternal is the sentinel wrapped by every panic converted to an
+// error. Callers match it with errors.Is; the stsk facade re-exports it
+// as stsk.ErrInternal and serve maps it to HTTP 500.
+var ErrInternal = errors.New("stsk: internal error")
+
+// panicError carries the recovered panic value and the stack captured at
+// recovery time. It unwraps to ErrInternal.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("%v: recovered panic: %v\n%s", ErrInternal, e.value, e.stack)
+}
+
+func (e *panicError) Unwrap() error { return ErrInternal }
+
+// AsError converts a recovered panic value into an error wrapping
+// ErrInternal, capturing the current goroutine's stack. If the panic
+// value is already a panicError (a re-panic of a contained failure) it
+// is returned unchanged so the original stack survives.
+func AsError(p any) error {
+	if pe, ok := p.(*panicError); ok {
+		return pe
+	}
+	return &panicError{value: p, stack: debug.Stack()}
+}
+
+// Stack returns the captured stack if err (or an error in its chain) is
+// a contained panic, or nil otherwise.
+func Stack(err error) []byte {
+	var pe *panicError
+	if errors.As(err, &pe) {
+		return pe.stack
+	}
+	return nil
+}
+
+// Go launches fn on a new goroutine with a recover barrier. A panic in
+// fn is swallowed after being converted by AsError; name identifies the
+// launch site in the captured stack's error text. Use this for
+// fire-and-forget goroutines (teardown, relays) where there is no error
+// channel to report into — goroutines with a result path should install
+// their own recover and route the error there instead.
+func Go(name string, fn func()) {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				// Conversion records the stack; there is nowhere to
+				// report it, but the process must not die.
+				_ = fmt.Sprintf("panicsafe.Go(%s): %v", name, AsError(p))
+			}
+		}()
+		fn()
+	}()
+}

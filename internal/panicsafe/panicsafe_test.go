@@ -1,0 +1,58 @@
+package panicsafe
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAsErrorWrapsErrInternal(t *testing.T) {
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = AsError(p)
+			}
+		}()
+		panic("kernel exploded")
+	}()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("AsError result does not wrap ErrInternal: %v", err)
+	}
+	if !strings.Contains(err.Error(), "kernel exploded") {
+		t.Fatalf("error text lost the panic value: %v", err)
+	}
+	if st := Stack(err); len(st) == 0 || !strings.Contains(string(st), "panicsafe") {
+		t.Fatalf("expected captured stack, got %q", st)
+	}
+}
+
+func TestAsErrorIdempotent(t *testing.T) {
+	first := AsError("boom")
+	second := AsError(first)
+	if first != second {
+		t.Fatalf("re-converting a panicError must return it unchanged")
+	}
+}
+
+func TestStackNilForPlainError(t *testing.T) {
+	if st := Stack(errors.New("plain")); st != nil {
+		t.Fatalf("plain error should have no stack, got %q", st)
+	}
+}
+
+func TestGoContainsPanic(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	Go("test", func() {
+		defer wg.Done()
+		panic("contained")
+	})
+	wg.Wait() // would crash the test process if Go did not recover
+}
+
+func TestGoRunsFn(t *testing.T) {
+	done := make(chan struct{})
+	Go("test", func() { close(done) })
+	<-done
+}

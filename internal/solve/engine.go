@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 
 	"stsk/internal/csrk"
+	"stsk/internal/faultinject"
+	"stsk/internal/panicsafe"
 	"stsk/internal/sparse"
 )
 
@@ -220,9 +222,10 @@ func newEngine(v *Values, u *sparse.CSR, opts Options) *Engine {
 	if e.opts.Graph != nil {
 		e.graph.init(e, e.opts.Graph)
 	}
+	e.run.passed = make([]int32, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		e.workerWG.Add(1)
-		go e.worker()
+		go e.workerLoop()
 	}
 	return e
 }
@@ -278,11 +281,32 @@ func (e *Engine) submitCtx(ctx context.Context, j job) error {
 	}
 }
 
+// workerLoop is worker plus a last-resort respawn barrier. Contained
+// panics never reach it — runWhole and the runShare methods recover at
+// the job boundary — but if the loop machinery itself ever panics the
+// pool replaces the goroutine instead of silently shrinking: cooperative
+// dispatch hands out exactly Workers tokens per solve, so a lost worker
+// would strand every later cooperative solve.
+func (e *Engine) workerLoop() {
+	defer func() {
+		if p := recover(); p != nil {
+			_ = panicsafe.AsError(p) // converted for the stack capture; nowhere to report
+			e.closeMu.RLock()
+			if !e.closed {
+				e.workerWG.Add(1)
+				go e.workerLoop()
+			}
+			e.closeMu.RUnlock()
+		}
+		e.workerWG.Done()
+	}()
+	e.worker()
+}
+
 // worker is the parked pool goroutine: it sleeps on the job channel and
 // runs whatever share of work arrives. scratch is the worker's lazily
 // allocated private vector for fused two-sweep jobs.
 func (e *Engine) worker() {
-	defer e.workerWG.Done()
 	var scratch []float64
 	for j := range e.jobs {
 		switch {
@@ -291,7 +315,7 @@ func (e *Engine) worker() {
 			if w.kind == sweepSGS && scratch == nil {
 				scratch = make([]float64, e.n)
 			}
-			err := e.sweepWhole(w, scratch)
+			err := e.runWhole(w, scratch)
 			// Recycle the job before signalling: once the completion is
 			// visible the dispatcher may return, and the pooled job must
 			// already be free of references.
@@ -304,13 +328,30 @@ func (e *Engine) worker() {
 				errc <- err
 			}
 		case j.graph != nil:
-			j.graph.work()
+			j.graph.runShare()
 			j.graph.wg.Done()
 		case j.coop != nil:
-			j.coop.work(j.id)
+			j.coop.runShare(j.id)
 			j.coop.wg.Done()
 		}
 	}
+}
+
+// runWhole is the panic-containment boundary for one whole-RHS job: a
+// kernel panic (or an injected engine.job fault) becomes a wrapped
+// panicsafe.ErrInternal flowing through the job's normal completion path,
+// so batch counters and stream done channels always fire and batch-mates
+// on other workers are unharmed.
+func (e *Engine) runWhole(w *wholeJob, scratch []float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicsafe.AsError(p)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.EngineJob); err != nil {
+		return err
+	}
+	return e.sweepWhole(w, scratch)
 }
 
 // sweepWhole runs one independent right-hand side start to finish on the
@@ -428,7 +469,6 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 //
 //stsk:noalloc
 func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw int, reverse bool) error {
-	n := e.n
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -445,17 +485,7 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 		if closed {
 			return ErrClosed
 		}
-		switch {
-		case kw > 1 && reverse:
-			ep.backwardRowsBlock(X, B, kw, 0, n)
-		case kw > 1:
-			ep.forwardRowsBlock(X, B, kw, 0, n)
-		case reverse:
-			ep.backwardRows(X, B, 0, n)
-		default:
-			ep.forwardRows(X, B, 0, n)
-		}
-		return nil
+		return e.localSweep(ep, X, B, kw, reverse)
 	}
 	e.solveMu.Lock()
 	defer e.solveMu.Unlock()
@@ -469,6 +499,10 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 	}
 	r := &e.run
 	r.ep, r.x, r.b, r.kw, r.reverse = ep, X, B, kw, reverse
+	r.failErr = nil
+	for w := range r.passed {
+		r.passed[w] = 0
+	}
 	for p := range r.counters {
 		if reverse {
 			r.counters[p].Store(int64(e.s.PackPtr[p+1]))
@@ -492,7 +526,38 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 	}
 	e.closeMu.RUnlock()
 	r.wg.Wait()
+	// Wait orders every worker's fail() before this read; no lock needed.
+	err := r.failErr
+	r.failErr = nil
 	r.ep, r.x, r.b = nil, nil, nil
+	return err
+}
+
+// localSweep runs the degenerate (single worker or single super-row)
+// cooperative sweep on the caller's goroutine. It is the containment
+// boundary for that path — panelSolve is //stsk:noalloc and cannot hold
+// the recover closure itself. The caller already ensured the transpose
+// when reverse is set.
+func (e *Engine) localSweep(ep *epoch, X, B []float64, kw int, reverse bool) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicsafe.AsError(p)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.EngineJob); err != nil {
+		return err
+	}
+	n := e.n
+	switch {
+	case kw > 1 && reverse:
+		ep.backwardRowsBlock(X, B, kw, 0, n)
+	case kw > 1:
+		ep.forwardRowsBlock(X, B, kw, 0, n)
+	case reverse:
+		ep.backwardRows(X, B, 0, n)
+	default:
+		ep.forwardRows(X, B, 0, n)
+	}
 	return nil
 }
 
@@ -519,8 +584,10 @@ func (e *Engine) graphSolve(ep *epoch, x, b []float64, kw int, reverse bool) err
 	}
 	e.closeMu.RUnlock()
 	g.wg.Wait()
+	err := g.failErr
+	g.failErr = nil
 	g.ep, g.x, g.b = nil, nil, nil
-	return nil
+	return err
 }
 
 // SolveBatch solves L′xᵢ = bᵢ for every right-hand side of B and returns
@@ -692,6 +759,14 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 	}
 	go func() {
 		defer close(inflight)
+		// Registered after close(inflight), so it runs first: a panic in
+		// the dispatch plumbing becomes the stream's final, ordered error
+		// result instead of taking the process down.
+		defer func() {
+			if p := recover(); p != nil {
+				inflight <- fail(panicsafe.AsError(p))
+			}
+		}()
 		for {
 			select {
 			case <-ctx.Done():
@@ -728,6 +803,11 @@ func (e *Engine) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan R
 	}()
 	go func() {
 		defer close(out)
+		defer func() {
+			if p := recover(); p != nil {
+				out <- Result{Err: panicsafe.AsError(p)}
+			}
+		}()
 		for p := range inflight {
 			err := <-p.errc
 			e.errcPool.Put(p.errc)
@@ -753,6 +833,55 @@ type coopRun struct {
 	counters []atomic.Int64 // per-pack next super-row claim
 	barrier  barrier
 	wg       sync.WaitGroup
+
+	// Containment state: the first failure of the solve, and per worker
+	// the number of barrier generations attended (each generation is
+	// written only by its owning worker; panelSolve reads after wg.Wait).
+	failMu  sync.Mutex
+	failErr error
+	passed  []int32
+}
+
+// fail records the first failure of this cooperative solve.
+func (r *coopRun) fail(err error) {
+	r.failMu.Lock()
+	if r.failErr == nil {
+		r.failErr = err
+	}
+	r.failMu.Unlock()
+}
+
+// runShare is the panic-containment boundary for one worker's share of a
+// barrier-scheduled cooperative solve. A kernel panic (or an injected
+// engine.job fault) is recorded on the run, and the worker then attends
+// every remaining barrier generation before returning: the cyclic
+// barrier needs all Workers arrivals per pack, so a silently vanishing
+// worker would strand its panel-mates forever. passed[id] counts the
+// generations already attended (work increments it after each wait), so
+// the drain loop knows exactly how many remain.
+func (r *coopRun) runShare(id int) {
+	nPacks := r.e.s.NumPacks()
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail(panicsafe.AsError(p))
+			for int(r.passed[id]) < nPacks {
+				r.barrier.wait()
+				r.passed[id]++
+			}
+		}
+	}()
+	if err := faultinject.Fire(faultinject.EngineJob); err != nil {
+		// An injected error skips this worker's share. Dynamic and
+		// Guided mates absorb the unclaimed rows; either way the solve
+		// reports failure, so the numeric result is never trusted.
+		r.fail(err)
+		for int(r.passed[id]) < nPacks {
+			r.barrier.wait()
+			r.passed[id]++
+		}
+		return
+	}
+	r.work(id)
 }
 
 // work is one worker's share of a cooperative solve: packs in order
@@ -837,6 +966,7 @@ func (r *coopRun) work(id int) {
 		// All workers must finish pack p before any starts the next;
 		// the barrier's mutex also publishes the x writes.
 		r.barrier.wait()
+		r.passed[id]++
 	}
 }
 

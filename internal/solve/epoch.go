@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"stsk/internal/csrk"
+	"stsk/internal/faultinject"
 	"stsk/internal/sparse"
 )
 
@@ -59,6 +60,11 @@ func (v *Values) Version() uint64 { return v.Current().seq }
 // Concurrent Swap calls must be serialised by the caller (the stsk facade
 // holds a per-plan mutex); solves need no coordination at all.
 func (v *Values) Swap(val []float64) error {
+	if err := faultinject.Fire(faultinject.EpochSwap); err != nil {
+		// An injected epoch.swap fault models a refactorization dying
+		// before publication: all-or-nothing, the old epoch stays live.
+		return err
+	}
 	old := v.cur.Load()
 	l := old.s.L
 	if len(val) != len(l.Val) {

@@ -1,0 +1,198 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"stsk/internal/faultinject"
+	"stsk/internal/gen"
+	"stsk/internal/order"
+	"stsk/internal/panicsafe"
+)
+
+// These tests drive the engine through internal/faultinject and assert
+// the containment contract: a kernel panic (or injected job fault) turns
+// into an error wrapping panicsafe.ErrInternal (or the injected error),
+// every completion counter and done channel still fires (no deadlock),
+// and the engine stays fully usable afterwards.
+
+func withFaults(t *testing.T, spec string, seed uint64) {
+	t.Helper()
+	if err := faultinject.Enable(spec, seed); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disable)
+}
+
+// afterFaults verifies the engine recovers completely once injection is
+// disabled: a clean solve must match Sequential bitwise.
+func afterFaults(t *testing.T, e *Engine, p *order.Plan) {
+	t.Helper()
+	faultinject.Disable()
+	B, want := randomRHS(p, 1, 99)
+	x, err := e.Solve(B[0])
+	if err != nil {
+		t.Fatalf("engine unusable after contained fault: %v", err)
+	}
+	assertBitwise(t, "post-fault", x, want[0])
+}
+
+func TestCoopSolveContainsPanic(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 4})
+	defer e.Close()
+	B, _ := randomRHS(p, 1, 5)
+
+	withFaults(t, "engine.job:panic", 1)
+	x := make([]float64, a.N)
+	err := e.SolveInto(x, B[0])
+	if !errors.Is(err, panicsafe.ErrInternal) {
+		t.Fatalf("want ErrInternal from panicking coop solve, got %v", err)
+	}
+	afterFaults(t, e, p)
+}
+
+func TestCoopSolveReportsInjectedError(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 3})
+	defer e.Close()
+	B, _ := randomRHS(p, 1, 5)
+
+	withFaults(t, "engine.job:error", 1)
+	err := e.SolveInto(make([]float64, a.N), B[0])
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	afterFaults(t, e, p)
+}
+
+func TestGraphSolveContainsPanic(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	p := planFor(t, a, order.STS3)
+	e := graphEngine(p, 4)
+	defer e.Close()
+	B, _ := randomRHS(p, 1, 7)
+
+	withFaults(t, "engine.job:panic", 1)
+	err := e.SolveInto(make([]float64, a.N), B[0])
+	if !errors.Is(err, panicsafe.ErrInternal) {
+		t.Fatalf("want ErrInternal from panicking graph solve, got %v", err)
+	}
+	afterFaults(t, e, p)
+}
+
+func TestBatchSolveContainsPanicPerMember(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 4})
+	defer e.Close()
+	B, _ := randomRHS(p, 8, 11)
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, a.N)
+	}
+
+	// Panic on every job: the batch must complete (counters fire) and
+	// report ErrInternal instead of deadlocking on a dead member.
+	withFaults(t, "engine.job:panic", 1)
+	err := e.SolveBatchInto(X, B)
+	if !errors.Is(err, panicsafe.ErrInternal) {
+		t.Fatalf("want ErrInternal from panicking batch, got %v", err)
+	}
+	afterFaults(t, e, p)
+}
+
+func TestBatchSolvePartialPanicSparesMates(t *testing.T) {
+	a := gen.Grid2D(12, 12)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 4})
+	defer e.Close()
+	B, _ := randomRHS(p, 16, 13)
+	X := make([][]float64, len(B))
+	for i := range X {
+		X[i] = make([]float64, a.N)
+	}
+
+	// Exactly one member panics; the batch reports the failure but every
+	// other member's completion still fires.
+	withFaults(t, "engine.job:panic:after=3,count=1", 1)
+	err := e.SolveBatchInto(X, B)
+	if !errors.Is(err, panicsafe.ErrInternal) {
+		t.Fatalf("want ErrInternal from partially panicking batch, got %v", err)
+	}
+	afterFaults(t, e, p)
+}
+
+func TestSolveManyContainsPanic(t *testing.T) {
+	a := gen.Grid2D(10, 10)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 2})
+	defer e.Close()
+	B, _ := randomRHS(p, 6, 17)
+
+	withFaults(t, "engine.job:panic:every=2", 1)
+	in := make(chan []float64, len(B))
+	for _, b := range B {
+		in <- b
+	}
+	close(in)
+	nerr, nok := 0, 0
+	for r := range e.SolveManyCtx(context.Background(), in) {
+		if r.Err != nil {
+			if !errors.Is(r.Err, panicsafe.ErrInternal) {
+				t.Fatalf("stream error is not ErrInternal: %v", r.Err)
+			}
+			nerr++
+		} else {
+			nok++
+		}
+	}
+	if nerr == 0 || nok == 0 {
+		t.Fatalf("every=2 stream: %d errors, %d ok — want a mix", nerr, nok)
+	}
+	afterFaults(t, e, p)
+}
+
+func TestSwapInjectedFaultLeavesOldEpoch(t *testing.T) {
+	a := gen.Grid2D(10, 10)
+	p := planFor(t, a, order.STS3)
+	v := NewValues(p.S)
+	e := NewEngineVals(v, Options{Workers: 2})
+	defer e.Close()
+	seqBefore := v.Version()
+
+	withFaults(t, "epoch.swap:error", 1)
+	val := make([]float64, len(p.S.L.Val))
+	copy(val, p.S.L.Val)
+	if err := v.Swap(val); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected swap error, got %v", err)
+	}
+	if v.Version() != seqBefore {
+		t.Fatal("failed swap must not publish a new epoch")
+	}
+	faultinject.Disable()
+	if err := v.Swap(val); err != nil {
+		t.Fatalf("swap after fault cleared: %v", err)
+	}
+	if v.Version() != seqBefore+1 {
+		t.Fatal("clean swap must publish")
+	}
+}
+
+func TestDegenerateSolveContainsPanic(t *testing.T) {
+	a := gen.Grid2D(10, 10)
+	p := planFor(t, a, order.STS3)
+	e := NewEngine(p.S, Options{Workers: 1}) // degenerate localSweep path
+	defer e.Close()
+	B, _ := randomRHS(p, 1, 23)
+
+	withFaults(t, "engine.job:panic", 1)
+	err := e.SolveInto(make([]float64, a.N), B[0])
+	if !errors.Is(err, panicsafe.ErrInternal) {
+		t.Fatalf("want ErrInternal from degenerate path, got %v", err)
+	}
+	afterFaults(t, e, p)
+}

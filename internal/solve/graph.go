@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"stsk/internal/csrk"
+	"stsk/internal/faultinject"
+	"stsk/internal/panicsafe"
 )
 
 // graphRun is the shared state of one dependency-driven cooperative solve:
@@ -49,7 +51,22 @@ type graphRun struct {
 	cond     *sync.Cond
 	sleepers atomic.Int32 // consumers parked (or about to park) on cond
 
+	// Containment state: first failure of the solve. A failed task still
+	// completes (runTask recovers, work always calls complete), so
+	// successors are never stranded — the solve finishes and reports.
+	failMu  sync.Mutex
+	failErr error
+
 	wg sync.WaitGroup
+}
+
+// fail records the first failure of this graph solve.
+func (g *graphRun) fail(err error) {
+	g.failMu.Lock()
+	if g.failErr == nil {
+		g.failErr = err
+	}
+	g.failMu.Unlock()
 }
 
 func (g *graphRun) init(e *Engine, dag *csrk.TaskDAG) {
@@ -64,6 +81,7 @@ func (g *graphRun) init(e *Engine, dag *csrk.TaskDAG) {
 // (under the engine's solveMu, before dispatch), so plain stores suffice.
 func (g *graphRun) reset(ep *epoch, x, b []float64, kw int, reverse bool) {
 	g.ep, g.x, g.b, g.kw, g.reverse = ep, x, b, kw, reverse
+	g.failErr = nil
 	g.head.Store(0)
 	nt := g.dag.NumTasks()
 	for t := 0; t < nt; t++ {
@@ -86,6 +104,24 @@ func (g *graphRun) reset(ep *epoch, x, b []float64, kw int, reverse bool) {
 	g.tail.Store(tail)
 }
 
+// runShare is the worker-side entry of a graph solve and its outer
+// panic-containment boundary. An injected engine.job fault makes this
+// worker bow out before claiming anything — any subset of workers drains
+// the ready queue, so its mates finish the solve alone and the run
+// reports the failure.
+func (g *graphRun) runShare() {
+	defer func() {
+		if p := recover(); p != nil {
+			g.fail(panicsafe.AsError(p))
+		}
+	}()
+	if err := faultinject.Fire(faultinject.EngineJob); err != nil {
+		g.fail(err)
+		return
+	}
+	g.work()
+}
+
 // work is one worker's share of a graph solve: claim ready-queue slots in
 // order until the queue is exhausted, running each task and publishing the
 // successors it completes.
@@ -99,18 +135,30 @@ func (g *graphRun) work() {
 			return
 		}
 		t := g.await(h)
-		lo, hi := g.dag.TaskRows(int(t))
-		switch {
-		case g.kw > 1 && g.reverse:
-			g.ep.backwardRowsBlock(g.x, g.b, g.kw, lo, hi)
-		case g.kw > 1:
-			g.ep.forwardRowsBlock(g.x, g.b, g.kw, lo, hi)
-		case g.reverse:
-			g.ep.backwardRows(g.x, g.b, lo, hi)
-		default:
-			g.ep.forwardRows(g.x, g.b, lo, hi)
-		}
+		g.runTask(t)
 		g.complete(t)
+	}
+}
+
+// runTask is the per-task containment boundary: a kernel panic becomes a
+// recorded failure and the task still counts as complete, so successor
+// counters always reach zero and no worker parks forever in await.
+func (g *graphRun) runTask(t int32) {
+	defer func() {
+		if p := recover(); p != nil {
+			g.fail(panicsafe.AsError(p))
+		}
+	}()
+	lo, hi := g.dag.TaskRows(int(t))
+	switch {
+	case g.kw > 1 && g.reverse:
+		g.ep.backwardRowsBlock(g.x, g.b, g.kw, lo, hi)
+	case g.kw > 1:
+		g.ep.forwardRowsBlock(g.x, g.b, g.kw, lo, hi)
+	case g.reverse:
+		g.ep.backwardRows(g.x, g.b, lo, hi)
+	default:
+		g.ep.forwardRows(g.x, g.b, lo, hi)
 	}
 }
 

@@ -55,6 +55,9 @@ func Parallel(a *sparse.CSR, y, x []float64, opts Options) error {
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
+		// Bounded compute fan-out joined before return: a panic must
+		// surface to the caller, not be contained mid-multiply.
+		//stsk:allow-bare-go
 		go func() {
 			defer wg.Done()
 			c := int64(opts.Chunk)
@@ -93,6 +96,8 @@ func ParallelCSRK(a *sparse.CSR, s *csrk.Structure, y, x []float64, opts Options
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
+		// Bounded compute fan-out joined before return (see above).
+		//stsk:allow-bare-go
 		go func() {
 			defer wg.Done()
 			for {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # lint.sh — the repo's static-analysis gate: gofmt, go vet, and the
-# stslint invariant suite (noalloc, epochpin, ctxflow, errwrap; see
-# DESIGN.md §6). CI runs this as a required job; run it locally before
-# pushing with:
+# stslint invariant suite (noalloc, epochpin, ctxflow, errwrap,
+# recoverguard; see DESIGN.md §6). CI runs this as a required job; run it
+# locally before pushing with:
 #
 #   bash scripts/lint.sh
 set -euo pipefail

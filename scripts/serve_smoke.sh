@@ -39,7 +39,7 @@ go build -o "$TMP/stssolve" ./cmd/stssolve
 "$TMP/stssolve" -class grid3d -n $N -method sts3 -repeats 1 -scale-values 2 \
   -load-rhs "$TMP/b.txt" -dump-values "$TMP/vals2.txt" -dump-solution "$TMP/x2.txt" >/dev/null
 
-"$TMP/stsserve" -addr "$ADDR" -flush 2ms &
+"$TMP/stsserve" -addr "$ADDR" -flush 2ms -drain-grace 2s &
 SERVER_PID=$!
 
 for _ in $(seq 50); do
@@ -111,7 +111,20 @@ echo "post-update response matches the scaled stssolve solution bitwise"
 curl -fsS "http://$ADDR/v1/plans" | grep -q '"version":2' || { echo "plan listing lacks version 2"; exit 1; }
 curl -fsS "http://$ADDR/metrics" | grep -E "stsserve_value_updates_total|stsserve_plan_version"
 
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
+# --- graceful drain over SIGTERM ------------------------------------
+# BeginDrain flips /healthz to 503 "draining" while the listener is
+# still open (the -drain-grace window), so load balancers route away
+# before connections start failing; the daemon then exits 0.
+kill -TERM "$SERVER_PID"
+drained=""
+for _ in $(seq 60); do
+  code=$(curl -s -o "$TMP/drain.json" -w '%{http_code}' "http://$ADDR/healthz" 2>/dev/null || echo 000)
+  if [ "$code" = "503" ] && grep -q '"draining"' "$TMP/drain.json"; then drained=1; break; fi
+  sleep 0.05
+done
+[ -n "$drained" ] || { echo "healthz never reported draining after SIGTERM"; exit 1; }
+rc=0; wait "$SERVER_PID" || rc=$?
 SERVER_PID=""
+[ "$rc" = "0" ] || { echo "stsserve exited $rc after SIGTERM, want 0"; exit 1; }
+echo "SIGTERM drain: healthz flipped to draining, daemon exited 0"
 echo "serve smoke OK"

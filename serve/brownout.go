@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"stsk/internal/panicsafe"
+)
+
+// BrownoutState is the registry's degradation state, exported at
+// /healthz and /metrics (stsserve_brownout_state).
+type BrownoutState int32
+
+const (
+	// BrownoutHealthy: full service.
+	BrownoutHealthy BrownoutState = iota
+
+	// BrownoutDegraded: overloaded but serving. Requests below the
+	// priority threshold are shed (429 + Retry-After), cold plan builds
+	// are refused (503), and the coalescer flush deadline is shrunk so
+	// queued work ships in smaller, prompter panels.
+	BrownoutDegraded
+
+	// BrownoutDraining: the registry is shutting down; everything new is
+	// refused with ErrDraining.
+	BrownoutDraining
+)
+
+func (s BrownoutState) String() string {
+	switch s {
+	case BrownoutDegraded:
+		return "degraded"
+	case BrownoutDraining:
+		return "draining"
+	default:
+		return "healthy"
+	}
+}
+
+// BrownoutConfig tunes the degradation state machine. Zero values select
+// the defaults noted on each field; Disable turns the controller off
+// (the registry then reports BrownoutHealthy forever).
+type BrownoutConfig struct {
+	// Interval between controller evaluations. Default 100ms.
+	Interval time.Duration
+
+	// DegradeQueueFrac enters degraded mode when the summed coalescer
+	// queue depth exceeds this fraction of total queue capacity.
+	// Default 0.75.
+	DegradeQueueFrac float64
+
+	// RecoverQueueFrac is the hysteresis floor: healing requires the
+	// queue fraction at or below this for RecoverTicks consecutive
+	// evaluations. Default 0.25.
+	RecoverQueueFrac float64
+
+	// DegradeLatency and DegradeLatencyFrac enter degraded mode when
+	// more than DegradeLatencyFrac of the solves observed since the last
+	// evaluation took longer than DegradeLatency. Defaults 250ms, 0.5.
+	DegradeLatency     time.Duration
+	DegradeLatencyFrac float64
+
+	// RecoverTicks is how many consecutive calm evaluations heal a
+	// degraded registry — hysteresis against flapping. Default 5.
+	RecoverTicks int
+
+	// ShedBelowPriority is the X-STS-Priority threshold under degraded
+	// mode: requests with priority < this are shed. The default 1 sheds
+	// only requests that did not claim a priority (header absent = 0).
+	ShedBelowPriority int
+
+	// DegradedFlushDiv divides the coalescer flush deadline while
+	// degraded, trading panel width for queue drain speed. Default 4.
+	DegradedFlushDiv int64
+
+	// Disable turns the controller off.
+	Disable bool
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.DegradeQueueFrac <= 0 {
+		c.DegradeQueueFrac = 0.75
+	}
+	if c.RecoverQueueFrac <= 0 {
+		c.RecoverQueueFrac = 0.25
+	}
+	if c.DegradeLatency <= 0 {
+		c.DegradeLatency = 250 * time.Millisecond
+	}
+	if c.DegradeLatencyFrac <= 0 {
+		c.DegradeLatencyFrac = 0.5
+	}
+	if c.RecoverTicks <= 0 {
+		c.RecoverTicks = 5
+	}
+	if c.ShedBelowPriority == 0 {
+		c.ShedBelowPriority = 1
+	}
+	if c.DegradedFlushDiv <= 0 {
+		c.DegradedFlushDiv = 4
+	}
+	return c
+}
+
+// brownout is the degradation state machine: a small controller loop
+// that watches queue pressure and the latency histogram and moves the
+// registry between healthy, degraded, and draining. State reads are a
+// single atomic load on the request path.
+type brownout struct {
+	reg *Registry
+	cfg BrownoutConfig
+
+	state  atomic.Int32
+	reason atomic.Pointer[string]
+
+	// Controller-goroutine-private evaluation state.
+	calm                int   // consecutive calm ticks while degraded
+	lastTotal, lastOver int64 // histogram cursor for per-tick windows
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newBrownout(reg *Registry, cfg BrownoutConfig) *brownout {
+	b := &brownout{
+		reg:  reg,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	empty := ""
+	b.reason.Store(&empty)
+	return b
+}
+
+// start launches the controller loop.
+func (b *brownout) start() {
+	panicsafe.Go("serve.brownout", func() {
+		defer close(b.done)
+		t := time.NewTicker(b.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				b.evaluate()
+			case <-b.stop:
+				return
+			}
+		}
+	})
+}
+
+// close moves to draining and stops the controller loop.
+func (b *brownout) close() {
+	b.setState(BrownoutDraining, "registry draining")
+	close(b.stop)
+	<-b.done
+}
+
+// State returns the current degradation state and, when degraded, the
+// reason that tripped it.
+func (b *brownout) State() (BrownoutState, string) {
+	return BrownoutState(b.state.Load()), *b.reason.Load()
+}
+
+func (b *brownout) setState(s BrownoutState, reason string) {
+	b.reason.Store(&reason)
+	b.state.Store(int32(s))
+}
+
+// evaluate is one controller tick: measure, then walk the state machine.
+func (b *brownout) evaluate() {
+	depth, capacity := b.reg.queueStats()
+	queueFrac := 0.0
+	if capacity > 0 {
+		queueFrac = float64(depth) / float64(capacity)
+	}
+	total, over := b.reg.met.latencyTotals(b.cfg.DegradeLatency.Seconds())
+	wTotal, wOver := total-b.lastTotal, over-b.lastOver
+	b.lastTotal, b.lastOver = total, over
+	slow := wTotal > 0 && float64(wOver)/float64(wTotal) >= b.cfg.DegradeLatencyFrac
+
+	switch BrownoutState(b.state.Load()) {
+	case BrownoutDraining:
+		return
+	case BrownoutHealthy:
+		switch {
+		case queueFrac >= b.cfg.DegradeQueueFrac:
+			b.degrade("queue depth over threshold")
+		case slow:
+			b.degrade("latency over threshold")
+		}
+	case BrownoutDegraded:
+		if queueFrac <= b.cfg.RecoverQueueFrac && !slow {
+			b.calm++
+			if b.calm >= b.cfg.RecoverTicks {
+				b.heal()
+			}
+		} else {
+			b.calm = 0
+		}
+	}
+}
+
+// degrade enters degraded mode: record the reason and shrink the shared
+// coalescer flush deadline so partial panels ship promptly — wide panels
+// are a throughput optimisation the registry cannot afford while its
+// queues are backing up.
+func (b *brownout) degrade(reason string) {
+	b.calm = 0
+	b.setState(BrownoutDegraded, reason)
+	b.reg.flushNs.Store(int64(b.reg.cfg.FlushDelay) / b.cfg.DegradedFlushDiv)
+}
+
+// heal restores full service and the configured flush deadline.
+func (b *brownout) heal() {
+	b.calm = 0
+	b.setState(BrownoutHealthy, "")
+	b.reg.flushNs.Store(int64(b.reg.cfg.FlushDelay))
+}

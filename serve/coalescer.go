@@ -4,19 +4,27 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stsk"
+	"stsk/internal/faultinject"
+	"stsk/internal/panicsafe"
 )
 
 // Package sentinels surfaced by the serving layer; the HTTP transport
 // maps them onto status codes. ErrQueueFull is admission control — the
 // bounded coalescer queue bounced the request (HTTP 429) — and
-// ErrDraining reports a registry shutting down (HTTP 503).
+// ErrDraining reports a registry shutting down (HTTP 503). ErrDegraded
+// and ErrShed are the brownout controller's refusals: cold plan builds
+// deferred while overloaded (503) and low-priority requests shed below
+// the degraded-mode threshold (429).
 var (
 	ErrUnknownPlan = errors.New("serve: unknown plan")
 	ErrQueueFull   = errors.New("serve: solve queue full")
 	ErrDraining    = errors.New("serve: registry draining")
+	ErrDegraded    = errors.New("serve: degraded, cold plan builds refused")
+	ErrShed        = errors.New("serve: request shed under brownout")
 )
 
 // errCoalescerClosed reports an enqueue that raced an eviction: the plan's
@@ -52,8 +60,11 @@ type coalescer struct {
 	solver *stsk.Solver
 	upper  bool // backward sweeps (L′ᵀx = b) instead of forward
 	width  int  // max requests per panel
-	flush  time.Duration
-	met    *Metrics
+	// flush is the partial-panel hold deadline in nanoseconds, shared by
+	// every coalescer of a registry so the brownout controller can shrink
+	// it under load without touching each coalescer.
+	flush *atomic.Int64
+	met   *Metrics
 
 	mu     sync.Mutex // guards closed vs enqueue
 	closed bool
@@ -69,7 +80,7 @@ type coalescer struct {
 
 // newCoalescer builds an unstarted coalescer; call start to launch the
 // dispatcher (tests enqueue against an unstarted one for determinism).
-func newCoalescer(solver *stsk.Solver, upper bool, width, queueCap int, flush time.Duration, met *Metrics) *coalescer {
+func newCoalescer(solver *stsk.Solver, upper bool, width, queueCap int, flush *atomic.Int64, met *Metrics) *coalescer {
 	return &coalescer{
 		solver: solver,
 		upper:  upper,
@@ -86,7 +97,10 @@ func newCoalescer(solver *stsk.Solver, upper bool, width, queueCap int, flush ti
 
 func (c *coalescer) start() {
 	c.wg.Add(1)
-	go c.run()
+	panicsafe.Go("serve.coalescer", func() {
+		defer c.wg.Done()
+		c.run()
+	})
 }
 
 // depth reports the requests currently queued (a point-in-time gauge).
@@ -99,6 +113,15 @@ func (c *coalescer) depth() int { return len(c.queue) }
 // plan. The closed check and the send share c.mu, so no request can slip
 // into the queue after the dispatcher's final drain.
 func (c *coalescer) enqueue(r *solveReq) error {
+	if err := faultinject.Fire(faultinject.CoalescerEnqueue); err != nil {
+		if errors.Is(err, faultinject.ErrSaturated) {
+			// An injected saturation models a full queue; translate to the
+			// domain sentinel so retry policy and HTTP mapping are exercised
+			// exactly as for real backpressure.
+			return ErrQueueFull
+		}
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -161,11 +184,10 @@ func (c *coalescer) close() {
 // panel around it, dispatch, repeat. On stop it drains the queue — no
 // request admitted by enqueue is ever stranded.
 func (c *coalescer) run() {
-	defer c.wg.Done()
 	for {
 		select {
 		case r := <-c.queue:
-			c.dispatch(c.collect(r))
+			c.dispatchSafe(c.collect(r))
 		case <-c.stop:
 			c.drain()
 			return
@@ -185,7 +207,7 @@ func (c *coalescer) collect(first *solveReq) []*solveReq {
 		return batch
 	}
 	batch = append(batch, first)
-	timer := time.NewTimer(c.flush)
+	timer := time.NewTimer(time.Duration(c.flush.Load()))
 	defer timer.Stop()
 	for len(batch) < c.width {
 		select {
@@ -226,8 +248,39 @@ func (c *coalescer) drain() {
 		if len(batch) == 0 {
 			return
 		}
-		c.dispatch(batch)
+		c.dispatchSafe(batch)
 	}
+}
+
+// dispatchSafe is the dispatcher's panic-containment and fault-injection
+// boundary around dispatch. The engine already converts kernel panics
+// into errors at its own job boundaries, so the recover here is the
+// second line of defence — whatever escapes, every member of the batch
+// is completed (its caller is waiting on done) and the dispatcher
+// goroutine survives to serve the next panel.
+func (c *coalescer) dispatchSafe(batch []*solveReq) {
+	if len(batch) == 0 {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err := panicsafe.AsError(p)
+			for i, r := range batch {
+				if r != nil {
+					r.done <- err
+					batch[i] = nil
+				}
+			}
+		}
+	}()
+	if err := faultinject.Fire(faultinject.CoalescerDispatch); err != nil {
+		for i, r := range batch {
+			r.done <- err
+			batch[i] = nil
+		}
+		return
+	}
+	c.dispatch(batch)
 }
 
 // dispatch solves one collected panel. A singleton rides the cooperative

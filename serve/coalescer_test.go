@@ -12,6 +12,13 @@ import (
 	"stsk"
 )
 
+// flushNanos builds the shared flush-deadline cell a registry would own.
+func flushNanos(d time.Duration) *atomic.Int64 {
+	var v atomic.Int64
+	v.Store(int64(d))
+	return &v
+}
+
 // TestCoalescerDeadlineFlushPartialPanel pins the deadline-flush path
 // deterministically: three requests are queued before the dispatcher
 // starts, fewer than the panel width, so the flush timer — not a full
@@ -21,7 +28,7 @@ func TestCoalescerDeadlineFlushPartialPanel(t *testing.T) {
 	solver := ref.NewSolver(stsk.WithBlockWidth(8))
 	defer solver.Close()
 	met := &Metrics{}
-	c := newCoalescer(solver, false, 8, 64, 5*time.Millisecond, met)
+	c := newCoalescer(solver, false, 8, 64, flushNanos(5*time.Millisecond), met)
 
 	reqs := make([]*solveReq, 3)
 	for i := range reqs {
@@ -57,7 +64,7 @@ func TestCoalescerQueueFull(t *testing.T) {
 	ref := refPlan(t, "grid3d", 500, stsk.STS3)
 	solver := ref.NewSolver()
 	defer solver.Close()
-	c := newCoalescer(solver, false, 8, 2, time.Millisecond, &Metrics{})
+	c := newCoalescer(solver, false, 8, 2, flushNanos(time.Millisecond), &Metrics{})
 
 	mk := func(i int) *solveReq {
 		return &solveReq{ctx: context.Background(), b: manufacturedRHS(ref, i), x: make([]float64, ref.N()), done: make(chan error, 1)}

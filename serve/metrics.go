@@ -59,6 +59,11 @@ type Metrics struct {
 	Evictions    atomic.Int64 // LRU evictions under the byte budget
 	ValueUpdates atomic.Int64 // numeric refactorizations applied (UpdateValues)
 
+	// Fault tolerance.
+	Retries         atomic.Int64 // solve attempts beyond the first (retry policy)
+	PanicsRecovered atomic.Int64 // kernel panics contained into ErrInternal
+	Shed            atomic.Int64 // requests shed below the brownout priority threshold
+
 	latency histogram
 }
 
@@ -72,22 +77,40 @@ type Snapshot struct {
 	Requests, Solved, Cancelled, Rejected, Failed int64
 	Batches, WidthSum                             int64
 	PlanBuilds, Evictions, ValueUpdates           int64
+	Retries, PanicsRecovered, Shed                int64
 }
 
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		Requests:     m.Requests.Load(),
-		Solved:       m.Solved.Load(),
-		Cancelled:    m.Cancelled.Load(),
-		Rejected:     m.Rejected.Load(),
-		Failed:       m.Failed.Load(),
-		Batches:      m.Batches.Load(),
-		WidthSum:     m.WidthSum.Load(),
-		PlanBuilds:   m.PlanBuilds.Load(),
-		Evictions:    m.Evictions.Load(),
-		ValueUpdates: m.ValueUpdates.Load(),
+		Requests:        m.Requests.Load(),
+		Solved:          m.Solved.Load(),
+		Cancelled:       m.Cancelled.Load(),
+		Rejected:        m.Rejected.Load(),
+		Failed:          m.Failed.Load(),
+		Batches:         m.Batches.Load(),
+		WidthSum:        m.WidthSum.Load(),
+		PlanBuilds:      m.PlanBuilds.Load(),
+		Evictions:       m.Evictions.Load(),
+		ValueUpdates:    m.ValueUpdates.Load(),
+		Retries:         m.Retries.Load(),
+		PanicsRecovered: m.PanicsRecovered.Load(),
+		Shed:            m.Shed.Load(),
 	}
+}
+
+// latencyTotals reports the histogram's cumulative observation count and
+// how many observations exceeded the given threshold (seconds) — the
+// brownout controller diffs consecutive reads to get a per-tick window.
+func (m *Metrics) latencyTotals(threshold float64) (total, over int64) {
+	var below int64
+	for i, ub := range latencyBuckets {
+		if ub <= threshold {
+			below += m.latency.counts[i].Load()
+		}
+	}
+	total = m.latency.count.Load()
+	return total, total - below
 }
 
 // MeanPanelWidth is the achieved mean panel width so far: requests
@@ -121,6 +144,11 @@ func (m *Metrics) writePrometheus(w io.Writer, reg *Registry) {
 	counter("stsserve_plan_builds_total", "Plans and IC0 variants built.", s.PlanBuilds)
 	counter("stsserve_plan_evictions_total", "LRU plan evictions under the byte budget.", s.Evictions)
 	counter("stsserve_value_updates_total", "Numeric refactorizations applied via UpdateValues.", s.ValueUpdates)
+	counter("stsserve_retries_total", "Solve attempts beyond the first under the retry policy.", s.Retries)
+	counter("stsserve_panics_recovered_total", "Kernel panics contained into ErrInternal at engine job boundaries.", s.PanicsRecovered)
+	counter("stsserve_requests_shed_total", "Requests shed below the brownout priority threshold.", s.Shed)
+	bst, _ := reg.BrownoutState()
+	gauge("stsserve_brownout_state", "Degradation state: 0 healthy, 1 degraded, 2 draining.", "%d", int64(bst))
 	gauge("stsserve_queue_depth", "Requests currently queued across all coalescers.", "%d", reg.QueueDepth())
 	gauge("stsserve_plans_registered", "Plans registered.", "%d", reg.Len())
 	gauge("stsserve_plans_loaded", "Plans currently built and resident.", "%d", reg.Loaded())

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"stsk"
+	"stsk/internal/faultinject"
+	"stsk/internal/panicsafe"
 )
 
 // Variant names accepted by Solve: the empty string solves the plan's own
@@ -144,6 +146,13 @@ type Config struct {
 	// BlockWidth is the default maximum panel width (0 = 8, the widest
 	// unrolled kernel).
 	BlockWidth int
+
+	// Retry bounds how Solve retries transient failures (eviction races,
+	// queue-full rejections); see RetryPolicy.
+	Retry RetryPolicy
+
+	// Brownout tunes the degradation state machine; see BrownoutConfig.
+	Brownout BrownoutConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +168,7 @@ func (c Config) withDefaults() Config {
 	if c.BlockWidth <= 0 {
 		c.BlockWidth = 8
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -237,6 +247,14 @@ type Registry struct {
 	// shutdowns tracks eviction-spawned teardown goroutines so Close can
 	// honor its "every pool has exited" contract.
 	shutdowns sync.WaitGroup
+
+	// flushNs is the live coalescer flush deadline in nanoseconds,
+	// shared by every coalescer the registry builds; the brownout
+	// controller shrinks it under load and restores it on heal.
+	flushNs atomic.Int64
+
+	// brown is the degradation state machine; nil when disabled.
+	brown *brownout
 }
 
 // entry is one registered spec plus its cached built state. st and
@@ -253,13 +271,76 @@ type entry struct {
 	vals     []float64 // latest updated values (immutable copy), nil = spec's own
 }
 
-// NewRegistry builds an empty registry.
+// NewRegistry builds an empty registry and starts its brownout
+// controller (unless cfg.Brownout.Disable).
 func NewRegistry(cfg Config) *Registry {
-	return &Registry{
+	r := &Registry{
 		cfg:     cfg.withDefaults(),
 		met:     &Metrics{},
 		entries: make(map[string]*entry),
 	}
+	r.flushNs.Store(int64(r.cfg.FlushDelay))
+	if !r.cfg.Brownout.Disable {
+		r.brown = newBrownout(r, r.cfg.Brownout)
+		r.brown.start()
+	}
+	return r
+}
+
+// BrownoutState reports the degradation state and, when degraded, the
+// reason that tripped the controller. A closed registry is draining no
+// matter what the controller last said.
+func (r *Registry) BrownoutState() (BrownoutState, string) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return BrownoutDraining, "registry closed"
+	}
+	if r.brown == nil {
+		return BrownoutHealthy, ""
+	}
+	return r.brown.State()
+}
+
+// Draining reports whether the registry has been closed.
+func (r *Registry) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// AdmitPriority applies brownout load shedding: while degraded, a
+// request with priority below the configured threshold is refused with
+// ErrShed (and counted). Healthy and draining registries admit
+// everything — draining refuses later with ErrDraining anyway.
+func (r *Registry) AdmitPriority(pri int) error {
+	if r.brown == nil {
+		return nil
+	}
+	if st, _ := r.brown.State(); st == BrownoutDegraded && pri < r.brown.cfg.ShedBelowPriority {
+		r.met.Shed.Add(1)
+		return fmt.Errorf("%w: priority %d below threshold %d", ErrShed, pri, r.brown.cfg.ShedBelowPriority)
+	}
+	return nil
+}
+
+// queueStats sums queue depth and capacity across every live coalescer
+// — the brownout controller's pressure gauge.
+func (r *Registry) queueStats() (depth, capacity int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if st := e.st; st != nil {
+			depth += st.base.lower.depth() + st.base.upper.depth()
+			capacity += 2 * r.cfg.QueueCap
+			if ic0 := st.ic0.Load(); ic0 != nil {
+				depth += ic0.lower.depth() + ic0.upper.depth()
+				capacity += 2 * r.cfg.QueueCap
+			}
+		}
+	}
+	return depth, capacity
 }
 
 // Metrics returns the registry's shared instrumentation.
@@ -412,49 +493,68 @@ func (r *Registry) Solve(ctx context.Context, name, variant string, upper bool, 
 		r.met.Cancelled.Add(1)
 	case errors.Is(err, ErrQueueFull):
 		r.met.Rejected.Add(1)
+	case errors.Is(err, panicsafe.ErrInternal):
+		// A kernel panic contained at an engine job boundary: failed,
+		// and counted separately so operators can alarm on it.
+		r.met.PanicsRecovered.Add(1)
+		r.met.Failed.Add(1)
 	default:
 		r.met.Failed.Add(1)
 	}
 	return x, err
 }
 
+// solve is the retry-policy loop around solveOnce: bounded attempts,
+// only the retriable sentinels (eviction races, queue-full rejections),
+// jittered exponential backoff for backpressure, and never a sleep the
+// caller's deadline cannot afford.
 func (r *Registry) solve(ctx context.Context, name, variant string, upper bool, b []float64) ([]float64, error) {
 	if variant != VariantDirect && variant != VariantIC0 {
 		return nil, fmt.Errorf("serve: unknown variant %q (have \"\" and %q)", variant, VariantIC0)
 	}
-	const maxAttempts = 3
-	for attempt := 0; ; attempt++ {
-		st, err := r.acquire(name)
-		if err != nil {
-			return nil, err
+	pol := r.cfg.Retry
+	for attempt := 1; ; attempt++ {
+		x, err := r.solveOnce(ctx, name, variant, upper, b)
+		if err == nil || !retriable(err) || attempt >= pol.MaxAttempts {
+			return x, translateEvicted(err, name)
 		}
-		// Validate the length against the base plan (the IC0 factor has
-		// the same dimension) BEFORE touching the lazy variant, so a
-		// wrong-length request can never trigger an incomplete-Cholesky
-		// factorization it has no use for.
-		if len(b) != st.base.plan.N() {
-			return nil, fmt.Errorf("%w: rhs length %d, want %d for plan %q",
-				stsk.ErrDimension, len(b), st.base.plan.N(), name)
-		}
-		vs := &st.base
-		if variant == VariantIC0 {
-			if vs, err = r.acquireIC0(st); err != nil {
-				if errors.Is(err, errCoalescerClosed) && attempt < maxAttempts-1 {
-					continue // evicted under us; rebuild and retry
-				}
+		if errors.Is(err, ErrQueueFull) {
+			// Backpressure: give the coalescer a jittered beat to drain
+			// before re-admitting. An eviction race skips the backoff —
+			// the plan rebuild itself is the wait.
+			if !sleepRetry(ctx, pol.backoff(attempt)) {
 				return nil, translateEvicted(err, name)
 			}
 		}
-		c := vs.lower
-		if upper {
-			c = vs.upper
-		}
-		x, err := c.solve(ctx, b)
-		if errors.Is(err, errCoalescerClosed) && attempt < maxAttempts-1 {
-			continue // evicted under us; rebuild and retry
-		}
-		return x, translateEvicted(err, name)
+		r.met.Retries.Add(1)
 	}
+}
+
+// solveOnce is one acquire-and-enqueue attempt.
+func (r *Registry) solveOnce(ctx context.Context, name, variant string, upper bool, b []float64) ([]float64, error) {
+	st, err := r.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the length against the base plan (the IC0 factor has
+	// the same dimension) BEFORE touching the lazy variant, so a
+	// wrong-length request can never trigger an incomplete-Cholesky
+	// factorization it has no use for.
+	if len(b) != st.base.plan.N() {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d for plan %q",
+			stsk.ErrDimension, len(b), st.base.plan.N(), name)
+	}
+	vs := &st.base
+	if variant == VariantIC0 {
+		if vs, err = r.acquireIC0(st); err != nil {
+			return nil, err
+		}
+	}
+	c := vs.lower
+	if upper {
+		c = vs.upper
+	}
+	return c.solve(ctx, b)
 }
 
 // translateEvicted keeps the internal errCoalescerClosed sentinel from
@@ -497,6 +597,15 @@ func (r *Registry) acquire(name string) (*planState, error) {
 			r.mu.Lock()
 			continue // built, build failed (this caller retries), or evicted again
 		}
+		if r.brown != nil {
+			// A degraded registry refuses cold builds: the ordering
+			// pipeline is seconds of CPU the overloaded node cannot spare,
+			// and resident plans are what it must keep serving.
+			if st, _ := r.brown.State(); st == BrownoutDegraded {
+				r.mu.Unlock()
+				return nil, fmt.Errorf("%w: plan %q is not resident", ErrDegraded, name)
+			}
+		}
 		e.building = make(chan struct{})
 		pend := e.vals // UpdateValues waits on e.building, so this can't move under us
 		r.mu.Unlock()
@@ -534,6 +643,9 @@ func (r *Registry) acquire(name string) (*planState, error) {
 // buildState runs the expensive part — matrix load, ordering pipeline,
 // solver pool — outside the registry mutex.
 func (r *Registry) buildState(spec PlanSpec) (*planState, error) {
+	if err := faultinject.Fire(faultinject.RegistryBuild); err != nil {
+		return nil, err
+	}
 	mat, err := spec.loadMatrix()
 	if err != nil {
 		return nil, err
@@ -562,8 +674,8 @@ func (r *Registry) newVariant(plan *stsk.Plan, spec PlanSpec) variantState {
 	v := variantState{
 		plan:   plan,
 		solver: solver,
-		lower:  newCoalescer(solver, false, width, r.cfg.QueueCap, r.cfg.FlushDelay, r.met),
-		upper:  newCoalescer(solver, true, width, r.cfg.QueueCap, r.cfg.FlushDelay, r.met),
+		lower:  newCoalescer(solver, false, width, r.cfg.QueueCap, &r.flushNs, r.met),
+		upper:  newCoalescer(solver, true, width, r.cfg.QueueCap, &r.flushNs, r.met),
 		bytes:  estimateBytes(plan),
 	}
 	v.lower.start()
@@ -584,6 +696,9 @@ func (r *Registry) acquireIC0(st *planState) (*variantState, error) {
 	}
 	if vs := st.ic0.Load(); vs != nil {
 		return vs, nil
+	}
+	if err := faultinject.Fire(faultinject.RegistryBuild); err != nil {
+		return nil, err
 	}
 	fplan, err := st.base.plan.IC0()
 	if err != nil {
@@ -661,10 +776,10 @@ func (r *Registry) UpdateValues(name string, values []float64, ifVersion uint64)
 		}
 		r.mu.Unlock()
 		r.shutdowns.Add(1)
-		go func() {
+		panicsafe.Go("serve.ic0-teardown", func() {
 			defer r.shutdowns.Done()
 			old.close()
-		}()
+		})
 	}
 
 	r.mu.Lock()
@@ -723,10 +838,10 @@ func (r *Registry) evictLocked(keep *planState) {
 		r.used -= st.bytes
 		r.met.Evictions.Add(1)
 		r.shutdowns.Add(1)
-		go func() {
+		panicsafe.Go("serve.evict-teardown", func() {
 			defer r.shutdowns.Done()
 			st.shutdown()
-		}()
+		})
 	}
 }
 
@@ -750,6 +865,11 @@ func (r *Registry) Close() {
 	}
 	r.used = 0
 	r.mu.Unlock()
+	// Stop the brownout controller outside the mutex — its evaluate tick
+	// takes r.mu (queueStats), so stopping under the lock would deadlock.
+	if r.brown != nil {
+		r.brown.close()
+	}
 	for _, st := range sts {
 		st.shutdown()
 	}

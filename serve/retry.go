@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds how Registry.Solve retries transient failures: the
+// eviction race (errCoalescerClosed) and admission-control rejections
+// (ErrQueueFull). Retries are deadline-budget-aware — a backoff that
+// would outlive the request's context is never slept — and only the
+// retriable sentinels are retried: dimension errors, unknown plans,
+// contained panics (ErrInternal) and cancellations all fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts, first try included. Default 3.
+	MaxAttempts int
+
+	// BaseBackoff is the first retry's backoff; each further retry
+	// doubles it, jittered uniformly in [d/2, d). An eviction-race retry
+	// (errCoalescerClosed) skips the backoff entirely — the rebuild
+	// itself is the wait. Default 500µs.
+	BaseBackoff time.Duration
+
+	// MaxBackoff caps the exponential growth. Default 8ms.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 500 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 8 * time.Millisecond
+	}
+	return p
+}
+
+// retriable reports whether the retry policy may try again after err.
+func retriable(err error) bool {
+	return errors.Is(err, errCoalescerClosed) || errors.Is(err, ErrQueueFull)
+}
+
+// backoff is the jittered exponential delay before retry attempt
+// `attempt` (1 = first retry).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	// Uniform jitter in [d/2, d) decorrelates retry storms: thundering
+	// herds that were rejected together do not come back together.
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// sleepRetry sleeps d unless the context would expire first: a retry
+// that cannot complete within the remaining deadline budget is pointless
+// occupancy, so the caller gets the original error back instead. Returns
+// false when the retry should be abandoned.
+func sleepRetry(ctx context.Context, d time.Duration) bool {
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= d {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

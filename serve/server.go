@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"stsk"
+	"stsk/internal/faultinject"
 )
 
 // Server is the HTTP JSON transport over a Registry — stdlib net/http
@@ -26,10 +29,11 @@ import (
 // draining and gracefully drains the registry: queued solves complete,
 // new requests bounce.
 type Server struct {
-	reg      *Registry
-	mux      *http.ServeMux
-	draining atomic.Bool
-	start    time.Time
+	reg       *Registry
+	mux       *http.ServeMux
+	draining  atomic.Bool
+	closeOnce sync.Once
+	start     time.Time
 }
 
 // NewServer wraps a registry with the HTTP API.
@@ -51,14 +55,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// BeginDrain marks the server draining without closing the registry:
+// new plan and solve requests answer 503 with a Retry-After while
+// requests already queued in the coalescers keep completing, and
+// /healthz flips to "draining" so load balancers stop routing here. A
+// daemon calls this the moment it catches SIGTERM, serves its drain
+// grace period, and then calls Close.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
 // Close drains and stops serving: subsequent plan and solve requests
 // answer 503 while in-flight ones (including every request already
 // queued in a coalescer) complete. Intended order in a daemon:
 // http.Server.Shutdown first (stop accepting connections), then Close.
 func (s *Server) Close() {
-	if s.draining.CompareAndSwap(false, true) {
-		s.reg.Close()
-	}
+	s.draining.Store(true)
+	s.closeOnce.Do(s.reg.Close)
 }
 
 // Request-body caps: a solve body is dominated by the right-hand side
@@ -69,9 +82,12 @@ const (
 	maxPlanBody  = 1 << 20
 )
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. RetryAfterMs mirrors the
+// Retry-After header (which only has 1-second resolution) for retriable
+// refusals, so clients can back off programmatically.
 type errorBody struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -91,7 +107,29 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	body := errorBody{Error: err.Error()}
+	if ra := retryAfterFor(err); ra > 0 {
+		// Ceil to whole seconds for the header (RFC 9110 delay-seconds);
+		// the JSON body carries the precise hint.
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+		body.RetryAfterMs = ra.Milliseconds()
+	}
+	writeJSON(w, code, body)
+}
+
+// retryAfterFor is the client back-off hint for retriable refusals:
+// queue-full and shed requests clear in about a flush interval (round up
+// to the 1s header floor), while draining and degraded states need the
+// operator — or the brownout controller — a few seconds to resolve.
+func retryAfterFor(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
+		return time.Second
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
+		return 2 * time.Second
+	default:
+		return 0
+	}
 }
 
 // statusFor maps the serving-layer sentinels onto HTTP statuses.
@@ -99,9 +137,9 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownPlan):
 		return http.StatusNotFound
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrPlanExists), errors.Is(err, ErrVersionConflict):
 		return http.StatusConflict
@@ -195,6 +233,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
+	if err := faultinject.Fire(faultinject.HTTPSolve); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// X-STS-Priority is the brownout shedding key: while degraded, requests
+	// below the configured threshold bounce with 429 before touching the
+	// registry. Absent or malformed headers read as priority 0.
+	pri := 0
+	if h := r.Header.Get("X-STS-Priority"); h != "" {
+		if v, err := strconv.Atoi(h); err == nil {
+			pri = v
+		}
+	}
+	if err := s.reg.AdmitPriority(pri); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
 	var req SolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSolveBody)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -221,21 +276,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // healthBody is the /healthz document.
 type healthBody struct {
-	Status  string  `json:"status"` // "ok" or "draining"
+	Status  string  `json:"status"` // "ok", "degraded", or "draining"
+	Reason  string  `json:"reason,omitempty"`
 	Plans   int     `json:"plans"`
 	Loaded  int     `json:"loaded"`
 	UptimeS float64 `json:"uptimeS"`
 }
 
+// handleHealth reports liveness plus degradation: draining (server told
+// to drain, or the registry itself closed) and brownout-degraded both
+// answer 503 so load balancers stop routing here, with the tripping
+// reason in the body.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	status, reason := "ok", ""
 	code := http.StatusOK
-	if s.draining.Load() {
+	bst, why := s.reg.BrownoutState()
+	switch {
+	case s.draining.Load() || s.reg.Draining() || bst == BrownoutDraining:
 		status = "draining"
+		code = http.StatusServiceUnavailable
+		if !s.draining.Load() {
+			reason = why
+		}
+	case bst == BrownoutDegraded:
+		status = "degraded"
+		reason = why
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, healthBody{
 		Status:  status,
+		Reason:  reason,
 		Plans:   s.reg.Len(),
 		Loaded:  s.reg.Loaded(),
 		UptimeS: time.Since(s.start).Seconds(),

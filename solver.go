@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"stsk/internal/panicsafe"
 	"stsk/internal/solve"
 )
 
@@ -370,12 +371,12 @@ func (s *Solver) SolveMany(bs <-chan []float64) <-chan SolveResult {
 // fully usable afterwards.
 func (s *Solver) SolveManyCtx(ctx context.Context, bs <-chan []float64) <-chan SolveResult {
 	out := make(chan SolveResult, 2*s.eng.Workers())
-	go func() {
+	panicsafe.Go("stsk.SolveManyCtx", func() {
 		defer close(out)
 		for r := range s.eng.SolveManyCtx(ctx, bs) {
 			out <- SolveResult{X: r.X, Err: r.Err}
 		}
-	}()
+	})
 	return out
 }
 
@@ -398,7 +399,7 @@ func (s *Solver) SolveSeq(ctx context.Context, bs iter.Seq[[]float64]) iter.Seq2
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		in := make(chan []float64)
-		go func() {
+		panicsafe.Go("stsk.SolveSeq", func() {
 			defer close(in)
 			for b := range bs {
 				select {
@@ -407,7 +408,7 @@ func (s *Solver) SolveSeq(ctx context.Context, bs iter.Seq[[]float64]) iter.Seq2
 					return
 				}
 			}
-		}()
+		})
 		out := s.eng.SolveManyCtx(ctx, in)
 		// Any exit — early break, panic, or Goexit in the caller's loop
 		// body — must first cancel (so the producer stops and out closes)
