@@ -17,6 +17,9 @@
 //	stsbench -experiment refactorbench  # numeric refactorization vs full rebuild
 //	                                    # (Plan.Refactor value swap on grid3d);
 //	                                    # cells merged into BENCH_stsk.json
+//	stsbench -experiment snapshotbench  # plan snapshot persistence: cold Build vs
+//	                                    # WriteSnapshotFile/ReadSnapshotFile reload;
+//	                                    # cells merged into BENCH_stsk.json
 //	stsbench -list
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
@@ -53,6 +56,7 @@ func main() {
 		fmt.Println("solvebench")
 		fmt.Println("servebench")
 		fmt.Println("refactorbench")
+		fmt.Println("snapshotbench")
 		return
 	}
 	r := bench.New(*scale, os.Stdout)
@@ -71,6 +75,11 @@ func main() {
 		}
 	case "refactorbench":
 		if err := runRefactorBench(r, *benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "stsbench:", err)
+			os.Exit(1)
+		}
+	case "snapshotbench":
+		if err := runSnapshotBench(r, *benchout); err != nil {
 			fmt.Fprintln(os.Stderr, "stsbench:", err)
 			os.Exit(1)
 		}
@@ -119,6 +128,17 @@ func runRefactorBench(r *bench.Runner, path string) error {
 		return err
 	}
 	return mergeCells(r, path, "refactor-", cells)
+}
+
+// runSnapshotBench measures snapshot persistence against a cold build
+// and merges its cells ("snapshot-build", "snapshot-write",
+// "snapshot-load") into the report at path the same way.
+func runSnapshotBench(r *bench.Runner, path string) error {
+	cells, err := snapshotBench(r.Scale, os.Stdout)
+	if err != nil {
+		return err
+	}
+	return mergeCells(r, path, "snapshot-", cells)
 }
 
 // mergeCells rewrites the report at path with the given cells appended,

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"stsk"
+	"stsk/internal/bench"
+)
+
+// snapshotBench measures plan snapshot persistence against the cold
+// build it replaces: on the grid3d matrix at the given scale, a fresh
+// stsk.Build versus serializing the plan with WriteSnapshotFile and
+// reloading it with ReadSnapshotFile. The load cell carries the
+// measured speedup — the restart-time headroom a warm-started replica
+// gains per resident plan (the ISSUE acceptance floor is 10x).
+//
+// Cells use the "snapshot-" schedule prefix ("snapshot-build",
+// "snapshot-write", "snapshot-load") so mergeCells folds them into
+// BENCH_stsk.json without disturbing the kernel and serve cells.
+func snapshotBench(scale int, out io.Writer) ([]bench.SolveBenchResult, error) {
+	mat, err := stsk.Generate("grid3d", scale)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := stsk.Build(mat, stsk.STS3)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "snapshotbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.snap")
+
+	buildNs, err := measureLoop(func(int) error {
+		_, err := stsk.Build(mat, stsk.STS3)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshotbench build: %w", err)
+	}
+	writeNs, err := measureLoop(func(int) error {
+		return plan.WriteSnapshotFile(path, stsk.SnapshotExtra{})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshotbench write: %w", err)
+	}
+	loadNs, err := measureLoop(func(int) error {
+		_, _, err := stsk.ReadSnapshotFile(path)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshotbench load: %w", err)
+	}
+
+	speedup := buildNs / loadNs
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "Snapshot benchmark (grid3d, n=%d, nnz=%d, file %d KiB)\n",
+		mat.N(), mat.NNZ(), fi.Size()>>10)
+	fmt.Fprintf(out, "%-16s %14.0f ns/op\n", "cold build", buildNs)
+	fmt.Fprintf(out, "%-16s %14.0f ns/op\n", "snapshot write", writeNs)
+	fmt.Fprintf(out, "%-16s %14.0f ns/op  (%.1fx faster than build)\n", "snapshot load", loadNs, speedup)
+
+	common := bench.SolveBenchResult{
+		Matrix:  "grid3d",
+		N:       mat.N(),
+		NNZ:     mat.NNZ(),
+		Method:  stsk.STS3.String(),
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	build := common
+	build.Schedule = "snapshot-build"
+	build.NsPerOp = buildNs
+	build.SolvesPerSec = 1e9 / buildNs
+	write := common
+	write.Schedule = "snapshot-write"
+	write.NsPerOp = writeNs
+	write.SolvesPerSec = 1e9 / writeNs
+	load := common
+	load.Schedule = "snapshot-load"
+	load.NsPerOp = loadNs
+	load.SolvesPerSec = 1e9 / loadNs
+	load.Speedup = speedup
+	return []bench.SolveBenchResult{build, write, load}, nil
+}

@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +72,10 @@ func run(args []string, sig <-chan os.Signal) int {
 		drainGrace = fs.Duration("drain-grace", 0, "pause between flipping /healthz to draining and closing the listener")
 		faults     = fs.String("faults", "", "deterministic fault-injection spec for chaos drills (point:mode[:key=val,...];...)")
 		faultSeed  = fs.Uint64("fault-seed", 1, "fault-injection decision seed")
+		snapDir    = fs.String("snapshot-dir", "", "persist built plans here and warm-start from it at boot (empty = no persistence)")
+		route      = fs.String("route", "", "run as a router over these comma-separated replica URLs instead of serving plans")
+		hedgeAfter = fs.Duration("hedge-after", 25*time.Millisecond, "router: hedge a solve to the next replica after this latency (negative disables)")
+		healthIvl  = fs.Duration("health-interval", 500*time.Millisecond, "router: replica /healthz probe period")
 	)
 	var preloads []serve.PlanSpec
 	fs.Func("preload", "plan spec JSON to register at boot (repeatable)", func(v string) error {
@@ -85,6 +90,10 @@ func run(args []string, sig <-chan os.Signal) int {
 		return 2
 	}
 
+	if *route != "" {
+		return runRouter(*route, *addr, *addrFile, *hedgeAfter, *healthIvl, *drainFor, sig)
+	}
+
 	if *faults != "" {
 		if err := faultinject.Enable(*faults, *faultSeed); err != nil {
 			log.Printf("stsserve: -faults: %v", err)
@@ -94,13 +103,33 @@ func run(args []string, sig <-chan os.Signal) int {
 		log.Printf("stsserve: CHAOS: fault injection armed: %s (seed %d)", *faults, *faultSeed)
 	}
 
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			log.Printf("stsserve: -snapshot-dir: %v", err)
+			return 1
+		}
+	}
 	reg := serve.NewRegistry(serve.Config{
 		BudgetBytes: *budgetMB << 20,
 		FlushDelay:  *flush,
 		QueueCap:    *queue,
 		Workers:     *workers,
 		BlockWidth:  *width,
+		SnapshotDir: *snapDir,
 	})
+	if *snapDir != "" {
+		start := time.Now()
+		loaded, err := reg.WarmStart()
+		if err != nil {
+			log.Printf("stsserve: warm start: %v", err)
+			reg.Close()
+			return 1
+		}
+		if loaded > 0 {
+			log.Printf("stsserve: warm-started %d plan(s) from %s in %v",
+				loaded, *snapDir, time.Since(start).Round(time.Millisecond))
+		}
+	}
 	for _, spec := range preloads {
 		start := time.Now()
 		info, err := reg.Register(spec)
@@ -165,6 +194,70 @@ func run(args []string, sig <-chan os.Signal) int {
 			log.Printf("stsserve: shutdown: %v", err)
 		}
 		srv.Close() // drain coalescers, close solver pools
+		log.Printf("stsserve: drained, exiting")
+		return 0
+	}
+}
+
+// runRouter is the -route mode body: no registry, no plans — one
+// consistent-hash router process over a fleet of stsserve replicas.
+func runRouter(route, addr, addrFile string, hedgeAfter, healthIvl, drainFor time.Duration, sig <-chan os.Signal) int {
+	var backends []string
+	for _, b := range strings.Split(route, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	rt, err := serve.NewRouter(serve.RouterConfig{
+		Backends:       backends,
+		HedgeAfter:     hedgeAfter,
+		HealthInterval: healthIvl,
+	})
+	if err != nil {
+		log.Printf("stsserve: -route: %v", err)
+		return 2
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("stsserve: listen: %v", err)
+		return 1
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Printf("stsserve: -addr-file: %v", err)
+			ln.Close()
+			return 1
+		}
+	}
+	hs := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("stsserve: routing on %s across %d replicas (hedge %v, probe %v)",
+		ln.Addr(), len(backends), hedgeAfter, healthIvl)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("stsserve: %v", err)
+			return 1
+		}
+		return 0
+	case s := <-sig:
+		log.Printf("stsserve: %v — draining router (bound %v)", s, drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+		err := hs.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("stsserve: shutdown: %v", err)
+		}
 		log.Printf("stsserve: drained, exiting")
 		return 0
 	}

@@ -34,8 +34,16 @@ type Values struct {
 
 // NewValues wraps a structure as epoch 0 of a value sequence.
 func NewValues(s *csrk.Structure) *Values {
+	return NewValuesVersion(s, 0)
+}
+
+// NewValuesVersion wraps a structure as epoch seq of a value sequence —
+// the snapshot-reload path, where a deserialized plan must resume the
+// epoch numbering the serialized plan had reached so version reporting
+// stays monotone across a warm restart.
+func NewValuesVersion(s *csrk.Structure, seq uint64) *Values {
 	v := &Values{}
-	v.cur.Store(newEpoch(0, s))
+	v.cur.Store(newEpoch(seq, s))
 	return v
 }
 
@@ -50,6 +58,14 @@ func (v *Values) Structure() *csrk.Structure { return v.Current().s }
 // Version returns the sequence number of the live epoch, starting at 0
 // and incremented by every successful Swap.
 func (v *Values) Version() uint64 { return v.Current().seq }
+
+// Snapshot returns the live epoch's structure and sequence number from a
+// single epoch load, so a serializer observes one consistent (values,
+// version) pair even while concurrent Swap calls land.
+func (v *Values) Snapshot() (*csrk.Structure, uint64) {
+	ep := v.Current()
+	return ep.s, ep.seq
+}
 
 // Swap validates val as a complete value array for the factor's fixed
 // sparsity and publishes it as a new epoch. The check is all-or-nothing:

@@ -55,14 +55,20 @@ type Metrics struct {
 	WidthSum atomic.Int64 // total requests carried by those dispatches
 
 	// Registry lifecycle.
-	PlanBuilds   atomic.Int64 // plans (or IC0 variants) built
+	PlanBuilds   atomic.Int64 // plans (or IC0 variants) built cold
 	Evictions    atomic.Int64 // LRU evictions under the byte budget
 	ValueUpdates atomic.Int64 // numeric refactorizations applied (UpdateValues)
+
+	// Snapshot persistence (Config.SnapshotDir).
+	SnapshotLoads  atomic.Int64 // plans made resident from a snapshot (no cold build)
+	SnapshotWrites atomic.Int64 // write-behind snapshot files persisted
+	SnapshotErrors atomic.Int64 // snapshots refused (corrupt, stale spec) or failed writes
 
 	// Fault tolerance.
 	Retries         atomic.Int64 // solve attempts beyond the first (retry policy)
 	PanicsRecovered atomic.Int64 // kernel panics contained into ErrInternal
 	Shed            atomic.Int64 // requests shed below the brownout priority threshold
+	Degraded        atomic.Int64 // requests refused by brownout degradation (not failures)
 
 	latency histogram
 }
@@ -77,7 +83,8 @@ type Snapshot struct {
 	Requests, Solved, Cancelled, Rejected, Failed int64
 	Batches, WidthSum                             int64
 	PlanBuilds, Evictions, ValueUpdates           int64
-	Retries, PanicsRecovered, Shed                int64
+	SnapshotLoads, SnapshotWrites, SnapshotErrors int64
+	Retries, PanicsRecovered, Shed, Degraded      int64
 }
 
 // Snapshot copies the counters.
@@ -93,9 +100,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		PlanBuilds:      m.PlanBuilds.Load(),
 		Evictions:       m.Evictions.Load(),
 		ValueUpdates:    m.ValueUpdates.Load(),
+		SnapshotLoads:   m.SnapshotLoads.Load(),
+		SnapshotWrites:  m.SnapshotWrites.Load(),
+		SnapshotErrors:  m.SnapshotErrors.Load(),
 		Retries:         m.Retries.Load(),
 		PanicsRecovered: m.PanicsRecovered.Load(),
 		Shed:            m.Shed.Load(),
+		Degraded:        m.Degraded.Load(),
 	}
 }
 
@@ -141,12 +152,16 @@ func (m *Metrics) writePrometheus(w io.Writer, reg *Registry) {
 	counter("stsserve_solve_batches_total", "Coalesced panel dispatches issued to solvers.", s.Batches)
 	counter("stsserve_solve_batched_requests_total", "Requests carried by coalesced dispatches.", s.WidthSum)
 	gauge("stsserve_panel_width_mean", "Achieved mean panel width (batched requests / batches).", "%g", s.MeanPanelWidth())
-	counter("stsserve_plan_builds_total", "Plans and IC0 variants built.", s.PlanBuilds)
+	counter("stsserve_plan_builds_total", "Plans and IC0 variants built cold.", s.PlanBuilds)
 	counter("stsserve_plan_evictions_total", "LRU plan evictions under the byte budget.", s.Evictions)
 	counter("stsserve_value_updates_total", "Numeric refactorizations applied via UpdateValues.", s.ValueUpdates)
+	counter("stsserve_snapshot_loads_total", "Plans made resident from an on-disk snapshot instead of a cold build.", s.SnapshotLoads)
+	counter("stsserve_snapshot_writes_total", "Write-behind plan snapshot files persisted.", s.SnapshotWrites)
+	counter("stsserve_snapshot_errors_total", "Snapshots refused as invalid or failed to persist.", s.SnapshotErrors)
 	counter("stsserve_retries_total", "Solve attempts beyond the first under the retry policy.", s.Retries)
 	counter("stsserve_panics_recovered_total", "Kernel panics contained into ErrInternal at engine job boundaries.", s.PanicsRecovered)
 	counter("stsserve_requests_shed_total", "Requests shed below the brownout priority threshold.", s.Shed)
+	counter("stsserve_requests_degraded_total", "Requests refused by brownout degradation (intentional shedding, not failures).", s.Degraded)
 	bst, _ := reg.BrownoutState()
 	gauge("stsserve_brownout_state", "Degradation state: 0 healthy, 1 degraded, 2 draining.", "%d", int64(bst))
 	gauge("stsserve_queue_depth", "Requests currently queued across all coalescers.", "%d", reg.QueueDepth())

@@ -42,6 +42,14 @@ var ErrPlanExists = errors.New("serve: plan already registered with a different 
 // landed first (HTTP 409, the optimistic-concurrency contract).
 var ErrVersionConflict = errors.New("serve: plan version conflict")
 
+// ErrPlanEvicted reports a request that lost the LRU eviction race on
+// every retry attempt: the plan was evicted between lookup and enqueue,
+// repeatedly, under pathological budget churn. Unlike ErrDraining this
+// is not an operator condition — the plan rebuilds (or warm-loads from
+// a snapshot) in milliseconds on a healthy server, so clients should
+// retry after roughly a coalescer flush interval, not seconds.
+var ErrPlanEvicted = errors.New("serve: plan evicted mid-request")
+
 // PlanSpec names a matrix source and the ordering/solver configuration
 // the registry builds for it. Exactly one of Class, Suite and File must
 // be set; the zero values of the remaining fields select the library
@@ -153,6 +161,13 @@ type Config struct {
 
 	// Brownout tunes the degradation state machine; see BrownoutConfig.
 	Brownout BrownoutConfig
+
+	// SnapshotDir, when non-empty, enables plan snapshot persistence:
+	// every built plan is serialized there write-behind (on build and on
+	// UpdateValues), an acquire miss warm-loads the snapshot instead of
+	// re-running the ordering pipeline, and WarmStart pre-populates the
+	// registry from the directory at boot. Empty disables persistence.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -269,6 +284,10 @@ type entry struct {
 	building chan struct{}
 	version  uint64    // value version, 1 at registration; bumped by UpdateValues
 	vals     []float64 // latest updated values (immutable copy), nil = spec's own
+
+	// snapMu serialises this entry's write-behind snapshot writers so the
+	// on-disk file always converges to the latest (state, version) pair.
+	snapMu sync.Mutex
 }
 
 // NewRegistry builds an empty registry and starts its brownout
@@ -493,6 +512,11 @@ func (r *Registry) Solve(ctx context.Context, name, variant string, upper bool, 
 		r.met.Cancelled.Add(1)
 	case errors.Is(err, ErrQueueFull):
 		r.met.Rejected.Add(1)
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrShed):
+		// Intentional brownout load shedding, not a malfunction: counted
+		// under its own metric so failure-rate alarms stay quiet while the
+		// controller is deliberately refusing work.
+		r.met.Degraded.Add(1)
 	case errors.Is(err, panicsafe.ErrInternal):
 		// A kernel panic contained at an engine job boundary: failed,
 		// and counted separately so operators can alarm on it.
@@ -560,10 +584,12 @@ func (r *Registry) solveOnce(ctx context.Context, name, variant string, upper bo
 // translateEvicted keeps the internal errCoalescerClosed sentinel from
 // escaping the registry when a request loses the eviction race on every
 // attempt (pathological budget churn): the client gets a retriable 503
-// instead of an opaque 500.
+// with a flush-interval-scale retry hint (ErrPlanEvicted) instead of an
+// opaque 500 — or the 2-second ErrDraining back-off, which would be
+// wildly pessimistic for a plan that rebuilds in milliseconds.
 func translateEvicted(err error, name string) error {
 	if errors.Is(err, errCoalescerClosed) {
-		return fmt.Errorf("%w: plan %q evicted mid-request, retry", ErrDraining, name)
+		return fmt.Errorf("%w: plan %q, retry", ErrPlanEvicted, name)
 	}
 	return err
 }
@@ -607,17 +633,33 @@ func (r *Registry) acquire(name string) (*planState, error) {
 			}
 		}
 		e.building = make(chan struct{})
-		pend := e.vals // UpdateValues waits on e.building, so this can't move under us
+		// UpdateValues commits version/vals only while no build is in
+		// flight (see its residency re-check), so both are frozen while we
+		// hold e.building.
+		pend := e.vals
+		eVer := e.version
 		r.mu.Unlock()
 
-		st, err := r.buildState(e.spec)
-		if err == nil && pend != nil {
-			// The plan was numerically updated before this (re)build —
-			// reapply the latest values so an evicted-and-rebuilt plan never
-			// silently reverts to the spec's original matrix.
-			if rerr := st.base.plan.Refactor(pend); rerr != nil {
-				st.shutdown()
-				st, err = nil, fmt.Errorf("serve: reapplying updated values for plan %q: %w", e.spec.Name, rerr)
+		// Prefer a warm load: a valid snapshot skips the seconds-scale
+		// ordering pipeline entirely. A stale or missing snapshot falls
+		// through to the cold build.
+		var st *planState
+		var err error
+		snapVer, warm := uint64(0), false
+		var snapVals []float64
+		if r.cfg.SnapshotDir != "" {
+			st, snapVer, snapVals, warm = r.loadSnapshot(e.spec, eVer, pend)
+		}
+		if !warm {
+			st, err = r.buildState(e.spec)
+			if err == nil && pend != nil {
+				// The plan was numerically updated before this (re)build —
+				// reapply the latest values so an evicted-and-rebuilt plan never
+				// silently reverts to the spec's original matrix.
+				if rerr := st.base.plan.Refactor(pend); rerr != nil {
+					st.shutdown()
+					st, err = nil, fmt.Errorf("serve: reapplying updated values for plan %q: %w", e.spec.Name, rerr)
+				}
 			}
 		}
 
@@ -635,7 +677,23 @@ func (r *Registry) acquire(name string) (*planState, error) {
 		}
 		e.st = st
 		r.used += st.bytes
-		r.met.PlanBuilds.Add(1)
+		if warm {
+			r.met.SnapshotLoads.Add(1)
+			if snapVer > e.version {
+				// The snapshot outlives this registry's knowledge (a fresh
+				// registration against a previous process's snapshot): adopt
+				// its version and values so later rebuilds replay them.
+				e.version = snapVer
+				e.vals = snapVals
+			}
+		} else {
+			r.met.PlanBuilds.Add(1)
+		}
+		if !warm || snapVer < e.version {
+			// The on-disk snapshot is absent or lags the live state; bring
+			// it up to date write-behind.
+			r.snapshotAsync(e, st)
+		}
 		r.evictLocked(st)
 	}
 }
@@ -722,6 +780,31 @@ func (r *Registry) acquireIC0(st *planState) (*variantState, error) {
 	return &vs, nil
 }
 
+// dropIC0 discards st's lazily built IC0 variant (factored from values
+// that are being superseded) so the next ic0 request re-factorizes.
+// Teardown runs off-mutex like an eviction, and the bytes are uncharged
+// only if the state is still resident (an eviction racing us already
+// did it).
+func (r *Registry) dropIC0(name string, st *planState) {
+	st.ic0Mu.Lock()
+	old := st.ic0.Swap(nil)
+	st.ic0Mu.Unlock()
+	if old == nil {
+		return
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok && e.st == st {
+		r.used -= old.bytes
+		st.bytes -= old.bytes
+	}
+	r.mu.Unlock()
+	r.shutdowns.Add(1)
+	panicsafe.Go("serve.ic0-teardown", func() {
+		defer r.shutdowns.Done()
+		old.close()
+	})
+}
+
 // UpdateValues performs a numeric refactorization of the named plan:
 // new values for the registered matrix's fixed sparsity are swapped in
 // via Plan.Refactor (copy-on-write — in-flight solves finish on the old
@@ -757,35 +840,51 @@ func (r *Registry) UpdateValues(name string, values []float64, ifVersion uint64)
 	// Copy before swapping: the caller keeps its slice, and the retained
 	// copy must stay immutable for eviction-rebuild replay.
 	vals := append([]float64(nil), values...)
-	if err := st.base.plan.Refactor(vals); err != nil {
-		return PlanInfo{}, err
-	}
+	for {
+		if err := st.base.plan.Refactor(vals); err != nil {
+			return PlanInfo{}, err
+		}
 
-	// The IC0 variant was factored from the old values; drop it so the
-	// next ic0 request re-factorizes lazily on the same pattern. Teardown
-	// runs off-mutex like an eviction, and the bytes are uncharged only if
-	// the state is still resident (an eviction racing us already did it).
-	st.ic0Mu.Lock()
-	old := st.ic0.Swap(nil)
-	st.ic0Mu.Unlock()
-	if old != nil {
+		// The IC0 variant was factored from the old values; drop it so the
+		// next ic0 request re-factorizes lazily on the same pattern.
+		r.dropIC0(name, st)
+
+		// Residency re-check: the version bump is committed only in the
+		// same critical section that proves the refactored state is the
+		// resident one. Without this, an eviction landing between acquire
+		// and Refactor leaves the refactorization on a detached state while
+		// a concurrent rebuild (which read e.vals before our commit)
+		// installs the OLD values — and the bumped version would then lie
+		// about what the resident plan serves until its next eviction.
 		r.mu.Lock()
-		if e2, ok := r.entries[name]; ok && e2.st == st {
-			r.used -= old.bytes
-			st.bytes -= old.bytes
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return PlanInfo{}, fmt.Errorf("%w: %q", ErrUnknownPlan, name)
+		}
+		if e.st == st || (e.st == nil && e.building == nil) {
+			// Either our state is resident (it now carries vals), or nothing
+			// is resident and no build is in flight — the next build reads
+			// e.vals under r.mu and replays them. In both cases a reader of
+			// the new version observes the new values.
+			e.vals = vals
+			e.version++
+			if !r.closed {
+				r.snapshotAsync(e, st)
+			}
+			r.mu.Unlock()
+			break
 		}
 		r.mu.Unlock()
-		r.shutdowns.Add(1)
-		panicsafe.Go("serve.ic0-teardown", func() {
-			defer r.shutdowns.Done()
-			old.close()
-		})
-	}
 
-	r.mu.Lock()
-	e.vals = vals
-	e.version++
-	r.mu.Unlock()
+		// Lost the race: an eviction+rebuild (or a build still in flight
+		// that read the pre-update values) made a different state current.
+		// Reapply the values to whatever is resident and re-check, until
+		// the refactored state and the resident state are the same one.
+		if st, err = r.acquire(name); err != nil {
+			return PlanInfo{}, err
+		}
+	}
 	r.met.ValueUpdates.Add(1)
 
 	infos := r.list(name)

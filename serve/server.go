@@ -106,23 +106,35 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_, _ = w.Write(append(raw, '\n'))
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
+// writeError renders the error envelope with the given back-off hint
+// (0 = none). The Retry-After header rounds the hint up to whole seconds
+// (RFC 9110 delay-seconds); the JSON body carries the precise value.
+func writeError(w http.ResponseWriter, code int, err error, hint time.Duration) {
 	body := errorBody{Error: err.Error()}
-	if ra := retryAfterFor(err); ra > 0 {
-		// Ceil to whole seconds for the header (RFC 9110 delay-seconds);
-		// the JSON body carries the precise hint.
-		w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
-		body.RetryAfterMs = ra.Milliseconds()
+	if hint > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((hint+time.Second-1)/time.Second), 10))
+		body.RetryAfterMs = hint.Milliseconds()
 	}
 	writeJSON(w, code, body)
 }
 
-// retryAfterFor is the client back-off hint for retriable refusals:
+// error writes err with the server's retry hint for it.
+func (s *Server) error(w http.ResponseWriter, code int, err error) {
+	writeError(w, code, err, s.retryAfter(err))
+}
+
+// retryAfter is the client back-off hint for retriable refusals:
 // queue-full and shed requests clear in about a flush interval (round up
-// to the 1s header floor), while draining and degraded states need the
-// operator — or the brownout controller — a few seconds to resolve.
-func retryAfterFor(err error) time.Duration {
+// to the 1s header floor); a plan evicted mid-request rebuilds — or
+// warm-loads from its snapshot — in milliseconds, so the hint is a
+// handful of the live coalescer flush interval; draining and degraded
+// states need the operator — or the brownout controller — a few seconds
+// to resolve.
+func (s *Server) retryAfter(err error) time.Duration {
 	switch {
+	case errors.Is(err, ErrPlanEvicted):
+		hint := 10 * time.Duration(s.reg.flushNs.Load())
+		return min(max(hint, 2*time.Millisecond), time.Second)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
 		return time.Second
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
@@ -139,7 +151,7 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded), errors.Is(err, ErrPlanEvicted):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrPlanExists), errors.Is(err, ErrVersionConflict):
 		return http.StatusConflict
@@ -154,12 +166,12 @@ func statusFor(err error) int {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		s.error(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
 	var spec PlanSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPlanBody)).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.error(w, http.StatusBadRequest, err)
 		return
 	}
 	info, err := s.reg.Register(spec)
@@ -168,7 +180,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if code == http.StatusInternalServerError {
 			code = http.StatusBadRequest // bad spec, unknown class, unreadable file
 		}
-		writeError(w, code, err)
+		s.error(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -190,19 +202,19 @@ type UpdateValuesRequest struct {
 
 func (s *Server) handleUpdateValues(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		s.error(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
 	var req UpdateValuesRequest
 	// A value array is the same order of magnitude as a right-hand side,
 	// so it gets the solve-body cap, not the plan-spec one.
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSolveBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.error(w, http.StatusBadRequest, err)
 		return
 	}
 	info, err := s.reg.UpdateValues(r.PathValue("name"), req.Values, req.IfVersion)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.error(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -230,11 +242,11 @@ type SolveResponse struct {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		s.error(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
 	if err := faultinject.Fire(faultinject.HTTPSolve); err != nil {
-		writeError(w, statusFor(err), err)
+		s.error(w, statusFor(err), err)
 		return
 	}
 	// X-STS-Priority is the brownout shedding key: while degraded, requests
@@ -247,12 +259,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.reg.AdmitPriority(pri); err != nil {
-		writeError(w, statusFor(err), err)
+		s.error(w, statusFor(err), err)
 		return
 	}
 	var req SolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSolveBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.error(w, http.StatusBadRequest, err)
 		return
 	}
 	ctx := r.Context()
@@ -264,7 +276,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	x, err := s.reg.Solve(ctx, req.Plan, req.Variant, req.Upper, req.B)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.error(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SolveResponse{

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"stsk"
+)
+
+// TestUpdateValuesEvictionStaleness is the headline regression test for
+// the UpdateValues/eviction staleness race: under budget churn, an
+// eviction could detach the state an update had refactored while a
+// concurrent rebuild re-read the entry's OLD value array; the update
+// then committed its values and bumped the version anyway, leaving a
+// resident plan that served the previous values under the new version
+// number until the next eviction.
+//
+// The fix makes the commit conditional on the refactored state still
+// being the resident one (or nothing resident and no build in flight),
+// looping to reapply otherwise — so the invariant below is exact: once
+// UpdateValues returns, every subsequent solve is bitwise the solve of
+// a plan refactored with those values, eviction storms notwithstanding.
+// Run under -race; pre-fix this fails within a few rounds.
+func TestUpdateValuesEvictionStaleness(t *testing.T) {
+	reg := NewRegistry(Config{BudgetBytes: 1 << 19}) // one resident plan at most
+	defer reg.Close()
+	const n = 900
+	if _, err := reg.Register(PlanSpec{Name: "a", Class: "grid3d", N: n, Method: "sts3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(PlanSpec{Name: "b", Class: "grid3d", N: n, Method: "sts3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := refPlan(t, "grid3d", n, stsk.STS3)
+	b := manufacturedRHS(ref, 7)
+
+	// Churners: hammering "b" under the tiny budget evicts "a" over and
+	// over; hammering "a" makes the post-eviction rebuild start the
+	// instant the eviction lands — which is exactly the rebuild that
+	// races the update's value commit.
+	stop := make(chan struct{})
+	var churned sync.WaitGroup
+	var churnErr atomic.Value
+	rhs := make([]float64, ref.N()) // grid3d rounds n down to a cube
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		churned.Add(1)
+		go func() {
+			defer churned.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := reg.Solve(context.Background(), name, VariantDirect, false, rhs); err != nil {
+					churnErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+
+	const rounds = 40
+	for i := 1; i <= rounds; i++ {
+		vals := scaledValues(t, "grid3d", n, 1+float64(i)/rounds)
+		if _, err := reg.UpdateValues("a", vals, 0); err != nil {
+			t.Fatalf("round %d: UpdateValues: %v", i, err)
+		}
+		// No other updater exists, so from the moment UpdateValues
+		// returned, "a" must solve on exactly these values — whether the
+		// refactored state survived, or an eviction forced a rebuild that
+		// replayed them.
+		if err := ref.Refactor(vals); err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reg.Solve(context.Background(), "a", VariantDirect, false, b)
+		if err != nil {
+			t.Fatalf("round %d: Solve: %v", i, err)
+		}
+		assertBitwise(t, got, want, "post-update solve")
+	}
+	close(stop)
+	churned.Wait()
+	if err := churnErr.Load(); err != nil {
+		t.Fatalf("churner: %v", err)
+	}
+
+	// The version advanced once per update on top of the initial 1.
+	for _, pi := range reg.List() {
+		if pi.Spec.Name == "a" && pi.Version != rounds+1 {
+			t.Fatalf("version %d after %d updates, want %d", pi.Version, rounds, rounds+1)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package stsk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+
+	"stsk/internal/csrk"
+	"stsk/internal/order"
+	"stsk/internal/snapshot"
+	"stsk/internal/solve"
+	"stsk/internal/sparse"
+)
+
+// ErrBadSnapshot reports a plan snapshot that cannot be loaded: a
+// corrupted or truncated file, an incompatible format version, or a
+// decoded image whose arrays fail the plan invariants (non-triangular
+// factor, non-bijective permutation, inconsistent task DAG). Loaders
+// match it with errors.Is and fall back to a cold Build — a bad snapshot
+// is never worse than having no snapshot.
+var ErrBadSnapshot = fmt.Errorf("stsk: bad plan snapshot")
+
+// SnapshotExtra is opaque embedder data carried inside a plan snapshot
+// under the same checksum as the plan itself. The serve registry stores
+// its plan spec and registry-level value version in Meta and the latest
+// input-order value array in AuxVals; the core library never interprets
+// either field.
+type SnapshotExtra struct {
+	Meta    []byte
+	AuxVals []float64
+}
+
+// WriteSnapshot serializes the plan — permutation, super-row packs, task
+// DAG, source pattern, and the current value epoch — to w in the
+// versioned, checksummed format of internal/snapshot. A plan reloaded
+// from the stream with ReadSnapshot solves bitwise identically to this
+// one and accepts Refactor for the same input pattern.
+//
+// Derived plans (IC0 factors) are refused with ErrSparsityMismatch: they
+// carry no source pattern, so a reload could never Refactor them —
+// re-derive them from their reloaded base plan instead.
+//
+// The serialized value epoch and version are taken from one atomic
+// epoch load, so a snapshot written concurrently with Refactor calls is
+// always internally consistent (some complete epoch, never a mix).
+func (p *Plan) WriteSnapshot(w io.Writer, extra SnapshotExtra) error {
+	img, err := p.snapshotImage(extra)
+	if err != nil {
+		return err
+	}
+	return snapshot.Write(w, img)
+}
+
+// WriteSnapshotFile is WriteSnapshot to a file, written atomically
+// (temp file + rename in the destination directory) so concurrent
+// readers never observe a partial snapshot.
+func (p *Plan) WriteSnapshotFile(path string, extra SnapshotExtra) error {
+	img, err := p.snapshotImage(extra)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, img)
+}
+
+// snapshotImage assembles the serialization image of the plan's current
+// state. The value epoch and its version come from one atomic epoch
+// load, so the image is internally consistent under concurrent Refactor.
+func (p *Plan) snapshotImage(extra SnapshotExtra) (*snapshot.Image, error) {
+	if p.origCol == nil {
+		return nil, fmt.Errorf("%w: plan derives its values (IC0 factor); snapshot the base plan and re-derive after reload", ErrSparsityMismatch)
+	}
+	dag := p.taskDAG()
+	s, seq := p.vals.Snapshot()
+	return &snapshot.Image{
+		Method:       int32(p.inner.Method),
+		NumPacks:     int32(p.inner.NumPacks),
+		N:            s.L.N,
+		ValueVersion: seq,
+		Perm:         p.inner.Perm,
+		RowPtr:       s.L.RowPtr,
+		Col:          s.L.Col,
+		Val:          s.L.Val,
+		SuperPtr:     s.SuperPtr,
+		PackPtr:      s.PackPtr,
+		OrigRowPtr:   p.origRowPtr,
+		OrigCol:      p.origCol,
+		DAG:          dag,
+		Meta:         extra.Meta,
+		AuxVals:      extra.AuxVals,
+	}, nil
+}
+
+// ReadSnapshot reconstructs a Plan from a snapshot stream. The decoded
+// image is re-validated end to end — CRC and framing by the codec,
+// triangularity, diagonals, pack independence, permutation bijectivity,
+// source-pattern shape, and task-DAG consistency here — before any Plan
+// is built, so a corrupted, truncated, or version-skewed snapshot
+// returns an error matching ErrBadSnapshot and never a panic or a
+// silently wrong plan.
+//
+// The reloaded plan resumes the serialized value-epoch version (its
+// ValuesVersion continues where the writer's left off), reuses the
+// serialized task DAG without rebuilding it, and solves bitwise
+// identically to the plan that wrote the snapshot.
+func ReadSnapshot(r io.Reader) (*Plan, SnapshotExtra, error) {
+	img, err := snapshot.Read(r)
+	if err != nil {
+		return nil, SnapshotExtra{}, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	p, err := planFromImage(img)
+	if err != nil {
+		return nil, SnapshotExtra{}, err
+	}
+	return p, SnapshotExtra{Meta: img.Meta, AuxVals: img.AuxVals}, nil
+}
+
+// ReadSnapshotFile is ReadSnapshot over a file path, on the codec's
+// bulk-read fast path: the whole file is read in one syscall and
+// decoded in place, skipping the incremental stream buffering — on
+// multi-plan warm starts this roughly halves reload time. File-system
+// errors (notably fs.ErrNotExist) pass through unwrapped so callers
+// can distinguish "no snapshot" from "bad snapshot".
+func ReadSnapshotFile(path string) (*Plan, SnapshotExtra, error) {
+	img, err := snapshot.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, SnapshotExtra{}, err
+		}
+		return nil, SnapshotExtra{}, fmt.Errorf("%s: %w: %w", path, ErrBadSnapshot, err)
+	}
+	p, err := planFromImage(img)
+	if err != nil {
+		return nil, SnapshotExtra{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, SnapshotExtra{Meta: img.Meta, AuxVals: img.AuxVals}, nil
+}
+
+// newPlanVersion is newPlan resuming a serialized value-epoch sequence
+// number — the snapshot-reload constructor.
+func newPlanVersion(inner *order.Plan, version uint64) *Plan {
+	return &Plan{inner: inner, vals: solve.NewValuesVersion(inner.S, version)}
+}
+
+// planFromImage validates a decoded snapshot image semantically and
+// assembles the Plan. Every invariant the build pipeline guarantees is
+// re-checked here, because the image came from disk, not from order.Build.
+func planFromImage(img *snapshot.Image) (*Plan, error) {
+	bad := func(format string, a ...any) (*Plan, error) {
+		return nil, fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, a...))
+	}
+	method := order.Method(img.Method)
+	valid := false
+	for _, m := range order.Methods() {
+		if m == method {
+			valid = true
+		}
+	}
+	if !valid {
+		return bad("unknown method %d", img.Method)
+	}
+	n := img.N
+	if n < 1 {
+		return bad("dimension %d", n)
+	}
+	l := &sparse.CSR{N: n, RowPtr: img.RowPtr, Col: img.Col, Val: img.Val}
+	s, err := csrk.Build(l, img.SuperPtr, img.PackPtr)
+	if err != nil {
+		return bad("factor fails validation: %v", err)
+	}
+	if int(img.NumPacks) != s.NumPacks() {
+		return bad("pack count %d disagrees with PackPtr (%d)", img.NumPacks, s.NumPacks())
+	}
+	if len(img.Perm) != n {
+		return bad("permutation length %d for dimension %d", len(img.Perm), n)
+	}
+	seen := make([]bool, n)
+	for i, pi := range img.Perm {
+		if pi < 0 || pi >= n || seen[pi] {
+			return bad("permutation not a bijection at index %d", i)
+		}
+		seen[pi] = true
+	}
+	if err := checkOrigPattern(img.OrigRowPtr, img.OrigCol, n); err != nil {
+		return nil, fmt.Errorf("%w: source pattern: %v", ErrBadSnapshot, err)
+	}
+	if img.DAG == nil {
+		return bad("missing task DAG")
+	}
+	if err := checkDAGBounds(img.DAG, s); err != nil {
+		return nil, fmt.Errorf("%w: task dag: %v", ErrBadSnapshot, err)
+	}
+	if err := img.DAG.Validate(s); err != nil {
+		return nil, fmt.Errorf("%w: task dag: %v", ErrBadSnapshot, err)
+	}
+
+	inner := &order.Plan{
+		Method:   method,
+		Perm:     img.Perm,
+		S:        s,
+		NumPacks: int(img.NumPacks),
+	}
+	p := newPlanVersion(inner, img.ValueVersion)
+	p.origRowPtr, p.origCol = img.OrigRowPtr, img.OrigCol
+	// Adopt the serialized DAG so the graph schedule is warm immediately —
+	// rebuilding it would forfeit a chunk of the warm-restart win.
+	p.dag = img.DAG
+	p.dagPar = img.DAG.Parallelism()
+	return p, nil
+}
+
+// checkOrigPattern validates the serialized source-matrix pattern that
+// Refactor maps input-order values through.
+func checkOrigPattern(rowPtr, col []int, n int) error {
+	if len(rowPtr) != n+1 {
+		return fmt.Errorf("RowPtr length %d, want %d", len(rowPtr), n+1)
+	}
+	if rowPtr[0] != 0 || rowPtr[n] != len(col) {
+		return fmt.Errorf("RowPtr spans [%d,%d], want [0,%d]", rowPtr[0], rowPtr[n], len(col))
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return fmt.Errorf("RowPtr decreases at row %d", i)
+		}
+	}
+	for k, j := range col {
+		if j < 0 || j >= n {
+			return fmt.Errorf("column %d out of range at entry %d", j, k)
+		}
+	}
+	return nil
+}
+
+// checkDAGBounds verifies every index stored in a deserialized TaskDAG
+// before TaskDAG.Validate walks it — Validate assumes builder-produced
+// arrays and would index out of bounds on hostile pointer values.
+func checkDAGBounds(d *csrk.TaskDAG, s *csrk.Structure) error {
+	nt := len(d.TaskPtr) - 1
+	if nt < 1 {
+		return fmt.Errorf("no tasks")
+	}
+	if len(d.RowPtr) != nt+1 || len(d.PredPtr) != nt+1 || len(d.SuccPtr) != nt+1 {
+		return fmt.Errorf("pointer arrays disagree on task count")
+	}
+	if err := checkPtr32(d.TaskPtr, s.NumSuperRows(), "TaskPtr"); err != nil {
+		return err
+	}
+	if err := checkPtr32(d.PredPtr, len(d.Pred), "PredPtr"); err != nil {
+		return err
+	}
+	if err := checkPtr32(d.SuccPtr, len(d.Succ), "SuccPtr"); err != nil {
+		return err
+	}
+	for _, u := range d.Succ {
+		if u < 0 || int(u) >= nt {
+			return fmt.Errorf("successor %d out of range [0,%d)", u, nt)
+		}
+	}
+	return nil
+}
+
+// checkPtr32 verifies an int32 pointer array is monotone nondecreasing
+// from 0 to span, so slicing data arrays through it cannot fault.
+func checkPtr32(ptr []int32, span int, name string) error {
+	if len(ptr) < 2 {
+		return fmt.Errorf("%s too short (%d)", name, len(ptr))
+	}
+	if ptr[0] != 0 || int(ptr[len(ptr)-1]) != span {
+		return fmt.Errorf("%s spans [%d,%d], want [0,%d]", name, ptr[0], ptr[len(ptr)-1], span)
+	}
+	for i := 1; i < len(ptr); i++ {
+		if ptr[i] < ptr[i-1] {
+			return fmt.Errorf("%s decreases at %d", name, i)
+		}
+	}
+	return nil
+}
