@@ -20,6 +20,9 @@
 //	stsbench -experiment snapshotbench  # plan snapshot persistence: cold Build vs
 //	                                    # WriteSnapshotFile/ReadSnapshotFile reload;
 //	                                    # cells merged into BENCH_stsk.json
+//	stsbench -experiment tracebench     # solve-lifecycle tracing overhead on the
+//	                                    # serving path: disarmed vs armed recorder;
+//	                                    # cells merged into BENCH_stsk.json
 //	stsbench -list
 //
 // Experiments: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
@@ -57,6 +60,7 @@ func main() {
 		fmt.Println("servebench")
 		fmt.Println("refactorbench")
 		fmt.Println("snapshotbench")
+		fmt.Println("tracebench")
 		return
 	}
 	r := bench.New(*scale, os.Stdout)
@@ -80,6 +84,11 @@ func main() {
 		}
 	case "snapshotbench":
 		if err := runSnapshotBench(r, *benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "stsbench:", err)
+			os.Exit(1)
+		}
+	case "tracebench":
+		if err := runTraceBench(r, *benchout); err != nil {
 			fmt.Fprintln(os.Stderr, "stsbench:", err)
 			os.Exit(1)
 		}
@@ -139,6 +148,17 @@ func runSnapshotBench(r *bench.Runner, path string) error {
 		return err
 	}
 	return mergeCells(r, path, "snapshot-", cells)
+}
+
+// runTraceBench measures the lifecycle-trace recorder's serving overhead
+// (disarmed vs armed) and merges its cells ("trace-disarmed",
+// "trace-armed") into the report at path the same way.
+func runTraceBench(r *bench.Runner, path string) error {
+	cells, err := traceBench(r.Scale, os.Stdout)
+	if err != nil {
+		return err
+	}
+	return mergeCells(r, path, "trace-", cells)
 }
 
 // mergeCells rewrites the report at path with the given cells appended,

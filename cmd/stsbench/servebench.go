@@ -51,12 +51,21 @@ func serveBench(scale int, out io.Writer) ([]bench.SolveBenchResult, error) {
 
 // measureServe drives one registry configuration with the standard
 // concurrent-client load for a fixed duration and reads the throughput
-// and coalescing width off the registry's own metrics.
+// and coalescing width off the registry's own metrics. Lifecycle
+// tracing stays at its default (armed) so the cells reflect production
+// configuration; tracebench flips it via measureServeTracing.
 func measureServe(scale, width int) (bench.SolveBenchResult, error) {
+	return measureServeTracing(scale, width, false)
+}
+
+// measureServeTracing is measureServe with the trace recorder armed or
+// disarmed — the two cells of the tracebench overhead experiment.
+func measureServeTracing(scale, width int, disableTracing bool) (bench.SolveBenchResult, error) {
 	reg := serve.NewRegistry(serve.Config{
-		BlockWidth: width,
-		FlushDelay: 500 * time.Microsecond,
-		QueueCap:   4 * serveBenchClients,
+		BlockWidth:     width,
+		FlushDelay:     500 * time.Microsecond,
+		QueueCap:       4 * serveBenchClients,
+		DisableTracing: disableTracing,
 	})
 	defer reg.Close()
 	info, err := reg.Register(serve.PlanSpec{Name: "bench", Class: "grid3d", N: scale, Method: "sts3"})

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"stsk/internal/bench"
+)
+
+// traceBench measures the cost of the solve-lifecycle trace recorder on
+// the serving hot path: the standard 32-client coalesced serving load,
+// once with tracing disarmed (every hook a nil-receiver no-op) and once
+// armed (spans recorded, stage histograms fed, ring admission on every
+// request). The contract is that arming costs ≤3% in ns/req — the spans
+// are pooled, stamps are monotonic clock reads, and publication is a
+// handful of atomic stores. Modes alternate for several rounds and each
+// keeps its best round, the same minimum-statistic the snapshot smoke
+// uses against one-off scheduler noise.
+func traceBench(scale int, out io.Writer) ([]bench.SolveBenchResult, error) {
+	fmt.Fprintf(out, "Trace overhead benchmark (%d concurrent clients, coalesced, disarmed vs armed)\n", serveBenchClients)
+	fmt.Fprintf(out, "%-16s %12s %14s %12s\n", "mode", "ns/req", "solves/s", "mean width")
+	modes := []struct {
+		name    string
+		disarm  bool
+		best    bench.SolveBenchResult
+		hasBest bool
+	}{
+		{name: "trace-disarmed", disarm: true},
+		{name: "trace-armed", disarm: false},
+	}
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		for i := range modes {
+			res, err := measureServeTracing(scale, 8, modes[i].disarm)
+			if err != nil {
+				return nil, err
+			}
+			res.Schedule = modes[i].name
+			if !modes[i].hasBest || res.NsPerOp < modes[i].best.NsPerOp {
+				modes[i].best, modes[i].hasBest = res, true
+			}
+		}
+	}
+	var cells []bench.SolveBenchResult
+	for i := range modes {
+		res := modes[i].best
+		cells = append(cells, res)
+		fmt.Fprintf(out, "%-16s %12.0f %14.0f %12.2f\n",
+			modes[i].name, res.NsPerOp, res.SolvesPerSec, res.MeanPanelWidth)
+	}
+	overhead := cells[1].NsPerOp/cells[0].NsPerOp - 1
+	fmt.Fprintf(out, "armed overhead: %+.2f%%\n", overhead*100)
+	return cells, nil
+}

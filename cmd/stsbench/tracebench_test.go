@@ -1,0 +1,33 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestTraceBenchCells runs the trace-overhead experiment at a small
+// scale and pins the cell contract the CI bench step relies on: exactly
+// one cell per mode, labelled with the schedule names the trajectory
+// file is keyed by, with positive throughput numbers.
+func TestTraceBenchCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark; skipped in -short")
+	}
+	cells, err := traceBench(1500, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("traceBench returned %d cells, want 2", len(cells))
+	}
+	want := []string{"trace-disarmed", "trace-armed"}
+	for i, c := range cells {
+		if c.Schedule != want[i] {
+			t.Errorf("cell %d schedule = %q, want %q", i, c.Schedule, want[i])
+		}
+		if c.NsPerOp <= 0 || c.SolvesPerSec <= 0 {
+			t.Errorf("cell %q has non-positive rates: ns/op %g, solves/s %g",
+				c.Schedule, c.NsPerOp, c.SolvesPerSec)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"stsk/internal/faultinject"
 	"stsk/internal/panicsafe"
 	"stsk/internal/sparse"
+	"stsk/internal/trace"
 )
 
 // Sentinel errors of the solve layer. Both are re-exported by the stsk
@@ -456,7 +457,11 @@ func (e *Engine) coopSolve(ctx context.Context, x, b []float64, reverse bool) er
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("%w: vector lengths %d/%d, want %d", ErrDimension, len(x), len(b), n)
 	}
-	return e.panelSolve(ctx, e.vals.Current(), x, b, 1, reverse)
+	tr := trace.FromContext(ctx)
+	p0 := trace.Now()
+	ep := e.vals.Current()
+	tr.Observe(trace.StageEpochPin, p0, trace.Now())
+	return e.panelSolve(ctx, ep, x, b, 1, reverse)
 }
 
 // panelSolve runs one cooperative sweep of epoch ep under the engine's
@@ -472,10 +477,13 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := trace.FromContext(ctx)
 	if reverse {
+		u0 := trace.Now()
 		if err := e.ensureUpper(ep); err != nil {
 			return err
 		}
+		tr.Observe(trace.StageEpochPin, u0, trace.Now())
 	}
 	if e.opts.Workers == 1 || e.s.NumSuperRows() == 1 {
 		// Degenerate layouts skip the pool entirely, like Parallel.
@@ -485,7 +493,10 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 		if closed {
 			return ErrClosed
 		}
-		return e.localSweep(ep, X, B, kw, reverse)
+		s0 := trace.Now()
+		err := e.localSweep(ep, X, B, kw, reverse)
+		tr.Observe(trace.StageSweep, s0, trace.Now())
+		return err
 	}
 	e.solveMu.Lock()
 	defer e.solveMu.Unlock()
@@ -495,8 +506,12 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 		return err
 	}
 	if e.opts.Schedule == Graph {
-		return e.graphSolve(ep, X, B, kw, reverse)
+		s0 := trace.Now()
+		err := e.graphSolve(ep, X, B, kw, reverse)
+		tr.Observe(trace.StageSweep, s0, trace.Now())
+		return err
 	}
+	d0 := trace.Now()
 	r := &e.run
 	r.ep, r.x, r.b, r.kw, r.reverse = ep, X, B, kw, reverse
 	r.failErr = nil
@@ -525,7 +540,10 @@ func (e *Engine) panelSolve(ctx context.Context, ep *epoch, X, B []float64, kw i
 		e.jobs <- job{coop: r, id: w}
 	}
 	e.closeMu.RUnlock()
+	s0 := trace.Now()
+	tr.Observe(trace.StageDispatch, d0, s0)
 	r.wg.Wait()
+	tr.Observe(trace.StageSweep, s0, trace.Now())
 	// Wait orders every worker's fail() before this read; no lock needed.
 	err := r.failErr
 	r.failErr = nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"stsk/internal/sparse"
+	"stsk/internal/trace"
 )
 
 // maxBlockWidth is the widest panel the blocked kernels unroll for, and
@@ -92,12 +93,15 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 	if len(B) == 0 {
 		return nil
 	}
+	tr := trace.FromContext(ctx)
+	p0 := trace.Now()
 	ep := e.vals.Current()
 	if reverse {
 		if err := e.ensureUpper(ep); err != nil {
 			return err
 		}
 	}
+	tr.Observe(trace.StageEpochPin, p0, trace.Now())
 	width = normalizeBlockWidth(width, e.opts.BlockWidth)
 	if len(B) == 1 {
 		return e.panelSolve(ctx, ep, X[0], B[0], 1, reverse)
@@ -118,6 +122,7 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 	run.remaining.Store(int32(jobs))
 	issued := 0
 	var first error
+	d0 := trace.Now()
 	for i := 0; i < len(B); {
 		if err := ctx.Err(); err != nil {
 			first = err
@@ -139,7 +144,11 @@ func (e *Engine) block(ctx context.Context, X, B [][]float64, width int, reverse
 		issued++
 		i += kw
 	}
-	return e.finishRun(run, jobs, issued, first)
+	s0 := trace.Now()
+	tr.Observe(trace.StageDispatch, d0, s0)
+	err := e.finishRun(run, jobs, issued, first)
+	tr.Observe(trace.StageSweep, s0, trace.Now())
+	return err
 }
 
 // coopPanel runs one panel cooperatively: pack the columns into the

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Ring is the bounded slow-trace buffer behind GET /debug/traces: the
+// registry adds every finished Record whose total meets its admission
+// threshold, the oldest record is overwritten once capacity is reached,
+// and Snapshot serves a newest-first copy filtered by a query-time
+// threshold. All methods are safe for concurrent use.
+type Ring struct {
+	mu       sync.Mutex
+	recs     []Record
+	next     int
+	admitted uint64
+}
+
+// NewRing builds an empty ring holding up to capacity records
+// (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{recs: make([]Record, 0, capacity)}
+}
+
+// Add admits one finished record, evicting the oldest when full.
+func (g *Ring) Add(rec Record) {
+	g.mu.Lock()
+	if len(g.recs) < cap(g.recs) {
+		g.recs = append(g.recs, rec)
+	} else {
+		g.recs[g.next] = rec
+		g.next = (g.next + 1) % cap(g.recs)
+	}
+	g.admitted++
+	g.mu.Unlock()
+}
+
+// Len reports the records currently held (≤ capacity).
+func (g *Ring) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.recs)
+}
+
+// Cap reports the ring's fixed capacity.
+func (g *Ring) Cap() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return cap(g.recs)
+}
+
+// Admitted reports how many records have ever been added — minus Len,
+// the number evicted.
+func (g *Ring) Admitted() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admitted
+}
+
+// Snapshot copies the held records newest-first, keeping only those with
+// Total ≥ min (min 0 keeps everything).
+func (g *Ring) Snapshot(min time.Duration) []Record {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Record, 0, len(g.recs))
+	// Walk backwards from the newest: the slot before next when full,
+	// the last appended element while filling.
+	for i := 0; i < len(g.recs); i++ {
+		j := len(g.recs) - 1 - i
+		if len(g.recs) == cap(g.recs) {
+			j = ((g.next-1-i)%len(g.recs) + len(g.recs)) % len(g.recs)
+		}
+		if rec := g.recs[j]; rec.Total >= min {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

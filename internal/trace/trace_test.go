@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	tr.Observe(StageKernel, 1, 2) // must not panic
+	tr.Retain()
+	tr.Release()
+	if tr.ID() != "" || tr.Start() != 0 {
+		t.Fatalf("nil trace leaked state: id=%q start=%d", tr.ID(), tr.Start())
+	}
+	if rec := tr.Finish("p", "ok"); len(rec.Spans) != 0 {
+		t.Fatalf("nil trace finished with spans: %+v", rec)
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("NewContext(nil trace) must not arm the context")
+	}
+}
+
+func TestObserveFinishRoundTrip(t *testing.T) {
+	tr := New("abc123")
+	defer tr.Release()
+	s0 := tr.Start()
+	tr.Observe(StageQueueWait, s0, s0+1000)
+	tr.Observe(StageKernel, s0+1000, s0+5000)
+	tr.Observe(StageSweep, s0+2000, s0+4000)
+	// Let real time pass the synthetic stamps: Finish clamps spans to the
+	// trace's wall interval.
+	for Now() < s0+5000 {
+		time.Sleep(time.Microsecond)
+	}
+	rec := tr.Finish("g3", "ok")
+	if rec.ID != "abc123" || rec.Plan != "g3" || rec.Outcome != "ok" {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rec.Spans))
+	}
+	// Sorted by start offset.
+	for i := 1; i < len(rec.Spans); i++ {
+		if rec.Spans[i].Start < rec.Spans[i-1].Start {
+			t.Fatalf("spans unsorted: %+v", rec.Spans)
+		}
+	}
+	if d := rec.StageTotal(StageKernel); d != 4*time.Microsecond {
+		t.Fatalf("kernel total %v, want 4µs", d)
+	}
+	if rec.Total <= 0 {
+		t.Fatalf("non-positive total %v", rec.Total)
+	}
+}
+
+func TestObserveOverflowCountsDrops(t *testing.T) {
+	tr := New("")
+	defer tr.Release()
+	for i := 0; i < MaxSpans+7; i++ {
+		tr.Observe(StageKernel, int64(i), int64(i+1))
+	}
+	rec := tr.Finish("", "ok")
+	if len(rec.Spans) != MaxSpans {
+		t.Fatalf("got %d spans, want %d", len(rec.Spans), MaxSpans)
+	}
+	if rec.Dropped != 7 {
+		t.Fatalf("dropped %d, want 7", rec.Dropped)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr := New("")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		tr.Retain()
+		go func() {
+			defer wg.Done()
+			defer tr.Release()
+			for i := 0; i < 4; i++ {
+				s := Now()
+				tr.Observe(StageKernel, s, s+10)
+			}
+		}()
+	}
+	wg.Wait()
+	rec := tr.Finish("", "ok")
+	tr.Release()
+	if len(rec.Spans) != 32 {
+		t.Fatalf("got %d spans, want 32", len(rec.Spans))
+	}
+}
+
+func TestReleaseRecyclesOnlyAtZero(t *testing.T) {
+	tr := New("first")
+	tr.Retain()
+	tr.Release() // back to 1 ref: must NOT recycle
+	if tr.ID() != "first" {
+		t.Fatalf("trace recycled while referenced: id=%q", tr.ID())
+	}
+	tr.Release()
+}
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("ctxid")
+	defer tr.Release()
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("unarmed context must yield nil")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatal("nil context must yield nil")
+	}
+}
+
+func TestRingEvictionAndThreshold(t *testing.T) {
+	g := NewRing(4)
+	if g.Cap() != 4 {
+		t.Fatalf("cap %d, want 4", g.Cap())
+	}
+	for i := 1; i <= 6; i++ {
+		g.Add(Record{ID: string(rune('a' + i - 1)), Total: time.Duration(i) * time.Millisecond})
+	}
+	if g.Len() != 4 {
+		t.Fatalf("len %d, want 4 after overflow", g.Len())
+	}
+	if g.Admitted() != 6 {
+		t.Fatalf("admitted %d, want 6", g.Admitted())
+	}
+	all := g.Snapshot(0)
+	if len(all) != 4 {
+		t.Fatalf("snapshot len %d, want 4", len(all))
+	}
+	// Newest-first, oldest two evicted.
+	if all[0].ID != "f" || all[3].ID != "c" {
+		t.Fatalf("snapshot order wrong: %+v", all)
+	}
+	slow := g.Snapshot(5 * time.Millisecond)
+	if len(slow) != 2 {
+		t.Fatalf("threshold snapshot len %d, want 2: %+v", len(slow), slow)
+	}
+	for _, rec := range slow {
+		if rec.Total < 5*time.Millisecond {
+			t.Fatalf("threshold leaked fast record %+v", rec)
+		}
+	}
+}
+
+func TestRingPartialFillSnapshotOrder(t *testing.T) {
+	g := NewRing(8)
+	g.Add(Record{ID: "one"})
+	g.Add(Record{ID: "two"})
+	got := g.Snapshot(0)
+	if len(got) != 2 || got[0].ID != "two" || got[1].ID != "one" {
+		t.Fatalf("partial-fill snapshot wrong: %+v", got)
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); int(s) < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("stage %d has bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage must stringify as unknown")
+	}
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape.
+
+Usage: check_exposition.py FILE [required-series-substring ...]
+
+Fails (exit 1, reason on stderr) on:
+  - sample lines that don't parse as `name{labels} value`
+  - malformed comment lines (only `# HELP` / `# TYPE` allowed)
+  - histogram bucket series whose cumulative counts decrease, that lack
+    a `+Inf` bucket, or whose `+Inf` count disagrees with `_count`
+  - any required series substring absent from the scrape
+
+The serving smokes run every scrape through this so a formatting
+regression (or a dropped stage histogram) fails CI, not a dashboard.
+"""
+import re
+import sys
+
+SAMPLE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'      # metric name
+    r'(?:\{([^{}]*)\})?'                 # optional label set
+    r' (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf)$'
+)
+LE = re.compile(r'(?:^|,)le="([^"]+)"')
+
+
+def fail(msg):
+    sys.stderr.write("check_exposition: %s\n" % msg)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_exposition.py FILE [required ...]")
+    path, required = sys.argv[1], sys.argv[2:]
+    text = open(path).read()
+    buckets = {}   # series key (name + labels sans le) -> [(le, count)]
+    counts = {}    # _count series key -> value
+    nsamples = 0
+    for ln in text.splitlines():
+        if ln.startswith("# HELP ") or ln.startswith("# TYPE "):
+            continue
+        if ln.startswith("#"):
+            fail("malformed comment line: %r" % ln)
+        if not ln.strip():
+            fail("blank line inside exposition")
+        m = SAMPLE.match(ln)
+        if not m:
+            fail("malformed sample line: %r" % ln)
+        name, labels, val = m.group(1), m.group(2) or "", m.group(3)
+        nsamples += 1
+        if name.endswith("_bucket"):
+            le = LE.search(labels)
+            if not le:
+                fail("bucket without le label: %r" % ln)
+            rest = LE.sub("", labels).strip(",")
+            key = (name[: -len("_bucket")], rest)
+            buckets.setdefault(key, []).append((le.group(1), float(val)))
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")], labels)] = float(val)
+    if nsamples == 0:
+        fail("no samples in %s" % path)
+    for key, series in buckets.items():
+        prev = -1.0
+        inf = None
+        for le, c in series:
+            if c < prev:
+                fail("bucket counts decrease in %s{%s} at le=%s" % (key[0], key[1], le))
+            prev = c
+            if le == "+Inf":
+                inf = c
+        if inf is None:
+            fail("histogram %s{%s} lacks a +Inf bucket" % key)
+        if key in counts and counts[key] != inf:
+            fail("histogram %s{%s}: _count %g != +Inf bucket %g" % (key[0], key[1], counts[key], inf))
+    for want in required:
+        if want not in text:
+            fail("required series %r missing from %s" % (want, path))
+    print("exposition ok: %d samples, %d histogram series" % (nsamples, len(buckets)))
+
+
+if __name__ == "__main__":
+    main()

@@ -76,6 +76,37 @@ solve_and_check() { # $1 = output tag
 for i in $(seq 10); do solve_and_check "pre.$i"; done
 echo "10 routed solves OK with both replicas up"
 
+# --- trace-ID propagation through the router -------------------------
+# A client-supplied X-STS-Trace-Id must survive the routed hop: the
+# backend echoes it, the router relays the echo, and the ID names a
+# retained entry in the serving replica's /debug/traces ring.
+code=$(curl -s -D "$TMP/thdr.txt" -o /dev/null -w '%{http_code}' -X POST "http://$RT/v1/solve" \
+  -H 'X-STS-Trace-Id: tracesmoke42' --data-binary @"$TMP/req.json")
+[ "$code" = "200" ] || { echo "traced routed solve answered $code"; exit 1; }
+grep -qi '^x-sts-trace-id: tracesmoke42' "$TMP/thdr.txt" \
+  || { echo "router did not relay the trace ID echo:"; cat "$TMP/thdr.txt"; exit 1; }
+found=""
+for a in "$REP1" "$REP2"; do
+  if curl -fsS "http://$a/debug/traces?thresholdMs=0" | grep -q '"id":"tracesmoke42"'; then found=1; fi
+done
+[ -n "$found" ] || { echo "trace tracesmoke42 retained on neither replica"; exit 1; }
+
+# Without a client ID the router mints one (16 hex digits) so the whole
+# fan-out is attributable, and the response still carries it.
+curl -s -D "$TMP/thdr2.txt" -o /dev/null -X POST "http://$RT/v1/solve" \
+  --data-binary @"$TMP/req.json"
+grep -qiE '^x-sts-trace-id: [0-9a-f]{16}' "$TMP/thdr2.txt" \
+  || { echo "router did not mint a trace ID:"; cat "$TMP/thdr2.txt"; exit 1; }
+echo "trace IDs round-trip through the router (client-supplied and minted)"
+
+# Replica and router expositions are well-formed, with the stage
+# histograms live on the replicas after the routed load.
+curl -fsS "http://$REP2/metrics" >"$TMP/repmet.txt"
+python3 scripts/check_exposition.py "$TMP/repmet.txt" \
+  'stsserve_stage_latency_seconds_bucket{stage="kernel",outcome="ok"' \
+  'stsserve_stage_latency_seconds_bucket{stage="queue_wait",outcome="ok"' \
+  'stsserve_go_goroutines'
+
 # Kill one replica abruptly (no drain) and keep firing: the router must
 # fail over / eject and keep serving 200s — never a 500 of its own.
 kill -KILL "$REP1_PID"
@@ -87,6 +118,7 @@ echo "20 routed solves OK with one replica killed mid-run"
 # health endpoint keeps answering 200 while one backend is alive.
 sleep 0.5
 curl -fsS "http://$RT/metrics" >"$TMP/rtmet.txt"
+python3 scripts/check_exposition.py "$TMP/rtmet.txt" 'stsrouter_requests_total'
 grep -q '^stsrouter_ejections_total [1-9]' "$TMP/rtmet.txt" \
   || { echo "router never ejected the dead replica:"; grep stsrouter "$TMP/rtmet.txt"; exit 1; }
 grep -q "stsrouter_backend_healthy{backend=\"http://$REP2\"} 1" "$TMP/rtmet.txt" \

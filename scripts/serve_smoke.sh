@@ -18,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 N=4000
 ADDR=127.0.0.1:8377
+DADDR=127.0.0.1:8378
 CLIENTS=48
 TMP=$(mktemp -d)
 SERVER_PID=""
@@ -43,7 +44,7 @@ go build -o "$TMP/stssolve" ./cmd/stssolve
 "$TMP/stssolve" -class grid3d -n $N -method sts3 -repeats 1 -scale-values 2 \
   -load-rhs "$TMP/b.txt" -dump-values "$TMP/vals2.txt" -dump-solution "$TMP/x2.txt" >/dev/null
 
-"$TMP/stsserve" -addr "$ADDR" -flush 2ms -drain-grace 2s &
+"$TMP/stsserve" -addr "$ADDR" -debug-addr "$DADDR" -flush 2ms -drain-grace 2s &
 SERVER_PID=$!
 
 for _ in $(seq 50); do
@@ -79,6 +80,59 @@ done
 echo "all $CLIENTS responses match the stssolve solution bitwise"
 
 curl -fsS "http://$ADDR/metrics" | grep -E "stsserve_panel_width_mean|stsserve_requests_solved_total|stsserve_solve_batches_total"
+
+# --- observability: exposition, stage attribution, traces, pprof -----
+# The scrape must be well-formed Prometheus text (monotone buckets,
+# +Inf present, _count consistent) and carry the per-stage lifecycle
+# histograms plus the runtime health series.
+curl -fsS "http://$ADDR/metrics" >"$TMP/met.txt"
+python3 scripts/check_exposition.py "$TMP/met.txt" \
+  'stsserve_stage_latency_seconds_bucket{stage="queue_wait",outcome="ok"' \
+  'stsserve_stage_latency_seconds_bucket{stage="coalesce_wait",outcome="ok"' \
+  'stsserve_stage_latency_seconds_bucket{stage="kernel",outcome="ok"' \
+  'stsserve_stage_latency_seconds_bucket{stage="serialize",outcome="ok"' \
+  'stsserve_stage_latency_seconds_bucket{stage="admission",outcome="ok"' \
+  'stsserve_plan_stage_seconds_sum{plan="g3",stage="kernel"}' \
+  'stsserve_go_goroutines' \
+  'stsserve_go_gc_pause_seconds_bucket'
+# The load wave above actually flowed through the stages: the kernel
+# stage must have observed at least $CLIENTS solves.
+kc=$(sed -n 's/^stsserve_stage_latency_seconds_count{stage="kernel",outcome="ok"} //p' "$TMP/met.txt")
+[ -n "$kc" ] && [ "$kc" -ge "$CLIENTS" ] \
+  || { echo "kernel stage histogram saw $kc solves, want >= $CLIENTS"; exit 1; }
+
+# A client-supplied trace ID round-trips to the response header and
+# names a retained entry in the slow-trace ring.
+curl -fsS -D "$TMP/thdr.txt" -X POST "http://$ADDR/v1/solve" \
+  -H 'X-STS-Trace-Id: smoketrace42' --data-binary @"$TMP/req.json" -o /dev/null
+grep -qi '^x-sts-trace-id: smoketrace42' "$TMP/thdr.txt" \
+  || { echo "X-STS-Trace-Id not echoed:"; cat "$TMP/thdr.txt"; exit 1; }
+curl -fsS "http://$ADDR/debug/traces?thresholdMs=0" >"$TMP/traces.json"
+grep -q '"id":"smoketrace42"' "$TMP/traces.json" \
+  || { echo "trace smoketrace42 not retained in /debug/traces"; exit 1; }
+grep -q '"stage":"kernel"' "$TMP/traces.json" \
+  || { echo "/debug/traces entries carry no kernel span"; exit 1; }
+grep -q '"stage":"queue_wait"' "$TMP/traces.json" \
+  || { echo "/debug/traces entries carry no queue_wait span"; exit 1; }
+# Read-time threshold filtering: an absurd floor retains nothing.
+curl -fsS "http://$ADDR/debug/traces?thresholdMs=1e9" | grep -q '"traces":\[\]' \
+  || { echo "thresholdMs=1e9 still returned traces"; exit 1; }
+# The /debug/traces and /metrics views are mirrored on the debug
+# listener, next to pprof.
+curl -fsS "http://$DADDR/debug/traces?thresholdMs=0" | grep -q '"enabled":true' \
+  || { echo "debug listener does not serve /debug/traces"; exit 1; }
+
+# Capture a CPU profile from the debug listener while a solve wave is
+# in flight; the result must be a non-trivial gzipped pprof protobuf.
+seq "$CLIENTS" | xargs -P 32 -I{} curl -fsS -X POST "http://$ADDR/v1/solve" \
+  --data-binary @"$TMP/req.json" -o /dev/null &
+PROF_WAVE=$!
+curl -fsS "http://$DADDR/debug/pprof/profile?seconds=1" -o "$TMP/cpu.pb.gz"
+wait "$PROF_WAVE"
+[ "$(head -c2 "$TMP/cpu.pb.gz" | od -An -tx1 | tr -d ' \n')" = "1f8b" ] \
+  || { echo "pprof profile is not gzipped protobuf"; exit 1; }
+[ "$(wc -c <"$TMP/cpu.pb.gz")" -gt 100 ] || { echo "pprof profile implausibly small"; exit 1; }
+echo "observability: exposition valid, stage histograms live, trace ID round-trips, pprof captured"
 
 # --- numeric refactorization mid-load -------------------------------
 # Fire a wave of solves and land the value update while they are in
@@ -172,7 +226,7 @@ for attempt in 1 2; do
     curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
     sleep 0.2
   done
-  w=$(sed -n 's/.*warm-started 1 plan(s) from .* in //p' "$TMP/warm.log" | python3 -c '
+  w=$(sed -n 's/.*msg="warm-started plans" count=1 .*duration=//p' "$TMP/warm.log" | python3 -c '
 import re, sys
 s = sys.stdin.read().strip()
 m = re.fullmatch(r"(?:(\d+)m)?(?:([\d.]+)s)?(?:([\d.]+)ms)?(?:[\d.]+\xc2?\xb5s)?(?:\d+ns)?", s)

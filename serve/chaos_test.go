@@ -33,6 +33,9 @@ func TestChaosServing(t *testing.T) {
 		FlushDelay: 200 * time.Microsecond,
 		QueueCap:   64,
 		Retry:      RetryPolicy{MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond},
+		// Undersized on purpose: the storm must wrap the slow-trace ring
+		// many times over, exercising eviction under concurrent admission.
+		TraceRing: 32,
 	})
 	srv := NewServer(reg)
 	ts := httptest.NewServer(srv)
@@ -205,4 +208,44 @@ func TestChaosServing(t *testing.T) {
 	}
 	t.Logf("chaos: solved=%d rejected=%d failed=%d panics=%d retries=%d shed=%d cancelled=%d",
 		snap.Solved, snap.Rejected, snap.Failed, snap.PanicsRecovered, snap.Retries, snap.Shed, snap.Cancelled)
+
+	// The slow-trace ring survived the storm intact: bounded at its
+	// capacity, evicting (admissions far beyond capacity), every retained
+	// record internally consistent, and read-time threshold filtering
+	// monotone. Storm outcomes — including the refusals — are all from the
+	// trace outcome vocabulary.
+	ring := reg.TraceRing()
+	if ring == nil {
+		t.Fatal("chaos registry has no trace ring")
+	}
+	if ring.Len() > ring.Cap() {
+		t.Errorf("ring len %d exceeds capacity %d", ring.Len(), ring.Cap())
+	}
+	if ring.Admitted() <= uint64(ring.Cap()) {
+		t.Errorf("ring admitted %d traces, want far more than capacity %d under load", ring.Admitted(), ring.Cap())
+	}
+	outcomes := map[string]bool{"ok": true, "cancelled": true, "rejected": true,
+		"shed": true, "degraded": true, "panic": true, "error": true}
+	all := ring.Snapshot(0)
+	if len(all) != ring.Len() {
+		t.Errorf("snapshot returned %d records, ring holds %d", len(all), ring.Len())
+	}
+	for _, rec := range all {
+		if rec.ID == "" || rec.Total < 0 || !outcomes[rec.Outcome] {
+			t.Errorf("inconsistent chaos trace: id=%q total=%v outcome=%q", rec.ID, rec.Total, rec.Outcome)
+		}
+		for _, sp := range rec.Spans {
+			if sp.Start < 0 || sp.End < sp.Start || sp.End > int64(rec.Total) {
+				t.Errorf("trace %s: span %s [%d,%d) outside [0,%d)", rec.ID, sp.Stage, sp.Start, sp.End, int64(rec.Total))
+			}
+		}
+	}
+	if len(all) > 1 {
+		cut := all[len(all)/2].Total
+		for _, rec := range ring.Snapshot(cut) {
+			if rec.Total < cut {
+				t.Errorf("threshold %v leaked a %v trace", cut, rec.Total)
+			}
+		}
+	}
 }

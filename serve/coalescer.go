@@ -10,6 +10,7 @@ import (
 	"stsk"
 	"stsk/internal/faultinject"
 	"stsk/internal/panicsafe"
+	"stsk/internal/trace"
 )
 
 // Package sentinels surfaced by the serving layer; the HTTP transport
@@ -35,13 +36,29 @@ var errCoalescerClosed = errors.New("serve: coalescer closed")
 
 // solveReq is one queued single-RHS solve. done is buffered (capacity 1)
 // so a dispatcher can always complete a request whose caller has already
-// given up on its context and gone away.
+// given up on its context and gone away. tr is the request's lifecycle
+// trace (nil when untraced); the coalescer holds its own reference from
+// enqueue until completion, so recording queue/kernel spans for an
+// abandoned caller can never touch a recycled trace. enqNs and popNs
+// stamp the queue interval for the queue_wait/coalesce_wait spans.
 type solveReq struct {
 	//stsk:allow-ctx-field (request-scoped: carried only from enqueue to dispatch, never stored past completion)
-	ctx  context.Context
-	b    []float64
-	x    []float64
-	done chan error
+	ctx   context.Context
+	b     []float64
+	x     []float64
+	done  chan error
+	tr    *trace.Trace
+	enqNs int64
+	popNs int64
+}
+
+// complete records nothing, releases the coalescer's trace reference,
+// and answers the waiting caller — the single completion path every
+// dispatcher-side branch funnels through so no reference ever leaks.
+func (r *solveReq) complete(err error) {
+	r.tr.Release()
+	r.tr = nil
+	r.done <- err
 }
 
 // coalescer converts request concurrency into panel-kernel throughput for
@@ -147,10 +164,19 @@ func (c *coalescer) solve(ctx context.Context, b []float64) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &solveReq{ctx: ctx, b: b, x: make([]float64, len(b)), done: make(chan error, 1)}
+	e0 := trace.Now()
+	tr := trace.FromContext(ctx)
+	r := &solveReq{ctx: ctx, b: b, x: make([]float64, len(b)), done: make(chan error, 1), tr: tr}
+	// The enqueue stamp and the reference must both be in place before the
+	// request is visible to the dispatcher, which may pop (and complete) it
+	// immediately; past the enqueue only the local tr is safe to touch.
+	r.enqNs = trace.Now()
+	tr.Retain()
 	if err := c.enqueue(r); err != nil {
+		tr.Release()
 		return nil, err
 	}
+	tr.Observe(trace.StageEnqueue, e0, r.enqNs)
 	select {
 	case err := <-r.done:
 		if err != nil {
@@ -187,6 +213,7 @@ func (c *coalescer) run() {
 	for {
 		select {
 		case r := <-c.queue:
+			r.popNs = trace.Now()
 			c.dispatchSafe(c.collect(r))
 		case <-c.stop:
 			c.drain()
@@ -203,7 +230,7 @@ func (c *coalescer) run() {
 func (c *coalescer) collect(first *solveReq) []*solveReq {
 	batch := c.batch[:0]
 	if err := first.ctx.Err(); err != nil {
-		first.done <- err
+		first.complete(err)
 		return batch
 	}
 	batch = append(batch, first)
@@ -212,8 +239,9 @@ func (c *coalescer) collect(first *solveReq) []*solveReq {
 	for len(batch) < c.width {
 		select {
 		case r := <-c.queue:
+			r.popNs = trace.Now()
 			if err := r.ctx.Err(); err != nil {
-				r.done <- err
+				r.complete(err)
 				continue
 			}
 			batch = append(batch, r)
@@ -235,8 +263,9 @@ func (c *coalescer) drain() {
 		for len(batch) < c.width {
 			select {
 			case r := <-c.queue:
+				r.popNs = trace.Now()
 				if err := r.ctx.Err(); err != nil {
-					r.done <- err
+					r.complete(err)
 					continue
 				}
 				batch = append(batch, r)
@@ -267,20 +296,35 @@ func (c *coalescer) dispatchSafe(batch []*solveReq) {
 			err := panicsafe.AsError(p)
 			for i, r := range batch {
 				if r != nil {
-					r.done <- err
+					r.complete(err)
 					batch[i] = nil
 				}
 			}
 		}
 	}()
+	// Close out each member's queue interval: parked in the bounded queue
+	// (queue_wait), then held in the flush window while the panel filled
+	// (coalesce_wait).
+	d0 := trace.Now()
+	for _, r := range batch {
+		r.tr.Observe(trace.StageQueueWait, r.enqNs, r.popNs)
+		r.tr.Observe(trace.StageCoalesceWait, r.popNs, d0)
+	}
 	if err := faultinject.Fire(faultinject.CoalescerDispatch); err != nil {
 		for i, r := range batch {
-			r.done <- err
+			r.complete(err)
 			batch[i] = nil
 		}
 		return
 	}
-	c.dispatch(batch)
+	// A multi-member panel runs under the background context (panel
+	// isolation — see dispatch), which would sever the engine's span hooks
+	// from every trace; thread the panel leader's trace through so pin/
+	// dispatch/sweep attribution survives, attributed to the member that
+	// opened the panel.
+	//stsk:allow-background (panel isolation: one member's cancellation must not void its neighbours' work)
+	ctx := trace.NewContext(context.Background(), batch[0].tr)
+	c.dispatch(ctx, batch)
 }
 
 // dispatch solves one collected panel. A singleton rides the cooperative
@@ -291,7 +335,7 @@ func (c *coalescer) dispatchSafe(batch []*solveReq) {
 // evaluate every row dot product in the same order as the scalar path.
 //
 //stsk:noalloc
-func (c *coalescer) dispatch(batch []*solveReq) {
+func (c *coalescer) dispatch(ctx context.Context, batch []*solveReq) {
 	if len(batch) == 0 {
 		return
 	}
@@ -299,13 +343,15 @@ func (c *coalescer) dispatch(batch []*solveReq) {
 	c.met.WidthSum.Add(int64(len(batch)))
 	if len(batch) == 1 {
 		r := batch[0]
+		k0 := trace.Now()
 		var err error
 		if c.upper {
 			err = c.solver.SolveUpperIntoCtx(r.ctx, r.x, r.b)
 		} else {
 			err = c.solver.SolveIntoCtx(r.ctx, r.x, r.b)
 		}
-		r.done <- err
+		r.tr.Observe(trace.StageKernel, k0, trace.Now())
+		r.complete(err)
 		batch[0] = nil
 		return
 	}
@@ -314,24 +360,28 @@ func (c *coalescer) dispatch(batch []*solveReq) {
 		xs = append(xs, r.x)
 		bs = append(bs, r.b)
 	}
-	// The panel runs under the background context: one member's
-	// cancellation must not void its neighbours' work, and a panel is at
-	// most width solves deep — it completes promptly regardless. Members
-	// whose context died mid-panel simply find no reader on their
-	// buffered done channel.
+	// The panel runs under the panel-isolation context built by
+	// dispatchSafe: never cancelled — one member's death must not void its
+	// neighbours' work, and a panel is at most width solves deep so it
+	// completes promptly regardless — but carrying the leader's trace for
+	// engine-stage attribution. Members whose context died mid-panel
+	// simply find no reader on their buffered done channel.
+	k0 := trace.Now()
 	var err error
 	if c.upper {
-		//stsk:allow-background (panel isolation: see comment above)
-		err = c.solver.SolveUpperBlockInto(context.Background(), xs, bs)
+		err = c.solver.SolveUpperBlockInto(ctx, xs, bs)
 	} else {
-		//stsk:allow-background (panel isolation: see comment above)
-		err = c.solver.SolveBlockInto(context.Background(), xs, bs)
+		err = c.solver.SolveBlockInto(ctx, xs, bs)
 	}
+	k1 := trace.Now()
 	for i := range xs {
 		xs[i], bs[i] = nil, nil
 	}
 	for i, r := range batch {
-		r.done <- err
+		// Every member rode the same panel: each gets the kernel span, so
+		// any member's trace explains where its wall time went.
+		r.tr.Observe(trace.StageKernel, k0, k1)
+		r.complete(err)
 		batch[i] = nil // drop the reference so the scratch array pins nothing
 	}
 }

@@ -3,8 +3,13 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime/metrics"
+	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"stsk/internal/trace"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
@@ -71,6 +76,54 @@ type Metrics struct {
 	Degraded        atomic.Int64 // requests refused by brownout degradation (not failures)
 
 	latency histogram
+
+	// stages attributes latency per lifecycle stage and outcome, fed by
+	// finished traces (Registry.FinishTrace): stages[s][0] for solved
+	// requests, stages[s][1] for every failure class.
+	stages [trace.NumStages][2]histogram
+
+	// planStages accumulates per-plan per-stage time: plan name →
+	// *planStageSums. Bounded by the registered-plan count, which the
+	// registry already bounds.
+	planStages sync.Map
+}
+
+// planStageSums is one plan's per-stage running totals, exported as
+// stsserve_plan_stage_seconds_{sum,count}.
+type planStageSums [trace.NumStages]struct {
+	sumNs atomic.Int64
+	count atomic.Int64
+}
+
+// observeTrace folds one finished trace into the per-stage histograms
+// and, when the record names a plan, its per-plan stage totals. Stages
+// the request never touched (no spans) are not observed — a histogram
+// count is "requests that exercised this stage".
+func (m *Metrics) observeTrace(rec trace.Record, ok bool) {
+	oi := 0
+	if !ok {
+		oi = 1
+	}
+	var ps *planStageSums
+	if rec.Plan != "" {
+		if v, found := m.planStages.Load(rec.Plan); found {
+			ps = v.(*planStageSums)
+		} else {
+			v, _ := m.planStages.LoadOrStore(rec.Plan, &planStageSums{})
+			ps = v.(*planStageSums)
+		}
+	}
+	for s := 0; s < trace.NumStages; s++ {
+		d := rec.StageTotal(trace.Stage(s))
+		if d <= 0 {
+			continue
+		}
+		m.stages[s][oi].observe(d)
+		if ps != nil {
+			ps[s].sumNs.Add(int64(d))
+			ps[s].count.Add(1)
+		}
+	}
 }
 
 // ObserveLatency records one completed solve's end-to-end latency
@@ -108,6 +161,19 @@ func (m *Metrics) Snapshot() Snapshot {
 		Shed:            m.Shed.Load(),
 		Degraded:        m.Degraded.Load(),
 	}
+}
+
+// StageLatencyTotal reports one stage's cumulative observed time and
+// observation count across both outcomes — the reconciliation hook for
+// tests that check the queue-wait histogram against the coalescer's
+// queue-depth integral.
+func (m *Metrics) StageLatencyTotal(s trace.Stage) (time.Duration, int64) {
+	var sum, n int64
+	for oi := 0; oi < 2; oi++ {
+		sum += m.stages[s][oi].sumNs.Load()
+		n += m.stages[s][oi].count.Load()
+	}
+	return time.Duration(sum), n
 }
 
 // latencyTotals reports the histogram's cumulative observation count and
@@ -179,13 +245,163 @@ func (m *Metrics) writePrometheus(w io.Writer, reg *Registry) {
 	// Latency histogram.
 	fmt.Fprintf(w, "# HELP stsserve_solve_latency_seconds End-to-end solve latency (queueing + coalescing + solve).\n")
 	fmt.Fprintf(w, "# TYPE stsserve_solve_latency_seconds histogram\n")
+	writeHistogram(w, "stsserve_solve_latency_seconds", "", &m.latency)
+
+	// Per-stage latency attribution, fed by finished lifecycle traces.
+	fmt.Fprintf(w, "# HELP stsserve_stage_latency_seconds Per-stage solve-lifecycle latency attributed by tracing.\n")
+	fmt.Fprintf(w, "# TYPE stsserve_stage_latency_seconds histogram\n")
+	for s := 0; s < trace.NumStages; s++ {
+		for oi, outcome := range [2]string{"ok", "error"} {
+			h := &m.stages[s][oi]
+			if h.count.Load() == 0 && outcome == "error" {
+				continue // keep the exposition compact: error rows appear once seen
+			}
+			labels := fmt.Sprintf("stage=%q,outcome=%q", trace.Stage(s).String(), outcome)
+			writeHistogram(w, "stsserve_stage_latency_seconds", labels, h)
+		}
+	}
+
+	// Per-plan stage totals (sum/count, not buckets — cardinality is
+	// plans × stages, so buckets would be disproportionate).
+	m.writePlanStages(w)
+
+	// Go runtime health read at scrape time: scheduler pressure and GC
+	// pauses are the usual suspects when stage histograms shift without a
+	// code change.
+	writeRuntimeMetrics(w)
+}
+
+// writeHistogram renders one fixed-bucket histogram's bucket/sum/count
+// lines, with optional extra labels (no surrounding braces).
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	sep := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, le)
+	}
 	cum := int64(0)
 	for i, ub := range latencyBuckets {
-		cum += m.latency.counts[i].Load()
-		fmt.Fprintf(w, "stsserve_solve_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(fmt.Sprintf("%g", ub)), cum)
 	}
-	cum += m.latency.counts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "stsserve_solve_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "stsserve_solve_latency_seconds_sum %g\n", float64(m.latency.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "stsserve_solve_latency_seconds_count %d\n", m.latency.count.Load())
+	cum += h.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep("+Inf"), cum)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count.Load())
+}
+
+// writePlanStages renders the per-plan per-stage running totals, sorted
+// by plan name for a stable exposition.
+func (m *Metrics) writePlanStages(w io.Writer) {
+	type row struct {
+		plan string
+		sums *planStageSums
+	}
+	var rows []row
+	m.planStages.Range(func(k, v any) bool {
+		rows = append(rows, row{k.(string), v.(*planStageSums)})
+		return true
+	})
+	if len(rows) == 0 {
+		return
+	}
+	slices.SortFunc(rows, func(a, b row) int {
+		if a.plan < b.plan {
+			return -1
+		} else if a.plan > b.plan {
+			return 1
+		}
+		return 0
+	})
+	fmt.Fprintf(w, "# HELP stsserve_plan_stage_seconds Cumulative per-plan time attributed to each lifecycle stage.\n")
+	fmt.Fprintf(w, "# TYPE stsserve_plan_stage_seconds_sum counter\n")
+	for _, r := range rows {
+		for s := 0; s < trace.NumStages; s++ {
+			if n := r.sums[s].count.Load(); n > 0 {
+				fmt.Fprintf(w, "stsserve_plan_stage_seconds_sum{plan=%q,stage=%q} %g\n",
+					r.plan, trace.Stage(s).String(), float64(r.sums[s].sumNs.Load())/1e9)
+				fmt.Fprintf(w, "stsserve_plan_stage_seconds_count{plan=%q,stage=%q} %d\n",
+					r.plan, trace.Stage(s).String(), n)
+			}
+		}
+	}
+}
+
+// runtimeSamples are the runtime/metrics series exported at /metrics.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// writeRuntimeMetrics exports scheduler and GC health from
+// runtime/metrics: a goroutine gauge plus GC-pause and scheduling-latency
+// histograms folded into the serving latency buckets (the _sum is
+// approximated from bucket upper bounds and marked so in HELP).
+func writeRuntimeMetrics(w io.Writer) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				fmt.Fprintf(w, "# HELP stsserve_go_goroutines Live goroutines (runtime/metrics).\n# TYPE stsserve_go_goroutines gauge\n")
+				fmt.Fprintf(w, "stsserve_go_goroutines %d\n", s.Value.Uint64())
+			}
+		case "/gc/pauses:seconds":
+			writeRuntimeHist(w, "stsserve_go_gc_pause_seconds",
+				"Stop-the-world GC pause distribution (runtime/metrics; _sum approximated from bucket bounds).", s)
+		case "/sched/latencies:seconds":
+			writeRuntimeHist(w, "stsserve_go_sched_latency_seconds",
+				"Goroutine scheduling latency distribution (runtime/metrics; _sum approximated from bucket bounds).", s)
+		}
+	}
+}
+
+// writeRuntimeHist folds a runtime/metrics float64 histogram into the
+// fixed serving buckets and renders it.
+func writeRuntimeHist(w io.Writer, name, help string, s metrics.Sample) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := s.Value.Float64Histogram()
+	var folded [len(latencyBuckets) + 1]uint64
+	var approxSum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		ub := h.Buckets[i+1]
+		j := 0
+		for j < len(latencyBuckets) && ub > latencyBuckets[j] {
+			j++
+		}
+		folded[j] += c
+		bound := ub
+		if bound > latencyBuckets[len(latencyBuckets)-1]*10 || bound != bound || bound > 1e18 {
+			bound = h.Buckets[i] // +Inf upper bound: fall back to the lower edge
+		}
+		approxSum += float64(c) * bound
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	total := uint64(0)
+	for _, c := range folded {
+		total += c
+	}
+	for j, ub := range latencyBuckets {
+		cum += folded[j]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, approxSum)
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
 }

@@ -21,6 +21,7 @@ import (
 	"stsk"
 	"stsk/internal/faultinject"
 	"stsk/internal/panicsafe"
+	"stsk/internal/trace"
 )
 
 // Variant names accepted by Solve: the empty string solves the plan's own
@@ -168,6 +169,22 @@ type Config struct {
 	// re-running the ordering pipeline, and WarmStart pre-populates the
 	// registry from the directory at boot. Empty disables persistence.
 	SnapshotDir string
+
+	// DisableTracing turns the solve-lifecycle trace recorder off: no
+	// per-stage span attribution, no stage histograms, an empty
+	// /debug/traces. The armed overhead is ≤3% of coalesced throughput
+	// (the tracebench cells), so tracing defaults to on.
+	DisableTracing bool
+
+	// TraceRing bounds the slow-trace ring buffer behind /debug/traces
+	// (default 256 finished traces; the oldest is evicted).
+	TraceRing int
+
+	// TraceSlow is the ring's admission threshold: only traces at least
+	// this slow end to end are retained for /debug/traces. Zero admits
+	// every finished trace (the query-time thresholdMs parameter still
+	// filters). Per-stage histograms observe every trace regardless.
+	TraceSlow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +199,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockWidth <= 0 {
 		c.BlockWidth = 8
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
 	}
 	c.Retry = c.Retry.withDefaults()
 	return c
@@ -270,6 +290,10 @@ type Registry struct {
 
 	// brown is the degradation state machine; nil when disabled.
 	brown *brownout
+
+	// ring holds finished slow traces for /debug/traces; nil when
+	// tracing is disabled.
+	ring *trace.Ring
 }
 
 // entry is one registered spec plus its cached built state. st and
@@ -299,11 +323,68 @@ func NewRegistry(cfg Config) *Registry {
 		entries: make(map[string]*entry),
 	}
 	r.flushNs.Store(int64(r.cfg.FlushDelay))
+	if !r.cfg.DisableTracing {
+		r.ring = trace.NewRing(r.cfg.TraceRing)
+	}
 	if !r.cfg.Brownout.Disable {
 		r.brown = newBrownout(r, r.cfg.Brownout)
 		r.brown.start()
 	}
 	return r
+}
+
+// TracingEnabled reports whether the solve-lifecycle trace recorder is
+// armed.
+func (r *Registry) TracingEnabled() bool { return r.ring != nil }
+
+// TraceRing exposes the slow-trace ring buffer (nil when tracing is
+// disabled) — the store behind GET /debug/traces.
+func (r *Registry) TraceRing() *trace.Ring { return r.ring }
+
+// NewTrace starts one request's lifecycle trace with the given ID (""
+// generates one), or returns nil — inert everywhere — when tracing is
+// disabled. Pair with FinishTrace.
+func (r *Registry) NewTrace(id string) *trace.Trace {
+	if r.ring == nil {
+		return nil
+	}
+	return trace.New(id)
+}
+
+// FinishTrace closes a trace started by NewTrace (or adopted by Solve):
+// the finished record feeds the per-stage latency histograms and, when
+// at least TraceSlow end to end, the /debug/traces ring. Nil-safe.
+func (r *Registry) FinishTrace(tr *trace.Trace, plan string, err error) {
+	if tr == nil {
+		return
+	}
+	rec := tr.Finish(plan, outcomeLabel(err))
+	r.met.observeTrace(rec, err == nil)
+	if r.ring != nil && rec.Total >= r.cfg.TraceSlow {
+		r.ring.Add(rec)
+	}
+	tr.Release()
+}
+
+// outcomeLabel classifies a solve error for trace records, mirroring the
+// metrics outcome counters.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	case errors.Is(err, ErrQueueFull):
+		return "rejected"
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
+	case errors.Is(err, panicsafe.ErrInternal):
+		return "panic"
+	default:
+		return "error"
+	}
 }
 
 // BrownoutState reports the degradation state and, when degraded, the
@@ -502,8 +583,22 @@ func (r *Registry) QueueDepth() int {
 // once.
 func (r *Registry) Solve(ctx context.Context, name, variant string, upper bool, b []float64) ([]float64, error) {
 	r.met.Requests.Add(1)
+	// A caller below the HTTP layer (benchmarks, embedders) arrives with
+	// no trace in its context; start and finish one here so direct Solve
+	// traffic still feeds the stage histograms and the slow-trace ring.
+	// The HTTP layer's traces pass through untouched — the server owns
+	// their admission/serialize spans and their finish.
+	tr := trace.FromContext(ctx)
+	owned := (*trace.Trace)(nil)
+	if tr == nil && r.ring != nil {
+		owned = r.NewTrace("")
+		ctx = trace.NewContext(ctx, owned)
+	}
 	start := time.Now()
 	x, err := r.solve(ctx, name, variant, upper, b)
+	if owned != nil {
+		r.FinishTrace(owned, name, err)
+	}
 	switch {
 	case err == nil:
 		r.met.Solved.Add(1)
@@ -546,7 +641,10 @@ func (r *Registry) solve(ctx context.Context, name, variant string, upper bool, 
 			// Backpressure: give the coalescer a jittered beat to drain
 			// before re-admitting. An eviction race skips the backoff —
 			// the plan rebuild itself is the wait.
-			if !sleepRetry(ctx, pol.backoff(attempt)) {
+			b0 := trace.Now()
+			ok := sleepRetry(ctx, pol.backoff(attempt))
+			trace.FromContext(ctx).Observe(trace.StageRetryBackoff, b0, trace.Now())
+			if !ok {
 				return nil, translateEvicted(err, name)
 			}
 		}
@@ -556,6 +654,7 @@ func (r *Registry) solve(ctx context.Context, name, variant string, upper bool, 
 
 // solveOnce is one acquire-and-enqueue attempt.
 func (r *Registry) solveOnce(ctx context.Context, name, variant string, upper bool, b []float64) ([]float64, error) {
+	g0 := trace.Now()
 	st, err := r.acquire(name)
 	if err != nil {
 		return nil, err
@@ -574,6 +673,10 @@ func (r *Registry) solveOnce(ctx context.Context, name, variant string, upper bo
 			return nil, err
 		}
 	}
+	// The registry span covers plan acquisition end to end — a cache hit
+	// is microseconds, a cold build or snapshot warm-load is where a
+	// "slow solve" that was really a slow build shows up.
+	trace.FromContext(ctx).Observe(trace.StageRegistry, g0, trace.Now())
 	c := vs.lower
 	if upper {
 		c = vs.upper

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"stsk/internal/panicsafe"
+	"stsk/internal/trace"
 )
 
 // Router is the scale-out front of a fleet of stsserve replicas: one
@@ -371,6 +372,13 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	cands := rt.candidates(peek.Plan)
 	hdr := passHeaders(r)
+	// Stamp a trace ID before fanning out so every hedged attempt — and
+	// the backend trace each one spawns — shares the client's ID, or one
+	// minted here when the client supplied none. The accepted attempt's
+	// response echoes it back via the relayed X-STS-Trace-Id header.
+	if hdr.Get("X-Sts-Trace-Id") == "" {
+		hdr.Set("X-Sts-Trace-Id", trace.NewID())
+	}
 	ctx := r.Context()
 
 	type attempt struct {

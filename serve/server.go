@@ -12,6 +12,7 @@ import (
 
 	"stsk"
 	"stsk/internal/faultinject"
+	"stsk/internal/trace"
 )
 
 // Server is the HTTP JSON transport over a Registry — stdlib net/http
@@ -23,6 +24,7 @@ import (
 //	POST /v1/solve                 solve one right-hand side (coalesced onto panels)
 //	GET  /healthz                  liveness + drain state
 //	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/traces             slow-trace ring (per-stage breakdowns)
 //
 // Admission control surfaces as 429 (coalescer queue full), per-request
 // deadlines as 408, and a draining server as 503. Close marks the server
@@ -45,6 +47,7 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
 }
 
@@ -241,11 +244,26 @@ type SolveResponse struct {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// One lifecycle trace per solve request, honouring a client-supplied
+	// X-STS-Trace-Id and echoing the effective ID back so callers (and the
+	// router's hedged fan-out) can correlate logs, /debug/traces entries,
+	// and responses. tr is nil — and every hook inert — when tracing is
+	// disabled.
+	tr := s.reg.NewTrace(r.Header.Get("X-STS-Trace-Id"))
+	if tr != nil {
+		w.Header().Set("X-STS-Trace-Id", tr.ID())
+	}
+	var planName string
+	var reqErr error
+	defer func() { s.reg.FinishTrace(tr, planName, reqErr) }()
+	a0 := trace.Now()
 	if s.draining.Load() {
+		reqErr = ErrDraining
 		s.error(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
 	if err := faultinject.Fire(faultinject.HTTPSolve); err != nil {
+		reqErr = err
 		s.error(w, statusFor(err), err)
 		return
 	}
@@ -259,31 +277,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.reg.AdmitPriority(pri); err != nil {
+		reqErr = err
 		s.error(w, statusFor(err), err)
 		return
 	}
 	var req SolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSolveBody)).Decode(&req); err != nil {
+		reqErr = err
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
+	planName = req.Plan
 	ctx := r.Context()
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
 		defer cancel()
 	}
+	ctx = trace.NewContext(ctx, tr)
+	tr.Observe(trace.StageAdmission, a0, trace.Now())
 	start := time.Now()
 	x, err := s.reg.Solve(ctx, req.Plan, req.Variant, req.Upper, req.B)
 	if err != nil {
+		reqErr = err
 		s.error(w, statusFor(err), err)
 		return
 	}
+	w0 := trace.Now()
 	writeJSON(w, http.StatusOK, SolveResponse{
 		X:          x,
 		Plan:       req.Plan,
 		DurationMs: float64(time.Since(start).Microseconds()) / 1000,
 	})
+	tr.Observe(trace.StageSerialize, w0, trace.Now())
 }
 
 // healthBody is the /healthz document.
